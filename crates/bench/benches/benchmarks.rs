@@ -1,0 +1,49 @@
+//! Benchmark-suite generation benches: the Figs. 4-6 sweeps and the
+//! Table III factor computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmss_gpu::Engine;
+use pmss_workloads::membench::{self, MembenchParams};
+use pmss_workloads::sweep::{freq_settings, normalize, power_settings, sweep_kernel};
+use pmss_workloads::{table3, vai};
+
+fn bench_suites(c: &mut Criterion) {
+    let engine = Engine::default();
+    let mut c = c.benchmark_group("suite");
+    c.sample_size(20);
+
+    c.bench_function("fig4_5/vai_full_sweep", |b| {
+        b.iter(|| {
+            for ai in vai::intensity_sweep() {
+                let k = vai::kernel(vai::VaiParams::for_intensity(ai, 1 << 28, 4));
+                for settings in [freq_settings(), power_settings()] {
+                    black_box(normalize(&sweep_kernel(&engine, &k, &settings)));
+                }
+            }
+        })
+    });
+
+    c.bench_function("fig6/membench_full_sweep", |b| {
+        b.iter(|| {
+            for bytes in membench::size_sweep() {
+                let k = membench::kernel(MembenchParams::sized_for(bytes, 5.0));
+                for settings in [freq_settings(), power_settings()] {
+                    black_box(normalize(&sweep_kernel(&engine, &k, &settings)));
+                }
+            }
+        })
+    });
+
+    c.bench_function("table3/factors", |b| {
+        b.iter(|| black_box(table3::compute_default()))
+    });
+
+    c.bench_function("vai/reference_cpu_kernel", |b| {
+        let p = vai::VaiParams::for_intensity(4.0, 4096, 8);
+        b.iter(|| black_box(vai::run_reference(p)))
+    });
+    c.finish();
+}
+
+criterion_group!(benches, bench_suites);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation benches for the GPU device model: roofline estimation, power
+//! evaluation, and the cap controller's bisection solve — the inner loops
+//! of every experiment in the suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmss_gpu::{Engine, Freq, GpuSettings, KernelProfile, PowerModel, Utilization};
+
+fn kernels() -> Vec<KernelProfile> {
+    [0.0625, 1.0, 4.0, 64.0, 1024.0]
+        .iter()
+        .map(|&ai| {
+            KernelProfile::builder(format!("k{ai}"))
+                .flops(ai * 64e9)
+                .hbm_bytes(64e9)
+                .flop_efficiency(0.268)
+                .bw_oversub(1.0)
+                .build()
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let engine = Engine::default();
+    let ks = kernels();
+
+    c.bench_function("engine/execute_uncapped", |b| {
+        b.iter(|| {
+            for k in &ks {
+                black_box(engine.execute(k, GpuSettings::uncapped()));
+            }
+        })
+    });
+
+    c.bench_function("engine/execute_power_capped (bisection)", |b| {
+        b.iter(|| {
+            for k in &ks {
+                black_box(engine.execute(k, GpuSettings::power_capped(300.0)));
+            }
+        })
+    });
+
+    c.bench_function("engine/execute_freq_capped", |b| {
+        b.iter(|| {
+            for k in &ks {
+                black_box(engine.execute(k, GpuSettings::freq_capped(900.0)));
+            }
+        })
+    });
+
+    let pm = PowerModel::default();
+    let util = Utilization {
+        alu: 0.7,
+        ondie: 0.3,
+        hbm: 0.9,
+        active: 1.0,
+    };
+    c.bench_function("power/demand_eval", |b| {
+        b.iter(|| black_box(pm.demand_w(black_box(util), Freq::from_mhz(1300.0))))
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

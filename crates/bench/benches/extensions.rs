@@ -1,0 +1,71 @@
+//! Ablation benches for the beyond-the-paper machinery: governors,
+//! calibration, sensitivity sweeps, and fleet power aggregation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmss_gpu::calibrate::{anchor_observations, fit};
+use pmss_gpu::{DvfsLadder, Engine, Governor, PowerModel};
+use pmss_telemetry::{simulate_fleet, FleetConfig, FleetPowerSeries, SystemHistogram};
+use pmss_workloads::proxy::ProxyApp;
+use pmss_workloads::table3;
+
+fn bench_extensions(c: &mut Criterion) {
+    let engine = Engine::default();
+    let ladder = DvfsLadder::default();
+    let mut grp = c.benchmark_group("ext");
+    grp.sample_size(10);
+
+    grp.bench_function("governor/energy_optimal_proxy_suite", |b| {
+        let phases: Vec<_> = ProxyApp::all()
+            .iter()
+            .flat_map(|a| a.step(60.0))
+            .collect();
+        b.iter(|| {
+            black_box(Governor::EnergyOptimal.govern_phases(&engine, &phases, &ladder))
+        })
+    });
+
+    grp.bench_function("calibrate/least_squares_fit", |b| {
+        let reference = PowerModel::default();
+        let obs = anchor_observations(&reference);
+        b.iter(|| black_box(fit(&obs, reference.curve).expect("fit")))
+    });
+
+    grp.bench_function("sensitivity/boundary_sweep", |b| {
+        let schedule = pmss_sched::generate(
+            pmss_sched::TraceParams {
+                nodes: 4,
+                duration_s: 12.0 * 3600.0,
+                seed: 2,
+                min_job_s: 900.0,
+            },
+            &pmss_sched::catalog(),
+        );
+        let sys: SystemHistogram = simulate_fleet(&schedule, &FleetConfig::default());
+        let t3 = table3::compute_default();
+        b.iter(|| {
+            black_box(pmss_core::sensitivity::boundary_sweep(
+                &sys.hist, 1e12, &t3, 40.0, 4,
+            ))
+        })
+    });
+
+    grp.bench_function("fleetpower/aggregate_4n_12h", |b| {
+        let schedule = pmss_sched::generate(
+            pmss_sched::TraceParams {
+                nodes: 4,
+                duration_s: 12.0 * 3600.0,
+                seed: 2,
+                min_job_s: 900.0,
+            },
+            &pmss_sched::catalog(),
+        );
+        b.iter(|| {
+            let fp: FleetPowerSeries = simulate_fleet(&schedule, &FleetConfig::default());
+            black_box(fp.peak_w())
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

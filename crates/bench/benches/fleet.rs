@@ -1,0 +1,44 @@
+//! Fleet-simulation benches (the Figs. 8-9 / Tables IV-VI substrate):
+//! schedule generation and telemetry-simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmss_core::EnergyLedger;
+use pmss_sched::{catalog, generate, TraceParams};
+use pmss_telemetry::{simulate_fleet, FleetConfig, SystemHistogram};
+
+fn params(nodes: usize, hours: f64) -> TraceParams {
+    TraceParams {
+        nodes,
+        duration_s: hours * 3600.0,
+        seed: 9,
+        min_job_s: 900.0,
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let domains = catalog();
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+
+    g.bench_function("sched/generate_16n_24h", |b| {
+        b.iter(|| black_box(generate(params(16, 24.0), &domains)))
+    });
+
+    let schedule = generate(params(8, 12.0), &domains);
+    g.bench_function("fig8/simulate_fleet_8n_12h_histogram", |b| {
+        b.iter(|| {
+            let h: SystemHistogram = simulate_fleet(&schedule, &FleetConfig::default());
+            black_box(h)
+        })
+    });
+    g.bench_function("table4/simulate_fleet_8n_12h_ledger", |b| {
+        b.iter(|| {
+            let l: EnergyLedger = simulate_fleet(&schedule, &FleetConfig::default());
+            black_box(l)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Louvain case-study benches (the Fig. 7 substrate): community detection
+//! across the two network families and the GPU workload mapping.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmss_graph::gpu_map::{louvain_phases, LouvainCostModel};
+use pmss_graph::louvain::{louvain, modularity, LouvainConfig};
+use pmss_graph::{gen, Csr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_louvain(c: &mut Criterion) {
+    // Louvain on the larger graphs is expensive per iteration; keep the
+    // statistical sample small so the suite stays in CI-friendly time.
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let social: Vec<(usize, Csr)> = [2_000usize, 8_000, 32_000]
+        .iter()
+        .map(|&n| (n, gen::barabasi_albert(n, 8, &mut rng)))
+        .collect();
+    let road = gen::road(160, 160, 0.55, &mut rng);
+
+    let mut g = c.benchmark_group("fig7/louvain_social");
+    g.sample_size(10);
+    for (n, graph) in &social {
+        g.bench_with_input(BenchmarkId::from_parameter(n), graph, |b, graph| {
+            b.iter(|| black_box(louvain(graph, &LouvainConfig::default())))
+        });
+    }
+    g.finish();
+
+    c.bench_function("fig7/louvain_road_160x160", |b| {
+        b.iter(|| black_box(louvain(&road, &LouvainConfig::default())))
+    });
+
+    let (_, big) = &social[2];
+    let result = louvain(big, &LouvainConfig::default());
+    c.bench_function("fig7/modularity_eval_32k", |b| {
+        b.iter(|| black_box(modularity(big, &result.communities)))
+    });
+    c.bench_function("fig7/gpu_mapping", |b| {
+        b.iter(|| black_box(louvain_phases(big, &result, &LouvainCostModel::default(), 3)))
+    });
+}
+
+criterion_group!(benches, bench_louvain);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Projection benches (Tables V-VI / Fig. 10): modal decomposition queries
+//! and the savings projection on a fleet ledger.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmss_core::heatmap::{energy_saved, energy_used};
+use pmss_core::project::{project, ProjectionInput};
+use pmss_core::EnergyLedger;
+use pmss_sched::{catalog, generate, JobSizeClass, TraceParams};
+use pmss_telemetry::{simulate_fleet, FleetConfig};
+use pmss_workloads::table3;
+
+fn bench_projection(c: &mut Criterion) {
+    let schedule = generate(
+        TraceParams {
+            nodes: 8,
+            duration_s: 24.0 * 3600.0,
+            seed: 4,
+            min_job_s: 900.0,
+        },
+        &catalog(),
+    );
+    let ledger: EnergyLedger = simulate_fleet(&schedule, &FleetConfig::default());
+    let t3 = table3::compute_default();
+
+    c.bench_function("table5/project_all_caps", |b| {
+        b.iter(|| black_box(project(ProjectionInput::from_ledger(&ledger), &t3)))
+    });
+
+    c.bench_function("table6/filtered_projection", |b| {
+        b.iter(|| {
+            let input = ProjectionInput::from_ledger_filtered(&ledger, |d, s| {
+                d < 4 && s <= JobSizeClass::C
+            });
+            black_box(project(input, &t3))
+        })
+    });
+
+    c.bench_function("fig10/heatmaps", |b| {
+        let row = t3.freq_row(1100.0).expect("1100 row");
+        b.iter(|| {
+            black_box(energy_used(&ledger));
+            black_box(energy_saved(&ledger, row));
+        })
+    });
+
+    c.bench_function("table4/ledger_queries", |b| {
+        b.iter(|| {
+            black_box(ledger.gpu_hours_fractions());
+            black_box(ledger.region_totals());
+        })
+    });
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates paper Fig. 10: heatmaps of total GPU energy used and energy
+//! saved (1100 MHz frequency cap) per science domain and job-size class.
+
+use pmss_bench::{fleet_run, Scale};
+use pmss_core::heatmap::{energy_saved, energy_used};
+use pmss_core::report::render_heatmap;
+use pmss_workloads::table3;
+
+fn main() {
+    let run = fleet_run(Scale::from_env());
+    let ledger = run.ledger.scaled(run.frontier_factor);
+    let labels: Vec<&str> = run.domains.iter().map(|d| d.code).collect();
+
+    let used = energy_used(&ledger);
+    println!(
+        "{}",
+        render_heatmap(&used, &labels, "(a) total energy used (MWh), domain x job size")
+    );
+
+    let t3 = table3::compute_default();
+    let saved = energy_saved(&ledger, t3.freq_row(1100.0).expect("1100 MHz row"));
+    println!(
+        "{}",
+        render_heatmap(&saved, &labels, "(b) estimated energy saved @1100 MHz cap (MWh)")
+    );
+    println!(
+        "savings concentration: {:.0}% of savings from job sizes A-C (paper: most savings from large jobs)",
+        100.0 * saved
+            .rows
+            .iter()
+            .map(|r| r[0] + r[1] + r[2])
+            .sum::<f64>()
+            / saved.total()
+    );
+}

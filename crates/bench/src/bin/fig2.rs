@@ -1,0 +1,40 @@
+//! Regenerates paper Fig. 2: (a) out-of-band telemetry vs ROCm-SMI-like
+//! in-band readings for a sample application run; (b) GPU vs CPU (rest of
+//! node) energy on the fleet.
+
+use pmss_bench::{fleet_run, sparkline, Scale};
+use pmss_gpu::GpuSettings;
+use pmss_telemetry::{compare_sensors, simulate_fleet, FleetConfig, GpuCpuEnergy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // (a) sensor agreement on a 20-minute mixed application.
+    let mut rng = StdRng::seed_from_u64(2);
+    let phases =
+        pmss_workloads::phases::synthesize_app(pmss_workloads::AppClass::Mixed, 1200.0, &mut rng);
+    let c = compare_sensors(&phases, GpuSettings::uncapped(), 7);
+    println!("(a) telemetry vs ROCm SMI, one application run");
+    println!(
+        "    15s windows: {}; mean power {:.0} W; mean |telemetry - smi| = {:.1} W ({:.2}%)",
+        c.telemetry.len(),
+        c.mean_power_w,
+        c.mean_abs_diff_w,
+        100.0 * c.mean_abs_diff_w / c.mean_power_w
+    );
+    for (t, s) in c.telemetry.iter().zip(&c.smi).take(12) {
+        println!("    t={:>5.0}s  oob={:>6.1} W  smi={:>6.1} W", t.t_s, t.power_w, s.power_w);
+    }
+
+    // (b) GPU vs CPU energy on the fleet.
+    let scale = Scale::from_env();
+    let run = fleet_run(scale);
+    let split: GpuCpuEnergy = simulate_fleet(&run.schedule, &FleetConfig::default());
+    println!("\n(b) GPU vs rest-of-node energy");
+    println!(
+        "    GPU energy share of node energy: {:.1}% (paper: GPUs dominate; others < 20% on busy nodes)",
+        100.0 * split.gpu_share()
+    );
+    println!("    GPU power distribution  : {}", sparkline(&split.gpu_hist.density(), 70));
+    println!("    rest-of-node distribution: {}", sparkline(&split.rest_hist.density(), 70));
+}

@@ -1,0 +1,39 @@
+//! Illustrates paper Fig. 3: the L2-cache benchmark's block-to-chunk
+//! access pattern, and the resulting residency/bandwidth/power knee.
+
+use pmss_core::report::Table;
+use pmss_gpu::Engine;
+use pmss_workloads::membench::{self, chunk_for_block, MembenchParams, BLOCKS, THREADS_PER_BLOCK};
+
+fn main() {
+    println!("Fig. 3: membench access pattern — {BLOCKS} blocks x {THREADS_PER_BLOCK} threads,");
+    println!("block b loads chunk (b % n_chunks), so small working sets are re-served");
+    println!("from the L2 while large ones stream from HBM.\n");
+
+    println!("first 12 blocks against a 5-chunk working set:");
+    for b in 0..12u64 {
+        print!(" b{b}->c{}", chunk_for_block(b, 5));
+    }
+    println!("\n");
+
+    let engine = Engine::default();
+    let mut tb = Table::new(&["working set", "served from", "GB/s", "power (W)"]);
+    for bytes in membench::size_sweep() {
+        let p = MembenchParams::sized_for(bytes, 5.0);
+        let k = membench::kernel(p);
+        let ex = engine.execute(&k, pmss_gpu::GpuSettings::uncapped());
+        let from = if p.l2_hit_fraction() > 0.5 { "L2" } else { "HBM" };
+        tb.row(vec![
+            if bytes >= 1 << 20 {
+                format!("{} MB", bytes >> 20)
+            } else {
+                format!("{} KB", bytes >> 10)
+            },
+            from.into(),
+            format!("{:.0}", ex.perf.ondie_bw.max(ex.perf.hbm_bw) / 1e9),
+            format!("{:.0}", ex.busy_power_w),
+        ]);
+    }
+    println!("{}", tb.render());
+    println!("the knee at 16 MB is the paper's L2 capacity boundary");
+}

@@ -1,0 +1,58 @@
+//! Regenerates paper Fig. 6: the memory benchmark's average power,
+//! bandwidth, and time-to-completion across working-set sizes, under
+//! frequency caps (left) and power caps (right).
+
+use pmss_core::report::Table;
+use pmss_gpu::Engine;
+use pmss_workloads::membench::{self, MembenchParams};
+use pmss_workloads::sweep::{CapSetting, MEMBENCH_POWER_CAPS_W};
+
+fn block(engine: &Engine, settings: &[CapSetting], title: &str) {
+    println!("== {title} ==");
+    for &setting in settings {
+        let label = match setting {
+            CapSetting::FreqMhz(m) => format!("{m:.0} MHz"),
+            CapSetting::PowerW(w) => format!("{w:.0} W cap"),
+        };
+        let mut tb = Table::new(&["size", "GB/s", "Power (W)", "t / t_uncapped", "breached"]);
+        for bytes in membench::size_sweep() {
+            let k = membench::kernel(MembenchParams::sized_for(bytes, 5.0));
+            let base = engine.execute(&k, CapSetting::FreqMhz(1700.0).to_settings());
+            let ex = engine.execute(&k, setting.to_settings());
+            let bw = (ex.perf.ondie_bw.max(ex.perf.hbm_bw)) / 1e9;
+            tb.row(vec![
+                human(bytes),
+                format!("{bw:.0}"),
+                format!("{:.0}", ex.busy_power_w),
+                format!("{:.3}", ex.time_s / base.time_s),
+                if ex.cap_breached { "yes".into() } else { "".into() },
+            ]);
+        }
+        println!("-- {label} --\n{}", tb.render());
+    }
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.1}GB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.1}MB", bytes as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{}KB", bytes >> 10)
+    }
+}
+
+fn main() {
+    let engine = Engine::default();
+    let freqs: Vec<CapSetting> = [1700.0, 1300.0, 900.0, 700.0]
+        .iter()
+        .map(|&m| CapSetting::FreqMhz(m))
+        .collect();
+    let caps: Vec<CapSetting> = MEMBENCH_POWER_CAPS_W
+        .iter()
+        .map(|&w| CapSetting::PowerW(w))
+        .collect();
+    block(&engine, &freqs, "Fig. 6 left: frequency caps");
+    block(&engine, &caps, "Fig. 6 right: power caps");
+    println!("paper checks: <16MB sizes frequency-sensitive; >16MB insensitive; 140/200 W caps breached by HBM-resident sets");
+}

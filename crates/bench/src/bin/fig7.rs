@@ -1,0 +1,59 @@
+//! Regenerates paper Fig. 7: Louvain community detection across networks
+//! and frequencies, plus the road-network power-cap discussion.
+
+use pmss_core::report::Table;
+use pmss_graph::case_study::{networks, CaseScale, CaseStudy};
+use pmss_gpu::GpuSettings;
+
+fn main() {
+    let scale = match std::env::var("PMSS_SCALE").as_deref() {
+        Ok("large") => CaseScale::Large,
+        Ok("medium") => CaseScale::Medium,
+        _ => CaseScale::Small,
+    };
+    let cases = networks(scale, 77);
+    println!("Fig. 7: Louvain case study ({} networks)", cases.len());
+    for case in &cases {
+        let stats = case.graph.degree_stats();
+        let study = CaseStudy::prepare(case, 3);
+        println!(
+            "\n{} — {} edges, d_max {}, d_avg {:.1}, Q = {:.3}, {} levels",
+            case.name,
+            case.graph.num_edges(),
+            stats.d_max,
+            stats.d_avg,
+            study.result.modularity,
+            study.result.levels.len()
+        );
+        let mut tb = Table::new(&["MHz", "runtime (s)", "avg W", "peak W", "energy (J)"]);
+        for p in study.frequency_sweep() {
+            tb.row(vec![
+                format!("{:.0}", p.knob),
+                format!("{:.3}", p.runtime_s),
+                format!("{:.0}", p.avg_power_w),
+                format!("{:.0}", p.peak_power_w),
+                format!("{:.1}", p.energy_j),
+            ]);
+        }
+        println!("{}", tb.render());
+        let s = study.savings(GpuSettings::freq_capped(900.0));
+        println!(
+            "900 MHz: energy saving {:.1}%, runtime +{:.1}%  (paper: up to 5.23% saving, <5% slowdown on social nets)",
+            100.0 * s.energy_saving,
+            100.0 * s.runtime_increase
+        );
+        if case.name.starts_with("road") {
+            let mut tb = Table::new(&["cap (W)", "runtime x", "energy saving %", "breached"]);
+            let base = study.run(GpuSettings::uncapped());
+            for p in study.power_cap_sweep() {
+                tb.row(vec![
+                    format!("{:.0}", p.knob),
+                    format!("{:.3}", p.runtime_s / base.runtime_s),
+                    format!("{:.1}", 100.0 * (1.0 - p.energy_j / base.energy_j)),
+                    if p.cap_breached { "yes".into() } else { "".into() },
+                ]);
+            }
+            println!("road-network power caps (paper: 220 W free, 140 W costs ~36% runtime):\n{}", tb.render());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 9: per-science-domain GPU power distributions
+//! showing the modal archetypes (compute-bound, latency-bound,
+//! memory-bound, multi-modal).
+
+use pmss_bench::{fleet_run, sparkline, Scale};
+
+fn main() {
+    let run = fleet_run(Scale::from_env());
+    println!("Fig. 9: GPU power distribution per science domain (0..700 W)");
+    for (d, spec) in run.domains.iter().enumerate() {
+        if let Some(h) = run.per_domain.domain(d) {
+            println!(
+                "{:<4} {:<34} mean {:>4.0} W  {}",
+                spec.code,
+                format!("({})", spec.name),
+                h.mean_w().unwrap_or(0.0),
+                sparkline(&h.density(), 70)
+            );
+        }
+    }
+    println!("paper checks: CPH/MAT mass near 420-560 W; BIO/DAT below 200 W; CLI/CFD in 200-420 W; AST/FUS multi-modal");
+}

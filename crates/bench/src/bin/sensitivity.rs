@@ -1,0 +1,42 @@
+//! Ablation: how stable are the headline numbers under perturbation of the
+//! "diffused" Table IV region boundaries (paper Sec. V-B)?
+
+use pmss_bench::{fleet_run, Scale};
+use pmss_core::sensitivity::{boundary_sweep, input_from_histogram, Boundaries};
+use pmss_core::project::project;
+use pmss_workloads::table3;
+
+fn main() {
+    let run = fleet_run(Scale::from_env());
+    let total_j = run.ledger.total().joules;
+    let t3 = table3::compute_default();
+
+    let report = boundary_sweep(&run.system.hist, total_j, &t3, 40.0, 8);
+    println!("boundary sensitivity (interior boundaries perturbed by +/- 40 W):");
+    println!(
+        "  reference no-slowdown headline: {:.2}% of total GPU energy",
+        report.reference.best_free_pct
+    );
+    println!(
+        "  spread across {} perturbations: {:.2} percentage points",
+        report.points.len(),
+        report.free_savings_spread()
+    );
+    for b in [
+        Boundaries { latency_mi_w: 160.0, mi_ci_w: 420.0, ci_boost_w: 560.0 },
+        Boundaries { latency_mi_w: 240.0, mi_ci_w: 420.0, ci_boost_w: 560.0 },
+        Boundaries { latency_mi_w: 200.0, mi_ci_w: 380.0, ci_boost_w: 560.0 },
+        Boundaries { latency_mi_w: 200.0, mi_ci_w: 460.0, ci_boost_w: 560.0 },
+    ] {
+        let p = project(input_from_histogram(&run.system.hist, b, total_j), &t3);
+        println!(
+            "  bounds {:.0}/{:.0} W -> best free {:.2}%, best total {:.2}%",
+            b.latency_mi_w,
+            b.mi_ci_w,
+            p.best_free().savings_dt0_pct,
+            p.best_total().savings_pct
+        );
+    }
+    println!("\npaper context: \"boundary regions may be diffused into one another and");
+    println!("may not be well defined\" — the projection must be robust to that.");
+}

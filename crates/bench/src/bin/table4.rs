@@ -1,0 +1,14 @@
+//! Regenerates paper Table IV: the modal decomposition of fleet GPU power
+//! telemetry into four regions of operation with GPU-hour percentages.
+
+use pmss_bench::{fleet_run, Scale};
+use pmss_core::report::render_table4;
+
+fn main() {
+    let scale = Scale::from_env();
+    let run = fleet_run(scale);
+    println!("{}", render_table4(&run.ledger));
+    println!(
+        "paper reference: 29.8 / 49.5 / 19.5 / 1.1 %  (3 months of Frontier)"
+    );
+}

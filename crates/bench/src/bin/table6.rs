@@ -1,0 +1,33 @@
+//! Regenerates paper Table VI: frequency-cap savings restricted to the
+//! science domains holding at least one "hot" Fig. 10(b) cell, within the
+//! large job-size classes A-C.
+
+use pmss_bench::{fleet_run, Scale};
+use pmss_core::heatmap::energy_saved;
+use pmss_core::project::{project, ProjectionInput};
+use pmss_core::report::render_projection;
+use pmss_sched::JobSizeClass;
+use pmss_workloads::table3;
+
+fn main() {
+    let run = fleet_run(Scale::from_env());
+    let ledger = run.ledger.scaled(run.frontier_factor);
+    let t3 = table3::compute_default();
+
+    // "Hot" selection: domains with at least one high cell in the
+    // 1100 MHz savings heatmap (the paper's red cells), job sizes A-C.
+    let saved = energy_saved(&ledger, t3.freq_row(1100.0).expect("1100 MHz row"));
+    let threshold = 0.35 * saved.rows.iter().flat_map(|r| r.iter()).cloned().fold(0.0, f64::max);
+    let hot = saved.hot_domains(threshold);
+    println!(
+        "selected domains (>=1 hot cell): {:?}",
+        hot.iter().map(|&d| run.domains[d].code).collect::<Vec<_>>()
+    );
+
+    let input = ProjectionInput::from_ledger_filtered(&ledger, |d, size| {
+        hot.contains(&d) && size <= JobSizeClass::C
+    });
+    let p = project(input, &t3);
+    println!("{}", render_projection(&p, true));
+    println!("paper checks: selective savings are a significant share of the system-wide Table V numbers");
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Table VII: the Frontier job scheduling policy.
+
+use pmss_sched::JobSizeClass;
+
+fn main() {
+    println!("{:<10} {:<14} Max. Walltime (Hrs.)", "Job size", "Num-nodes");
+    for class in JobSizeClass::all() {
+        let (lo, hi) = class.node_range();
+        println!(
+            "{:<10} {:<14} {}",
+            class.label(),
+            format!("{lo} - {hi}"),
+            class.max_walltime_h()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Extension: validate the paper's projection method against ground truth.
+//!
+//! The projection multiplies benchmark factors by per-mode energy.  Here
+//! we re-execute every job's phases to completion under each frequency cap
+//! and compare the *measured* energy-to-solution saving with the
+//! projection — quantifying how much of the upper bound survives contact
+//! with real phase mixes.
+
+use pmss_bench::{fleet_run, Scale};
+use pmss_core::project::{project, ProjectionInput};
+use pmss_core::report::Table;
+use pmss_gpu::{Engine, GpuSettings};
+use pmss_workloads::phases::synthesize_app;
+use pmss_workloads::table3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+fn main() {
+    let run = fleet_run(Scale::from_env());
+    let t3 = table3::compute_default();
+    let projection = project(ProjectionInput::from_ledger(&run.ledger), &t3);
+    let engine = Engine::default();
+
+    let jobs: Vec<_> = run.schedule.jobs.iter().take(400).collect();
+    let mut tb = Table::new(&[
+        "cap (MHz)", "projected sav %", "measured sav %", "projected dT %", "measured dT %",
+    ]);
+    for mhz in [1500.0, 1300.0, 1100.0, 900.0, 700.0] {
+        let (e_b, e_c, t_b, t_c) = jobs
+            .par_iter()
+            .map(|job| {
+                let mut rng = StdRng::seed_from_u64(job.seed);
+                let mut acc = (0.0, 0.0, 0.0, 0.0);
+                for phase in synthesize_app(job.app_class, job.duration_s(), &mut rng) {
+                    let b = engine.execute(&phase, GpuSettings::uncapped());
+                    let c = engine.execute(&phase, GpuSettings::freq_capped(mhz));
+                    acc.0 += b.energy_j;
+                    acc.1 += c.energy_j;
+                    acc.2 += b.time_s;
+                    acc.3 += c.time_s;
+                }
+                acc
+            })
+            .reduce(
+                || (0.0, 0.0, 0.0, 0.0),
+                |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+            );
+        let row = projection.freq_row(mhz).expect("row");
+        tb.row(vec![
+            format!("{mhz:.0}"),
+            format!("{:.1}", row.savings_pct),
+            format!("{:.1}", 100.0 * (1.0 - e_c / e_b)),
+            format!("{:.1}", row.delta_t_pct),
+            format!("{:+.1}", 100.0 * (t_c / t_b - 1.0)),
+        ]);
+    }
+    println!("projection vs measured energy-to-solution ({} jobs re-executed):", jobs.len());
+    println!("{}", tb.render());
+    println!("The measured column pays the latency-region slowdown the projection");
+    println!("method deliberately excludes — the projection is an upper bound.");
+}

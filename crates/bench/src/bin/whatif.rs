@@ -1,0 +1,40 @@
+//! Extension: per-domain mixed-cap what-if analysis at fleet scale.
+
+use pmss_bench::{fleet_run, Scale};
+use pmss_core::report::Table;
+use pmss_core::whatif::{best_uniform, optimize_per_domain};
+use pmss_workloads::table3;
+
+fn main() {
+    let run = fleet_run(Scale::from_env());
+    let t3 = table3::compute_default();
+    let total_j = run.ledger.total().joules;
+
+    let mut tb = Table::new(&["dT budget %", "mixed saves %", "uniform saves %", "uniform cap"]);
+    for budget in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
+        let mixed = optimize_per_domain(&run.ledger, &t3, budget);
+        let (setting, uniform_j) = best_uniform(&run.ledger, &t3, budget);
+        tb.row(vec![
+            format!("{budget:.0}"),
+            format!("{:.2}", 100.0 * mixed.savings_fraction(total_j)),
+            format!("{:.2}", 100.0 * uniform_j / total_j),
+            format!("{:.0} MHz", setting.value()),
+        ]);
+    }
+    println!("per-domain mixed caps vs best uniform cap (per-domain dT budgets):");
+    println!("{}", tb.render());
+
+    let mixed = optimize_per_domain(&run.ledger, &t3, 10.0);
+    println!("assignment at a 10% budget:");
+    for (d, choice) in mixed.assignment.iter().enumerate() {
+        match choice {
+            Some(e) => println!(
+                "  {:<4} -> {:>5.0} MHz  (dT {:+.1}%)",
+                run.domains[d].code,
+                e.setting.value(),
+                e.delta_t_pct
+            ),
+            None => println!("  {:<4} -> uncapped", run.domains[d].code),
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Modal decomposition of fleet telemetry: the energy ledger.
+//!
+//! The paper's central data structure is implicit: every 15-second GPU
+//! sample, classified into one of the four Table IV regions and attributed
+//! to a (science domain, job-size class) cell.  From it fall out Table IV
+//! (GPU-hours per region), the Table V/VI projection inputs (energy per
+//! region), and the Fig. 10 heatmaps (energy per domain x size).
+
+use pmss_sched::JobSizeClass;
+use pmss_telemetry::{FleetObserver, SampleCtx};
+
+use crate::modes::Region;
+
+/// GPU time and energy accumulated in one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Cell {
+    /// GPU time, in seconds.
+    pub seconds: f64,
+    /// GPU energy, in joules.
+    pub joules: f64,
+}
+
+impl Cell {
+    fn add(&mut self, seconds: f64, joules: f64) {
+        self.seconds += seconds;
+        self.joules += joules;
+    }
+
+    fn merge(&mut self, other: &Cell) {
+        self.seconds += other.seconds;
+        self.joules += other.joules;
+    }
+
+    /// Energy in MWh.
+    pub fn mwh(&self) -> f64 {
+        self.joules / pmss_gpu::consts::JOULES_PER_MWH
+    }
+}
+
+const N_REGIONS: usize = 4;
+const N_SIZES: usize = 5;
+
+/// The modal-decomposition ledger: a [`FleetObserver`] accumulating GPU
+/// seconds and joules per (domain, size class, region), plus an
+/// unattributed bucket for samples outside any job.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyLedger {
+    /// Per-domain cells `[size][region]`, indexed by catalog order.
+    domains: Vec<[[Cell; N_REGIONS]; N_SIZES]>,
+    /// Samples outside any job (idle nodes), by region.
+    unattributed: [Cell; N_REGIONS],
+    window_s: f64,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger for a given telemetry window (15 s by default via
+    /// `Default`).
+    pub fn new(window_s: f64) -> Self {
+        EnergyLedger {
+            domains: Vec::new(),
+            unattributed: Default::default(),
+            window_s,
+        }
+    }
+
+    fn window(&self) -> f64 {
+        if self.window_s > 0.0 {
+            self.window_s
+        } else {
+            15.0
+        }
+    }
+
+    fn ensure(&mut self, domain: usize) {
+        while self.domains.len() <= domain {
+            self.domains.push(Default::default());
+        }
+    }
+
+    /// Number of domains seen.
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Cell for (domain, size, region).
+    pub fn cell(&self, domain: usize, size: JobSizeClass, region: Region) -> Cell {
+        self.domains
+            .get(domain)
+            .map(|d| d[size.index()][region.index()])
+            .unwrap_or_default()
+    }
+
+    /// Totals per region across all domains and the unattributed bucket.
+    pub fn region_totals(&self) -> [Cell; N_REGIONS] {
+        let mut out = self.unattributed;
+        for d in &self.domains {
+            for size in d {
+                for (acc, c) in out.iter_mut().zip(size) {
+                    acc.merge(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Totals per region restricted to a domain/size filter (attributed
+    /// samples only).
+    pub fn region_totals_filtered(
+        &self,
+        mut keep: impl FnMut(usize, JobSizeClass) -> bool,
+    ) -> [Cell; N_REGIONS] {
+        let mut out: [Cell; N_REGIONS] = Default::default();
+        for (dom, d) in self.domains.iter().enumerate() {
+            for (s_idx, size) in d.iter().enumerate() {
+                if keep(dom, JobSizeClass::all()[s_idx]) {
+                    for (acc, c) in out.iter_mut().zip(size) {
+                        acc.merge(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whole-fleet totals (all regions).
+    pub fn total(&self) -> Cell {
+        let mut t = Cell::default();
+        for r in self.region_totals() {
+            t.merge(&r);
+        }
+        t
+    }
+
+    /// Fraction of GPU hours per region — the Table IV "GPU Hrs. (%)"
+    /// column.
+    pub fn gpu_hours_fractions(&self) -> [f64; N_REGIONS] {
+        let totals = self.region_totals();
+        let all: f64 = totals.iter().map(|c| c.seconds).sum();
+        if all == 0.0 {
+            return [0.0; N_REGIONS];
+        }
+        let mut out = [0.0; N_REGIONS];
+        for (o, c) in out.iter_mut().zip(&totals) {
+            *o = c.seconds / all;
+        }
+        out
+    }
+
+    /// Energy used per (domain, size) in joules — the Fig. 10(a) matrix.
+    pub fn energy_matrix_j(&self) -> Vec<[f64; N_SIZES]> {
+        self.domains
+            .iter()
+            .map(|d| {
+                let mut row = [0.0; N_SIZES];
+                for (s, size) in d.iter().enumerate() {
+                    row[s] = size.iter().map(|c| c.joules).sum();
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Scales all quantities by `factor` — used to extrapolate a scaled
+    /// fleet simulation to the full Frontier system (energy and hours are
+    /// linear in node-count and duration).
+    pub fn scaled(&self, factor: f64) -> EnergyLedger {
+        let mut out = self.clone();
+        for d in &mut out.domains {
+            for size in d.iter_mut() {
+                for c in size.iter_mut() {
+                    c.seconds *= factor;
+                    c.joules *= factor;
+                }
+            }
+        }
+        for c in &mut out.unattributed {
+            c.seconds *= factor;
+            c.joules *= factor;
+        }
+        out
+    }
+}
+
+impl FleetObserver for EnergyLedger {
+    fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
+        let region = Region::of_power(power_w).index();
+        let w = self.window();
+        let joules = power_w * w;
+        match ctx.job {
+            Some(job) => {
+                self.ensure(job.domain);
+                self.domains[job.domain][job.size_class.index()][region].add(w, joules);
+            }
+            None => self.unattributed[region].add(w, joules),
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.ensure(other.domains.len().saturating_sub(1));
+        for (i, d) in other.domains.iter().enumerate() {
+            self.ensure(i);
+            for (s, size) in d.iter().enumerate() {
+                for (r, c) in size.iter().enumerate() {
+                    self.domains[i][s][r].merge(c);
+                }
+            }
+        }
+        for (a, b) in self.unattributed.iter_mut().zip(&other.unattributed) {
+            a.merge(b);
+        }
+        if self.window_s == 0.0 {
+            self.window_s = other.window_s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmss_sched::{catalog, generate, Job, TraceParams};
+    use pmss_workloads::AppClass;
+
+    fn fake_job(domain: usize, size: JobSizeClass) -> Job {
+        Job {
+            id: 1,
+            domain,
+            project_id: "TST001".into(),
+            num_nodes: 1,
+            size_class: size,
+            begin_s: 0.0,
+            end_s: 100.0,
+            app_class: AppClass::Mixed,
+            seed: 0,
+        }
+    }
+
+    fn ctx(job: Option<&Job>) -> SampleCtx<'_> {
+        SampleCtx {
+            node: 0,
+            slot: 0,
+            job,
+        }
+    }
+
+    #[test]
+    fn samples_land_in_the_right_cells() {
+        let mut l = EnergyLedger::new(15.0);
+        let j = fake_job(2, JobSizeClass::B);
+        l.gpu_sample(&ctx(Some(&j)), 0.0, 300.0); // MI
+        l.gpu_sample(&ctx(Some(&j)), 15.0, 500.0); // CI
+        l.gpu_sample(&ctx(None), 30.0, 90.0); // idle, unattributed
+
+        let mi = l.cell(2, JobSizeClass::B, Region::MemoryIntensive);
+        assert_eq!(mi.seconds, 15.0);
+        assert_eq!(mi.joules, 300.0 * 15.0);
+        let totals = l.region_totals();
+        assert_eq!(totals[Region::LatencyBound.index()].seconds, 15.0);
+        assert_eq!(totals[Region::ComputeIntensive.index()].joules, 500.0 * 15.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut l = EnergyLedger::new(15.0);
+        let j = fake_job(0, JobSizeClass::E);
+        for (i, w) in [100.0, 250.0, 480.0, 580.0, 300.0].iter().enumerate() {
+            l.gpu_sample(&ctx(Some(&j)), i as f64 * 15.0, *w);
+        }
+        let f = l.gpu_hours_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f[Region::MemoryIntensive.index()], 0.4);
+    }
+
+    #[test]
+    fn merge_combines_ledgers() {
+        let mut a = EnergyLedger::new(15.0);
+        let mut b = EnergyLedger::new(15.0);
+        let j = fake_job(1, JobSizeClass::C);
+        a.gpu_sample(&ctx(Some(&j)), 0.0, 300.0);
+        b.gpu_sample(&ctx(Some(&j)), 0.0, 300.0);
+        a.merge(b);
+        assert_eq!(a.cell(1, JobSizeClass::C, Region::MemoryIntensive).seconds, 30.0);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let mut l = EnergyLedger::new(15.0);
+        let j = fake_job(0, JobSizeClass::A);
+        l.gpu_sample(&ctx(Some(&j)), 0.0, 400.0);
+        let s = l.scaled(10.0);
+        assert_eq!(s.total().joules, 10.0 * l.total().joules);
+        assert_eq!(s.total().seconds, 10.0 * l.total().seconds);
+    }
+
+    #[test]
+    fn fleet_decomposition_respects_energy_conservation() {
+        let sched = generate(
+            TraceParams {
+                nodes: 4,
+                duration_s: 6.0 * 3600.0,
+                seed: 13,
+                min_job_s: 900.0,
+            },
+            &catalog(),
+        );
+        let ledger: EnergyLedger =
+            pmss_telemetry::simulate_fleet(&sched, &pmss_telemetry::FleetConfig::default());
+        let total = ledger.total();
+        // 4 nodes x 4 GPUs x 6 h of GPU time.
+        let expect_s = 4.0 * 4.0 * 6.0 * 3600.0;
+        assert!((total.seconds - expect_s).abs() / expect_s < 0.01);
+        // Mean power must sit between idle and the firmware limit.
+        let mean_w = total.joules / total.seconds;
+        assert!((89.0..540.0).contains(&mean_w), "mean {mean_w}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the decomposition and projection.
+
+use pmss_core::decompose::EnergyLedger;
+use pmss_core::project::{project, ProjectionInput};
+use pmss_core::Region;
+use pmss_sched::JobSizeClass;
+use pmss_telemetry::{FleetObserver, SampleCtx};
+use pmss_workloads::table3;
+use proptest::prelude::*;
+
+fn job(domain: usize, size: JobSizeClass) -> pmss_sched::Job {
+    pmss_sched::Job {
+        id: 1 + domain as u64 * 8 + size.index() as u64,
+        domain,
+        project_id: "T".into(),
+        num_nodes: 1,
+        size_class: size,
+        begin_s: 0.0,
+        end_s: 1.0,
+        app_class: pmss_workloads::AppClass::Mixed,
+        seed: 0,
+    }
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0usize..4, 0usize..5, 50.0..650.0f64), 1..400)
+}
+
+fn build_ledger(samples: &[(usize, usize, f64)]) -> EnergyLedger {
+    let mut l = EnergyLedger::new(15.0);
+    for &(d, s, w) in samples {
+        let j = job(d, JobSizeClass::all()[s]);
+        l.gpu_sample(
+            &SampleCtx {
+                node: 0,
+                slot: 0,
+                job: Some(&j),
+            },
+            0.0,
+            w,
+        );
+    }
+    l
+}
+
+proptest! {
+    /// Region classification is a partition: every sample lands in exactly
+    /// one region, and the fractions sum to one.
+    #[test]
+    fn region_fractions_partition(samples in arb_samples()) {
+        let l = build_ledger(&samples);
+        let f = l.gpu_hours_fractions();
+        prop_assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let total = l.total();
+        prop_assert!((total.seconds - samples.len() as f64 * 15.0).abs() < 1e-6);
+    }
+
+    /// Ledger energy equals the sum of sample power x window.
+    #[test]
+    fn ledger_conserves_energy(samples in arb_samples()) {
+        let l = build_ledger(&samples);
+        let direct: f64 = samples.iter().map(|&(_, _, w)| w * 15.0).sum();
+        prop_assert!((l.total().joules - direct).abs() < 1e-6 * direct.max(1.0));
+    }
+
+    /// Filtered totals never exceed unfiltered totals, and the all-pass
+    /// filter reproduces the attributed totals exactly.
+    #[test]
+    fn filtering_is_monotone(samples in arb_samples(), dom in 0usize..4) {
+        let l = build_ledger(&samples);
+        let all = l.region_totals_filtered(|_, _| true);
+        let some = l.region_totals_filtered(|d, _| d == dom);
+        for r in Region::all() {
+            prop_assert!(some[r.index()].joules <= all[r.index()].joules + 1e-9);
+            prop_assert!(some[r.index()].seconds <= all[r.index()].seconds + 1e-9);
+        }
+    }
+
+    /// Projection linearity: scaling the ledger scales MWh rows linearly
+    /// while leaving percentages unchanged.
+    #[test]
+    fn projection_scale_invariance(samples in arb_samples(), factor in 1.5..50.0f64) {
+        let l = build_ledger(&samples);
+        prop_assume!(l.total().joules > 0.0);
+        let t3 = table3::compute_default();
+        let p1 = project(ProjectionInput::from_ledger(&l), &t3);
+        let p2 = project(ProjectionInput::from_ledger(&l.scaled(factor)), &t3);
+        for (a, b) in p1.freq_rows.iter().zip(&p2.freq_rows) {
+            prop_assert!((b.ts_mwh - factor * a.ts_mwh).abs() < 1e-6 * b.ts_mwh.abs().max(1e-9));
+            prop_assert!((b.savings_pct - a.savings_pct).abs() < 1e-9);
+            prop_assert!((b.delta_t_pct - a.delta_t_pct).abs() < 1e-9);
+        }
+    }
+
+    /// The dT=0 column never exceeds the total savings column when all
+    /// savings are non-negative, and is bounded by it in magnitude overall.
+    #[test]
+    fn dt0_is_a_subset_of_total_savings(samples in arb_samples()) {
+        let l = build_ledger(&samples);
+        prop_assume!(l.total().joules > 0.0);
+        let t3 = table3::compute_default();
+        let p = project(ProjectionInput::from_ledger(&l), &t3);
+        for r in p.freq_rows.iter().chain(&p.power_rows) {
+            // dT=0 savings only counts modes also counted in the total.
+            prop_assert!(r.savings_dt0_pct <= r.savings_pct.max(0.0) + 1e-9
+                || r.ci_mwh < 0.0, "row {:?}", r);
+        }
+    }
+
+    /// Merging ledgers is associative-equivalent to recording the union.
+    #[test]
+    fn ledger_merge_equals_union(
+        a in arb_samples(),
+        b in arb_samples(),
+    ) {
+        let mut la = build_ledger(&a);
+        let lb = build_ledger(&b);
+        la.merge(lb);
+        let union: Vec<_> = a.iter().chain(&b).cloned().collect();
+        let lu = build_ledger(&union);
+        prop_assert!((la.total().joules - lu.total().joules).abs() < 1e-6);
+        for r in Region::all() {
+            prop_assert!(
+                (la.region_totals()[r.index()].seconds
+                    - lu.region_totals()[r.index()].seconds)
+                    .abs()
+                    < 1e-9
+            );
+        }
+    }
+}

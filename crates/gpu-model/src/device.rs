@@ -1,0 +1,191 @@
+//! Stateful device wrappers: a GPU with its power-management settings and
+//! boost budget, and a compute node holding four of them (paper Fig. 1).
+
+use rand::Rng;
+
+use crate::boost::BoostBudget;
+use crate::consts::{GPUS_PER_NODE, NODE_CPU_DYN_W, NODE_REST_IDLE_W};
+use crate::engine::{Engine, Execution, GpuSettings};
+use crate::kernel::KernelProfile;
+use crate::trace::{sample_execution, PowerSample, TraceConfig};
+
+/// One MI250X-class GPU with sticky power-management settings.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct GpuDevice {
+    engine: Engine,
+    settings: GpuSettings,
+    boost: BoostBudget,
+}
+
+
+impl GpuDevice {
+    /// Device with a custom engine (e.g. a re-calibrated power model).
+    pub fn with_engine(engine: Engine) -> Self {
+        GpuDevice {
+            engine,
+            ..Default::default()
+        }
+    }
+
+    /// Current power-management settings.
+    pub fn settings(&self) -> GpuSettings {
+        self.settings
+    }
+
+    /// Applies new power-management settings (sticky across runs).
+    pub fn apply(&mut self, settings: GpuSettings) {
+        self.settings = settings;
+    }
+
+    /// The underlying execution engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Runs a kernel under the current settings.
+    pub fn run(&self, kernel: &KernelProfile) -> Execution {
+        self.engine.execute(kernel, self.settings)
+    }
+
+    /// Runs a kernel and synthesizes its sensor trace, advancing the boost
+    /// budget.
+    pub fn run_traced<R: Rng + ?Sized>(
+        &mut self,
+        kernel: &KernelProfile,
+        cfg: TraceConfig,
+        rng: &mut R,
+    ) -> (Execution, Vec<PowerSample>) {
+        let ex = self.engine.execute(kernel, self.settings);
+        let trace = sample_execution(&ex, &mut self.boost, cfg, rng);
+        (ex, trace)
+    }
+}
+
+/// Rest-of-node power model (CPU package, DIMMs, NIC, cooling share).
+///
+/// The paper's analysis is GPU-centric — "the other components are dwarfed
+/// (< 20 %) by the GPU power consumption on a fully utilized node" — but the
+/// node-level telemetry stream (Table II a) reports the whole node, so the
+/// fleet simulation needs this term for Fig. 2(b).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRestModel {
+    /// Baseline non-GPU node power, in watts.
+    pub idle_w: f64,
+    /// Additional CPU package power at full host utilization, in watts.
+    pub cpu_dyn_w: f64,
+}
+
+impl Default for NodeRestModel {
+    fn default() -> Self {
+        NodeRestModel {
+            idle_w: NODE_REST_IDLE_W,
+            cpu_dyn_w: NODE_CPU_DYN_W,
+        }
+    }
+}
+
+impl NodeRestModel {
+    /// Non-GPU node power at the given host CPU utilization in `[0, 1]`.
+    pub fn power_w(&self, cpu_util: f64) -> f64 {
+        self.idle_w + self.cpu_dyn_w * cpu_util.clamp(0.0, 1.0)
+    }
+}
+
+/// A Frontier-like compute node: four GPUs plus the rest-of-node model.
+#[derive(Debug, Clone)]
+pub struct Node {
+    gpus: Vec<GpuDevice>,
+    rest: NodeRestModel,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            gpus: (0..GPUS_PER_NODE).map(|_| GpuDevice::default()).collect(),
+            rest: NodeRestModel::default(),
+        }
+    }
+}
+
+impl Node {
+    /// The node's GPUs.
+    pub fn gpus(&self) -> &[GpuDevice] {
+        &self.gpus
+    }
+
+    /// Mutable access to the node's GPUs.
+    pub fn gpus_mut(&mut self) -> &mut [GpuDevice] {
+        &mut self.gpus
+    }
+
+    /// Applies the same settings to every GPU in the node.
+    pub fn apply_all(&mut self, settings: GpuSettings) {
+        for g in &mut self.gpus {
+            g.apply(settings);
+        }
+    }
+
+    /// Rest-of-node power model.
+    pub fn rest(&self) -> NodeRestModel {
+        self.rest
+    }
+
+    /// Whole-node power given per-GPU powers and host CPU utilization.
+    pub fn node_power_w(&self, gpu_powers_w: &[f64], cpu_util: f64) -> f64 {
+        debug_assert_eq!(gpu_powers_w.len(), self.gpus.len());
+        gpu_powers_w.iter().sum::<f64>() + self.rest.power_w(cpu_util)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn settings_are_sticky() {
+        let mut g = GpuDevice::default();
+        g.apply(GpuSettings::freq_capped(1100.0));
+        let k = KernelProfile::builder("k").flops(1e13).hbm_bytes(1e10).build();
+        let ex = g.run(&k);
+        assert_eq!(ex.freq.mhz(), 1100.0);
+    }
+
+    #[test]
+    fn node_has_four_gpus() {
+        let n = Node::default();
+        assert_eq!(n.gpus().len(), 4);
+    }
+
+    #[test]
+    fn node_power_sums_components() {
+        let n = Node::default();
+        let p = n.node_power_w(&[400.0, 400.0, 400.0, 400.0], 0.5);
+        assert_eq!(p, 1600.0 + NODE_REST_IDLE_W + 0.5 * NODE_CPU_DYN_W);
+    }
+
+    #[test]
+    fn gpu_dominates_busy_node_power() {
+        // Paper Sec. VI: non-GPU components are < 20 % of a busy node.
+        let n = Node::default();
+        let gpu = [500.0; 4];
+        let total = n.node_power_w(&gpu, 1.0);
+        let non_gpu = total - 2000.0;
+        assert!(non_gpu / total < 0.2, "non-GPU share {}", non_gpu / total);
+    }
+
+    #[test]
+    fn run_traced_produces_samples() {
+        let mut g = GpuDevice::default();
+        let k = KernelProfile::builder("long")
+            .hbm_bytes(3.2e12 * 60.0)
+            .flops(1.0)
+            .build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (ex, trace) = g.run_traced(&k, TraceConfig::default(), &mut rng);
+        assert!(ex.time_s >= 59.0);
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! # pmss-gpu — analytic MI250X-class GPU device model
+//!
+//! Substrate crate for the PMSS reproduction of *"Exploring the Frontiers
+//! of Energy Efficiency using Power Management at System Scale"* (SC 2024).
+//! The paper's measurements were taken on physical Frontier MI250X GPUs;
+//! this crate replaces that hardware with an analytic model that reproduces
+//! the power/performance surface the paper's methodology depends on:
+//!
+//! * a **roofline performance engine** ([`perf`]) with frequency-scaled
+//!   compute and on-die bandwidth roofs and an oversubscription-aware HBM
+//!   roof (the membench-vs-VAI frequency-sensitivity split of Table III);
+//! * a **decomposed power model** ([`power`]) calibrated to the paper's
+//!   anchors (idle 88–90 W, streaming ≈ 380 W, compute tail ≈ 420 W, ridge
+//!   saturating the 540 W firmware limit);
+//! * a **power-cap controller** ([`cap`]) that sheds power via DVFS only and
+//!   therefore *breaches* low caps under HBM-heavy load (Fig. 6d);
+//! * a **boost model** ([`boost`]) and **trace synthesis** ([`trace`]) that
+//!   generate the ≥ 560 W telemetry excursions of Table IV region 4;
+//! * **device wrappers** ([`device`]) composing GPUs into Frontier-like
+//!   nodes for the fleet simulation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pmss_gpu::{Engine, GpuSettings, KernelProfile};
+//!
+//! // A memory-bound streaming kernel: 64 GB of HBM traffic, AI = 1/16.
+//! let kernel = KernelProfile::builder("stream")
+//!     .flops(4e9)
+//!     .hbm_bytes(64e9)
+//!     .flop_efficiency(0.268)
+//!     .bw_oversub(1.0)
+//!     .build();
+//!
+//! let engine = Engine::default();
+//! let base = engine.execute(&kernel, GpuSettings::uncapped());
+//! let capped = engine.execute(&kernel, GpuSettings::freq_capped(900.0));
+//! assert!(capped.busy_power_w < base.busy_power_w);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod boost;
+pub mod calibrate;
+pub mod cap;
+pub mod consts;
+pub mod device;
+pub mod engine;
+pub mod freq;
+pub mod governor;
+pub mod kernel;
+pub mod perf;
+pub mod power;
+pub mod roofline;
+pub mod thermal;
+pub mod trace;
+
+pub use boost::BoostBudget;
+pub use cap::{solve_freq_for_cap, CapOutcome};
+pub use device::{GpuDevice, Node, NodeRestModel};
+pub use engine::{Engine, Execution, GpuSettings};
+pub use freq::{DvfsLadder, Freq, VoltageCurve};
+pub use governor::{Governed, GovernedTotals, Governor};
+pub use kernel::{KernelBuilder, KernelProfile};
+pub use perf::{Bottleneck, PerfEstimate};
+pub use power::{PowerBreakdown, PowerModel, Utilization};
+pub use roofline::Roofline;
+pub use thermal::ThermalModel;
+pub use trace::{PowerSample, TraceConfig};

@@ -1,0 +1,176 @@
+//! First-order RC thermal model of the GPU package.
+//!
+//! Frontier's direct liquid cooling (paper Sec. II-A: "medium or
+//! high-temperature water in their cooling loops") keeps the junction a
+//! fixed thermal resistance above the coolant.  The model is a single RC
+//! stage:
+//!
+//! ```text
+//! dT/dt = (T_ambient + R_jc * P - T) / tau
+//! ```
+//!
+//! Its purpose here is to *derive* the boost budget of
+//! [`crate::boost::BoostBudget`] from physical constants: boost ends when
+//! the junction reaches the throttle point, and headroom recovers as the
+//! package cools back toward its sustained-power steady state.
+
+use crate::boost::BoostBudget;
+use crate::consts::{GPU_BOOST_W, GPU_PPT_W};
+
+/// RC thermal parameters of the package + cold plate.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalModel {
+    /// Coolant (ambient) temperature, °C.
+    pub ambient_c: f64,
+    /// Junction-to-coolant thermal resistance, K/W.
+    pub r_jc: f64,
+    /// Thermal time constant, seconds.
+    pub tau_s: f64,
+    /// Junction temperature at which the firmware throttles, °C.
+    pub throttle_c: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel {
+            ambient_c: 32.0,
+            r_jc: 0.085,
+            tau_s: 19.0,
+            throttle_c: 80.0,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Steady-state junction temperature at constant power, °C.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.r_jc * power_w
+    }
+
+    /// Advances a junction temperature by `dt` seconds at constant power.
+    pub fn step(&self, t_c: f64, power_w: f64, dt_s: f64) -> f64 {
+        let target = self.steady_state_c(power_w);
+        target + (t_c - target) * (-dt_s / self.tau_s).exp()
+    }
+
+    /// Time until the junction reaches the throttle point from `t0_c` at
+    /// constant power; `None` if it never does (steady state below the
+    /// throttle point).
+    pub fn time_to_throttle_s(&self, t0_c: f64, power_w: f64) -> Option<f64> {
+        let target = self.steady_state_c(power_w);
+        if target <= self.throttle_c {
+            return None;
+        }
+        if t0_c >= self.throttle_c {
+            return Some(0.0);
+        }
+        // throttle = target + (t0 - target) e^{-t/tau}
+        let ratio = (self.throttle_c - target) / (t0_c - target);
+        Some(-self.tau_s * ratio.ln())
+    }
+
+    /// Time to cool from the throttle point back to within `epsilon_k` of
+    /// the sustained-power steady state.
+    pub fn recovery_time_s(&self, sustained_w: f64, epsilon_k: f64) -> f64 {
+        let target = self.steady_state_c(sustained_w);
+        let gap = self.throttle_c - target;
+        if gap <= epsilon_k {
+            return 0.0;
+        }
+        self.tau_s * (gap / epsilon_k).ln()
+    }
+
+    /// Derives a [`BoostBudget`] from the thermal constants: capacity is
+    /// the boost duration from the sustained steady state, and the
+    /// recharge rate refills it over the thermal recovery time.
+    pub fn derive_boost_budget(&self) -> BoostBudget {
+        let t_sustained = self.steady_state_c(GPU_PPT_W);
+        let capacity = self
+            .time_to_throttle_s(t_sustained, GPU_BOOST_W)
+            .unwrap_or(f64::INFINITY)
+            .min(60.0);
+        let recovery = self.recovery_time_s(GPU_PPT_W, 0.25).max(1.0);
+        BoostBudget::new(capacity, capacity / recovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::default()
+    }
+
+    #[test]
+    fn steady_state_is_linear_in_power() {
+        let m = model();
+        assert_eq!(m.steady_state_c(0.0), 32.0);
+        let t540 = m.steady_state_c(540.0);
+        assert!((75.0..82.0).contains(&t540), "{t540}");
+        // The sustained point sits below, the boost point above, the
+        // throttle temperature — the premise of time-limited boost.
+        assert!(m.steady_state_c(GPU_PPT_W) < m.throttle_c);
+        assert!(m.steady_state_c(GPU_BOOST_W) > m.throttle_c);
+    }
+
+    #[test]
+    fn step_converges_exponentially() {
+        let m = model();
+        let mut t = m.ambient_c;
+        for _ in 0..1000 {
+            t = m.step(t, 400.0, 1.0);
+        }
+        assert!((t - m.steady_state_c(400.0)).abs() < 1e-6);
+        // One time constant covers ~63% of the gap.
+        let one_tau = m.step(m.ambient_c, 400.0, m.tau_s);
+        let frac = (one_tau - m.ambient_c) / (m.steady_state_c(400.0) - m.ambient_c);
+        assert!((frac - 0.632).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn throttle_time_matches_closed_form_stepping() {
+        let m = model();
+        let t0 = m.steady_state_c(GPU_PPT_W);
+        let analytic = m.time_to_throttle_s(t0, GPU_BOOST_W).expect("throttles");
+        // Numerically integrate.
+        let mut t = t0;
+        let mut elapsed = 0.0;
+        while t < m.throttle_c {
+            t = m.step(t, GPU_BOOST_W, 0.01);
+            elapsed += 0.01;
+            assert!(elapsed < 120.0, "never throttled");
+        }
+        assert!((elapsed - analytic).abs() < 0.05, "{elapsed} vs {analytic}");
+    }
+
+    #[test]
+    fn no_throttle_below_the_limit() {
+        let m = model();
+        assert!(m.time_to_throttle_s(50.0, GPU_PPT_W).is_none());
+        assert_eq!(m.time_to_throttle_s(m.throttle_c + 1.0, GPU_BOOST_W), Some(0.0));
+    }
+
+    #[test]
+    fn derived_budget_matches_default_boost_parameters() {
+        // The hand-tuned BoostBudget defaults (10 s capacity, 0.12
+        // recharge) should be consistent with the thermal constants to
+        // within a factor of ~2 — they were chosen to reproduce the
+        // paper's ~1% boosted GPU hours.
+        let b = model().derive_boost_budget();
+        assert!(
+            (5.0..25.0).contains(&b.stored_s()),
+            "capacity {}",
+            b.stored_s()
+        );
+        let d = b.duty_cycle();
+        assert!((0.05..0.35).contains(&d), "duty {d}");
+    }
+
+    #[test]
+    fn recovery_takes_a_few_time_constants() {
+        let m = model();
+        let r = m.recovery_time_s(GPU_PPT_W, 0.25);
+        assert!((m.tau_s..4.0 * m.tau_s).contains(&r), "{r}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the GPU model's physical invariants.
+
+use pmss_gpu::{Engine, Freq, GpuSettings, KernelProfile, PowerModel, Utilization, VoltageCurve};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = KernelProfile> {
+    (
+        1e9..1e14f64,        // flops
+        1e8..1e13f64,        // hbm bytes
+        0.05..1.0f64,        // flop efficiency
+        0.5..4.0f64,         // bw oversub
+        0.0..0.9f64,         // divergence
+        0.0..30.0f64,        // serial at fmax
+        0.0..30.0f64,        // stall
+    )
+        .prop_map(|(flops, hbm, eff, ov, div, serial, stall)| {
+            KernelProfile::builder("prop")
+                .flops(flops)
+                .hbm_bytes(hbm)
+                .flop_efficiency(eff)
+                .bw_oversub(ov)
+                .divergence(div)
+                .serial_at_fmax(serial)
+                .stall(stall)
+                .build()
+        })
+}
+
+fn arb_freq() -> impl Strategy<Value = Freq> {
+    (500.0..=1700.0f64).prop_map(Freq::from_mhz)
+}
+
+proptest! {
+    /// Lowering the frequency cap never shortens execution.
+    #[test]
+    fn runtime_monotone_in_frequency_cap(k in arb_kernel(), lo in 500.0..1700.0f64, hi in 500.0..1700.0f64) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let eng = Engine::default();
+        let t_lo = eng.execute(&k, GpuSettings::freq_capped(lo)).time_s;
+        let t_hi = eng.execute(&k, GpuSettings::freq_capped(hi)).time_s;
+        // Tolerance covers the cap controller's 0.01 MHz bisection grid.
+        prop_assert!(t_lo >= t_hi * (1.0 - 1e-4));
+    }
+
+    /// Tightening a power cap never increases steady-state busy power, and
+    /// the chosen power respects the cap unless it is breached.
+    #[test]
+    fn power_cap_respected_or_breached(k in arb_kernel(), cap in 100.0..600.0f64) {
+        let eng = Engine::default();
+        let ex = eng.execute(&k, GpuSettings::power_capped(cap));
+        if ex.cap_breached {
+            prop_assert!(ex.busy_power_w > cap);
+            prop_assert_eq!(ex.freq.mhz(), Freq::MIN.mhz());
+        } else if ex.perf.roofline_s > 0.0 {
+            prop_assert!(ex.busy_power_w <= cap.min(eng.ppt_w()) + 1e-6);
+        }
+    }
+
+    /// Energy equals average power times wall time.
+    #[test]
+    fn energy_consistency(k in arb_kernel(), f in arb_freq()) {
+        let eng = Engine::default();
+        let ex = eng.execute(&k, GpuSettings::freq_capped(f.mhz()));
+        prop_assert!((ex.energy_j - ex.avg_power_w * ex.time_s).abs() <= 1e-6 * ex.energy_j.max(1.0));
+        prop_assert!(ex.energy_j >= 0.0);
+    }
+
+    /// Busy power always sits between idle and the boost ceiling, and never
+    /// exceeds the firmware sustained limit when unbreached.
+    #[test]
+    fn busy_power_within_physical_bounds(k in arb_kernel(), f in arb_freq()) {
+        let eng = Engine::default();
+        let ex = eng.execute(&k, GpuSettings::freq_capped(f.mhz()));
+        prop_assert!(ex.busy_power_w >= pmss_gpu::consts::GPU_IDLE_W - 1e-9);
+        prop_assert!(ex.busy_power_w <= eng.ppt_w() + 1e-6);
+    }
+
+    /// Achieved rates never exceed the hardware roofs.
+    #[test]
+    fn achieved_rates_below_roofs(k in arb_kernel(), f in arb_freq()) {
+        let eng = Engine::default();
+        let ex = eng.execute(&k, GpuSettings::freq_capped(f.mhz()));
+        prop_assert!(ex.perf.hbm_bw <= pmss_gpu::consts::GPU_HBM_BW * (1.0 + 1e-9));
+        prop_assert!(ex.perf.flops_per_s <= pmss_gpu::consts::GPU_PEAK_FLOPS * (1.0 + 1e-9));
+    }
+
+    /// Power demand is monotone in frequency for any utilization vector
+    /// (the invariant the cap controller's bisection relies on).
+    #[test]
+    fn demand_monotone_in_frequency(alu in 0.0..1.0f64, ondie in 0.0..1.0f64, hbm in 0.0..1.0f64) {
+        let pm = PowerModel::default();
+        let u = Utilization { alu, ondie, hbm, active: 1.0 };
+        let mut prev = -1.0;
+        for mhz in [500.0, 800.0, 1100.0, 1400.0, 1700.0] {
+            let p = pm.demand_w(u, Freq::from_mhz(mhz));
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    /// The voltage curve's dynamic scale stays within (0, 1] over the DVFS
+    /// range for any plausible curve shape.
+    #[test]
+    fn dyn_scale_bounded(intercept in 0.3..0.8f64, f in arb_freq()) {
+        let curve = VoltageCurve { v_intercept: intercept, v_slope: 1.0 - intercept };
+        let s = curve.dyn_scale(f);
+        prop_assert!(s > 0.0 && s <= 1.0 + 1e-12);
+    }
+
+    /// Scaling a kernel's work scales time and energy proportionally
+    /// (steady-state linearity).
+    #[test]
+    fn work_scaling_is_linear(k in arb_kernel(), factor in 1.5..4.0f64) {
+        let eng = Engine::default();
+        let a = eng.execute(&k, GpuSettings::uncapped());
+        let b = eng.execute(&k.scaled(factor), GpuSettings::uncapped());
+        prop_assert!((b.time_s / a.time_s - factor).abs() < 1e-6 * factor);
+        prop_assert!((b.energy_j / a.energy_j - factor).abs() < 1e-6 * factor);
+    }
+}

@@ -1,0 +1,532 @@
+//! Fleet telemetry simulation: executes a job schedule on a fleet of
+//! modeled nodes and streams 15-second power samples to an observer.
+//!
+//! This is the stand-in for three months of Frontier out-of-band telemetry
+//! (paper Table II a): per node, per GPU slot, one mean-power sample every
+//! 15 seconds, attributable to the job occupying the node.  Simulation is
+//! rayon-parallel across nodes; observers are fold/reduce-merged, so no
+//! locking is involved.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use pmss_gpu::consts::GPUS_PER_NODE;
+use pmss_gpu::trace::standard_normal;
+use pmss_gpu::{BoostBudget, Engine, GpuSettings, NodeRestModel};
+use pmss_sched::{Job, Schedule};
+use pmss_workloads::phases::synthesize_app;
+use pmss_workloads::AppClass;
+
+/// Fleet-simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Telemetry window, in seconds (the paper: 15 s).
+    pub window_s: f64,
+    /// Gaussian noise on window means, standard deviation in watts
+    /// (2-second sensor noise shrinks by sqrt(7.5) in the mean).
+    pub noise_sd_w: f64,
+    /// Power-management settings applied fleet-wide during the simulation.
+    pub settings: GpuSettings,
+    /// Per-domain setting overrides (indexed by catalog position): the
+    /// selective-capping deployments of Table VI / the what-if optimizer.
+    /// Jobs of domain `d` use `domain_settings[d]` when present; everything
+    /// else (including idle time) uses `settings`.
+    pub domain_settings: Vec<Option<GpuSettings>>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            window_s: 15.0,
+            noise_sd_w: 1.5,
+            settings: GpuSettings::uncapped(),
+            domain_settings: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The settings in force for a job of `domain`.
+    pub fn settings_for(&self, domain: usize) -> GpuSettings {
+        self.domain_settings
+            .get(domain)
+            .copied()
+            .flatten()
+            .unwrap_or(self.settings)
+    }
+}
+
+/// Attribution context of one telemetry sample.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleCtx<'a> {
+    /// Node index.
+    pub node: u32,
+    /// GPU slot within the node (0–3).
+    pub slot: u8,
+    /// Job occupying the node at the sample time, if any.
+    pub job: Option<&'a Job>,
+}
+
+/// Consumer of fleet telemetry.  Implementations accumulate whatever view
+/// they need (histograms, energy ledgers, joined series); `merge` combines
+/// per-node partials after the parallel fold.
+pub trait FleetObserver: Send + Sized {
+    /// One GPU power sample (window mean), stamped at the window center.
+    fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64);
+    /// One rest-of-node (CPU package + board) power sample per window.
+    fn node_sample(&mut self, _node: u32, _t_s: f64, _rest_w: f64) {}
+    /// Folds another observer's state into this one.
+    fn merge(&mut self, other: Self);
+}
+
+/// Host CPU utilization while a workload class runs (drives the
+/// rest-of-node power for Fig. 2 b).
+fn cpu_util_of(class: AppClass) -> f64 {
+    match class {
+        AppClass::ComputeIntensive => 0.25,
+        AppClass::MemoryIntensive => 0.30,
+        AppClass::LatencyBound => 0.55,
+        AppClass::Mixed => 0.35,
+    }
+}
+
+/// One constant-power stretch of a GPU slot's timeline.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start_s: f64,
+    end_s: f64,
+    power_w: f64,
+    job: Option<usize>,
+    /// True when the device is pinned at its firmware limit and may boost.
+    boostable: bool,
+}
+
+/// Builds the segment timeline of one GPU slot under `settings`.
+fn slot_segments(
+    schedule: &Schedule,
+    node: usize,
+    slot: usize,
+    engine: &Engine,
+    cfg: &FleetConfig,
+    idle_power_w: f64,
+) -> Vec<Segment> {
+    let mut segs = Vec::new();
+    let mut t = 0.0f64;
+
+    for placement in &schedule.per_node[node] {
+        if placement.begin_s > t {
+            segs.push(Segment {
+                start_s: t,
+                end_s: placement.begin_s,
+                power_w: idle_power_w,
+                job: None,
+                boostable: false,
+            });
+        }
+        let job = &schedule.jobs[placement.job];
+        let settings = cfg.settings_for(job.domain);
+        let mut rng =
+            StdRng::seed_from_u64(job.seed ^ ((node as u64) << 8) ^ slot as u64);
+        let phases = synthesize_app(job.app_class, job.duration_s(), &mut rng);
+
+        // Cycle phases until the job window is filled (under caps the same
+        // wall window holds less completed work).
+        let mut cursor = placement.begin_s;
+        'fill: loop {
+            let cursor_at_cycle_start = cursor;
+            for phase in &phases {
+                let ex = engine.execute(phase, settings);
+                for (dur, power, boostable) in [
+                    (ex.perf.roofline_s, ex.busy_power_w, ex.ppt_throttled),
+                    (ex.perf.serial_s, ex.serial_power_w, false),
+                    (ex.perf.stall_s, ex.idle_power_w, false),
+                ] {
+                    if dur <= 0.0 {
+                        continue;
+                    }
+                    let end = (cursor + dur).min(placement.end_s);
+                    if end > cursor {
+                        segs.push(Segment {
+                            start_s: cursor,
+                            end_s: end,
+                            power_w: power,
+                            job: Some(placement.job),
+                            boostable,
+                        });
+                    }
+                    cursor = end;
+                    if cursor >= placement.end_s {
+                        break 'fill;
+                    }
+                }
+            }
+            if phases.is_empty() || cursor <= cursor_at_cycle_start {
+                // Degenerate phases cannot fill the window; leave the rest
+                // of the job window at the last cursor position (it will be
+                // covered by the next idle segment).
+                break;
+            }
+        }
+        t = placement.end_s;
+    }
+
+    if t < schedule.duration_s {
+        segs.push(Segment {
+            start_s: t,
+            end_s: schedule.duration_s,
+            power_w: idle_power_w,
+            job: None,
+            boostable: false,
+        });
+    }
+    segs
+}
+
+/// Walks `segments` in `window_s` windows, emitting mean power per window
+/// with boost excursions and sensor noise applied.
+#[allow(clippy::too_many_arguments)]
+fn emit_windows<O: FleetObserver>(
+    observer: &mut O,
+    schedule: &Schedule,
+    segments: &[Segment],
+    node: u32,
+    slot: u8,
+    cfg: &FleetConfig,
+    boost: &mut BoostBudget,
+    rng: &mut StdRng,
+) {
+    let n_windows = (schedule.duration_s / cfg.window_s).floor() as usize;
+    let mut seg_idx = 0usize;
+
+    for w in 0..n_windows {
+        let w_start = w as f64 * cfg.window_s;
+        let w_end = w_start + cfg.window_s;
+
+        // Advance to the first segment overlapping this window.
+        while seg_idx + 1 < segments.len() && segments[seg_idx].end_s <= w_start {
+            seg_idx += 1;
+        }
+
+        let mut energy = 0.0f64;
+        let mut attributed: Option<usize> = None;
+        let mut i = seg_idx;
+        while i < segments.len() && segments[i].start_s < w_end {
+            let s = &segments[i];
+            let overlap = (s.end_s.min(w_end) - s.start_s.max(w_start)).max(0.0);
+            if overlap > 0.0 {
+                let mut p = s.power_w;
+                if s.boostable {
+                    // The device boosts in bursts: it waits for enough
+                    // thermal headroom to sustain a multi-second excursion,
+                    // then spends it at once.  While pinned at the firmware
+                    // limit (below the TDP) headroom still recovers slowly.
+                    const BURST_MIN_S: f64 = 8.0;
+                    if boost.stored_s() >= BURST_MIN_S {
+                        let granted = boost.spend(overlap.min(10.0));
+                        let boosted = pmss_gpu::consts::GPU_TDP_W
+                            + 0.5 * (pmss_gpu::consts::GPU_BOOST_W
+                                - pmss_gpu::consts::GPU_TDP_W);
+                        p = (granted * boosted + (overlap - granted) * s.power_w) / overlap;
+                    } else {
+                        boost.recharge(overlap);
+                    }
+                } else {
+                    boost.recharge(overlap);
+                }
+                energy += p * overlap;
+                if attributed.is_none() {
+                    attributed = s.job;
+                }
+            }
+            i += 1;
+        }
+
+        let mean = energy / cfg.window_s + cfg.noise_sd_w * standard_normal(rng);
+        let ctx = SampleCtx {
+            node,
+            slot,
+            job: attributed.map(|j| &schedule.jobs[j]),
+        };
+        observer.gpu_sample(&ctx, w_start + 0.5 * cfg.window_s, mean.max(0.0));
+    }
+}
+
+/// Emits the per-window rest-of-node power samples.
+fn emit_node_rest<O: FleetObserver>(
+    observer: &mut O,
+    schedule: &Schedule,
+    node: u32,
+    cfg: &FleetConfig,
+    rest: &NodeRestModel,
+) {
+    let n_windows = (schedule.duration_s / cfg.window_s).floor() as usize;
+    let placements = &schedule.per_node[node as usize];
+    let mut p_idx = 0usize;
+
+    for w in 0..n_windows {
+        let t = (w as f64 + 0.5) * cfg.window_s;
+        while p_idx < placements.len() && placements[p_idx].end_s <= t {
+            p_idx += 1;
+        }
+        let util = placements
+            .get(p_idx)
+            .filter(|p| p.begin_s <= t)
+            .map(|p| cpu_util_of(schedule.jobs[p.job].app_class))
+            .unwrap_or(0.03);
+        observer.node_sample(node, t, rest.power_w(util));
+    }
+}
+
+/// Runs the fleet simulation, returning the merged observer.
+pub fn simulate_fleet<O>(schedule: &Schedule, cfg: &FleetConfig) -> O
+where
+    O: FleetObserver + Default,
+{
+    let engine = Engine::default();
+    let rest = NodeRestModel::default();
+    let idle_power_w = engine
+        .power_model()
+        .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
+
+    (0..schedule.per_node.len())
+        .into_par_iter()
+        .fold(O::default, |mut obs, node| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
+            for slot in 0..GPUS_PER_NODE {
+                let segs = slot_segments(schedule, node, slot, &engine, cfg, idle_power_w);
+                let mut boost = BoostBudget::default();
+                emit_windows(
+                    &mut obs,
+                    schedule,
+                    &segs,
+                    node as u32,
+                    slot as u8,
+                    cfg,
+                    &mut boost,
+                    &mut rng,
+                );
+            }
+            emit_node_rest(&mut obs, schedule, node as u32, cfg, &rest);
+            obs
+        })
+        .reduce(O::default, |mut a, b| {
+            a.merge(b);
+            a
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmss_sched::{catalog, generate, TraceParams};
+
+    /// Collects every sample — test-only observer.
+    #[derive(Default)]
+    struct Collector {
+        gpu: Vec<(u32, u8, f64, f64, Option<u64>)>,
+        node: Vec<(u32, f64, f64)>,
+    }
+
+    impl FleetObserver for Collector {
+        fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64) {
+            self.gpu
+                .push((ctx.node, ctx.slot, t_s, power_w, ctx.job.map(|j| j.id)));
+        }
+        fn node_sample(&mut self, node: u32, t_s: f64, rest_w: f64) {
+            self.node.push((node, t_s, rest_w));
+        }
+        fn merge(&mut self, mut other: Self) {
+            self.gpu.append(&mut other.gpu);
+            self.node.append(&mut other.node);
+        }
+    }
+
+    fn tiny_schedule() -> pmss_sched::Schedule {
+        generate(
+            TraceParams {
+                nodes: 4,
+                duration_s: 4.0 * 3600.0,
+                seed: 5,
+                min_job_s: 900.0,
+            },
+            &catalog(),
+        )
+    }
+
+    #[test]
+    fn sample_counts_match_windows_and_slots() {
+        let s = tiny_schedule();
+        let c: Collector = simulate_fleet(&s, &FleetConfig::default());
+        let windows = (s.duration_s / 15.0) as usize;
+        assert_eq!(c.gpu.len(), 4 * GPUS_PER_NODE * windows);
+        assert_eq!(c.node.len(), 4 * windows);
+    }
+
+    #[test]
+    fn samples_cover_physical_power_range() {
+        let s = tiny_schedule();
+        let c: Collector = simulate_fleet(&s, &FleetConfig::default());
+        for &(_, _, _, w, _) in &c.gpu {
+            assert!((0.0..=650.0).contains(&w), "sample {w} W");
+        }
+        // Busy samples exist well above idle.
+        assert!(c.gpu.iter().any(|&(_, _, _, w, _)| w > 150.0));
+    }
+
+    #[test]
+    fn job_attribution_matches_schedule() {
+        let s = tiny_schedule();
+        let c: Collector = simulate_fleet(&s, &FleetConfig::default());
+        for &(node, _, t, _, job_id) in c.gpu.iter().take(5000) {
+            let expect = s.per_node[node as usize]
+                .iter()
+                .find(|p| p.begin_s <= t && t < p.end_s)
+                .map(|p| s.jobs[p.job].id);
+            if let (Some(a), Some(b)) = (job_id, expect) {
+                assert_eq!(a, b, "node {node} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let s = tiny_schedule();
+        let a: Collector = simulate_fleet(&s, &FleetConfig::default());
+        let b: Collector = simulate_fleet(&s, &FleetConfig::default());
+        let sum_a: f64 = a.gpu.iter().map(|x| x.3).sum();
+        let sum_b: f64 = b.gpu.iter().map(|x| x.3).sum();
+        assert_eq!(sum_a, sum_b);
+    }
+
+    #[test]
+    fn frequency_cap_lowers_fleet_mean_power() {
+        let s = tiny_schedule();
+        let base: Collector = simulate_fleet(&s, &FleetConfig::default());
+        let capped: Collector = simulate_fleet(
+            &s,
+            &FleetConfig {
+                settings: GpuSettings::freq_capped(900.0),
+                ..Default::default()
+            },
+        );
+        let mean = |c: &Collector| {
+            c.gpu.iter().map(|x| x.3).sum::<f64>() / c.gpu.len() as f64
+        };
+        assert!(
+            mean(&capped) < mean(&base) - 10.0,
+            "capped {} vs base {}",
+            mean(&capped),
+            mean(&base)
+        );
+    }
+
+    #[test]
+    fn idle_tail_reads_idle_power() {
+        // A schedule with a single short job leaves a long idle tail.
+        let s = generate(
+            TraceParams {
+                nodes: 1,
+                duration_s: 7200.0,
+                seed: 3,
+                min_job_s: 900.0,
+            },
+            &catalog(),
+        );
+        let c: Collector = simulate_fleet(&s, &FleetConfig::default());
+        let unattributed: Vec<f64> = c
+            .gpu
+            .iter()
+            .filter(|x| x.4.is_none())
+            .map(|x| x.3)
+            .collect();
+        if !unattributed.is_empty() {
+            let m = unattributed.iter().sum::<f64>() / unattributed.len() as f64;
+            assert!((85.0..95.0).contains(&m), "idle mean {m}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod selective_tests {
+    use super::*;
+    use crate::observers::SystemHistogram;
+    use pmss_sched::{catalog, generate, TraceParams};
+
+    #[test]
+    fn per_domain_settings_cap_only_the_selected_domains() {
+        let cat = catalog();
+        let schedule = generate(
+            TraceParams {
+                nodes: 6,
+                duration_s: 8.0 * 3600.0,
+                seed: 23,
+                min_job_s: 900.0,
+            },
+            &cat,
+        );
+
+        // Cap only the compute-heavy CPH domain (index 0).
+        let mut domain_settings = vec![None; cat.len()];
+        domain_settings[0] = Some(GpuSettings::freq_capped(900.0));
+        let cfg = FleetConfig {
+            domain_settings,
+            ..Default::default()
+        };
+
+        /// Mean power per domain.
+        #[derive(Default)]
+        struct PerDomainMean {
+            sums: Vec<(f64, u64)>,
+        }
+        impl FleetObserver for PerDomainMean {
+            fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, _t: f64, w: f64) {
+                if let Some(j) = ctx.job {
+                    if self.sums.len() <= j.domain {
+                        self.sums.resize(j.domain + 1, (0.0, 0));
+                    }
+                    self.sums[j.domain].0 += w;
+                    self.sums[j.domain].1 += 1;
+                }
+            }
+            fn merge(&mut self, other: Self) {
+                if self.sums.len() < other.sums.len() {
+                    self.sums.resize(other.sums.len(), (0.0, 0));
+                }
+                for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+                    a.0 += b.0;
+                    a.1 += b.1;
+                }
+            }
+        }
+
+        let base: PerDomainMean = simulate_fleet(&schedule, &FleetConfig::default());
+        let selective: PerDomainMean = simulate_fleet(&schedule, &cfg);
+        let mean = |p: &PerDomainMean, d: usize| p.sums[d].0 / p.sums[d].1 as f64;
+
+        // The capped domain's mean power drops materially...
+        assert!(
+            mean(&selective, 0) < mean(&base, 0) - 30.0,
+            "capped domain: {} vs {}",
+            mean(&selective, 0),
+            mean(&base, 0)
+        );
+        // ... while an uncapped domain is untouched (same seeds, same
+        // phases, same settings -> identical power).
+        for d in 1..base.sums.len().min(selective.sums.len()) {
+            if base.sums[d].1 > 0 {
+                assert!(
+                    (mean(&selective, d) - mean(&base, d)).abs() < 1.0,
+                    "domain {d} should be unaffected"
+                );
+            }
+        }
+
+        // Sanity: the selective run still produces a full histogram.
+        let h: SystemHistogram = simulate_fleet(&schedule, &cfg);
+        assert!(h.hist.total() > 0);
+    }
+}

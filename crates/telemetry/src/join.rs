@@ -1,0 +1,288 @@
+//! Telemetry ↔ scheduler-log join: per-job power statistics and series.
+//!
+//! "Joining job-scheduler logs and telemetry data is essential for
+//! analysis at the jobs and science domain level" (paper Sec. II-A).  The
+//! fleet simulator attributes samples as it emits them, so the join is an
+//! observer: [`JobPowerIndex`] keeps bounded per-job statistics for every
+//! job, and full 15-second series for an opt-in watch list.
+
+use std::collections::HashMap;
+
+use crate::fleet::{FleetObserver, SampleCtx};
+
+/// Streaming summary of one job's GPU power samples.
+#[derive(Debug, Clone, Default)]
+pub struct JobPowerStats {
+    /// Sample count.
+    pub samples: u64,
+    /// Mean power, watts.
+    pub mean_w: f64,
+    /// Minimum sample, watts.
+    pub min_w: f64,
+    /// Maximum sample, watts.
+    pub max_w: f64,
+    /// Sum of squares accumulator (for the variance).
+    m2: f64,
+    /// Domain index of the job.
+    pub domain: usize,
+    /// GPU energy attributed to the job, joules (15 s windows).
+    pub energy_j: f64,
+}
+
+impl JobPowerStats {
+    fn record(&mut self, power_w: f64, window_s: f64) {
+        self.samples += 1;
+        if self.samples == 1 {
+            self.min_w = power_w;
+            self.max_w = power_w;
+        } else {
+            self.min_w = self.min_w.min(power_w);
+            self.max_w = self.max_w.max(power_w);
+        }
+        // Welford's online mean/variance.
+        let delta = power_w - self.mean_w;
+        self.mean_w += delta / self.samples as f64;
+        self.m2 += delta * (power_w - self.mean_w);
+        self.energy_j += power_w * window_s;
+    }
+
+    fn merge(&mut self, other: &JobPowerStats) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.samples as f64;
+        let n2 = other.samples as f64;
+        let delta = other.mean_w - self.mean_w;
+        self.mean_w = (n1 * self.mean_w + n2 * other.mean_w) / (n1 + n2);
+        self.m2 += other.m2 + delta * delta * n1 * n2 / (n1 + n2);
+        self.samples += other.samples;
+        self.min_w = self.min_w.min(other.min_w);
+        self.max_w = self.max_w.max(other.max_w);
+        self.energy_j += other.energy_j;
+    }
+
+    /// Sample standard deviation of the job's power, watts.
+    pub fn std_w(&self) -> f64 {
+        if self.samples < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.samples - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// The join observer: per-job statistics plus full series for watched jobs.
+#[derive(Debug, Clone, Default)]
+pub struct JobPowerIndex {
+    stats: HashMap<u64, JobPowerStats>,
+    watch: Vec<u64>,
+    series: HashMap<u64, Vec<(f64, f64)>>,
+    window_s: f64,
+}
+
+impl JobPowerIndex {
+    /// An index that additionally retains the full `(t, power)` series for
+    /// the given job ids.
+    pub fn watching(job_ids: Vec<u64>) -> Self {
+        JobPowerIndex {
+            watch: job_ids,
+            window_s: 15.0,
+            ..Default::default()
+        }
+    }
+
+    /// Statistics for a job, if it was observed.
+    pub fn job(&self, id: u64) -> Option<&JobPowerStats> {
+        self.stats.get(&id)
+    }
+
+    /// Full series for a watched job.
+    pub fn series(&self, id: u64) -> Option<&[(f64, f64)]> {
+        self.series.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Number of distinct jobs observed.
+    pub fn num_jobs(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Iterates `(job_id, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &JobPowerStats)> {
+        self.stats.iter()
+    }
+
+    /// Mean power per domain, `(domain, mean_w, jobs)` triples sorted by
+    /// domain.
+    pub fn domain_means(&self) -> Vec<(usize, f64, usize)> {
+        let mut acc: HashMap<usize, (f64, u64, usize)> = HashMap::new();
+        for s in self.stats.values() {
+            let e = acc.entry(s.domain).or_default();
+            e.0 += s.mean_w * s.samples as f64;
+            e.1 += s.samples;
+            e.2 += 1;
+        }
+        let mut out: Vec<(usize, f64, usize)> = acc
+            .into_iter()
+            .map(|(d, (sum, n, jobs))| (d, sum / n as f64, jobs))
+            .collect();
+        out.sort_by_key(|&(d, _, _)| d);
+        out
+    }
+}
+
+impl FleetObserver for JobPowerIndex {
+    fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64) {
+        let window = if self.window_s > 0.0 { self.window_s } else { 15.0 };
+        if let Some(job) = ctx.job {
+            let stats = self.stats.entry(job.id).or_default();
+            stats.domain = job.domain;
+            stats.record(power_w, window);
+            if self.watch.contains(&job.id) {
+                self.series.entry(job.id).or_default().push((t_s, power_w));
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (id, s) in other.stats {
+            self.stats.entry(id).or_default().merge(&s);
+        }
+        for (id, mut v) in other.series {
+            let entry = self.series.entry(id).or_default();
+            entry.append(&mut v);
+            entry.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN time"));
+        }
+        for id in other.watch {
+            if !self.watch.contains(&id) {
+                self.watch.push(id);
+            }
+        }
+        if self.window_s == 0.0 {
+            self.window_s = other.window_s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{simulate_fleet, FleetConfig};
+    use pmss_sched::{catalog, generate, TraceParams};
+
+    fn schedule() -> pmss_sched::Schedule {
+        generate(
+            TraceParams {
+                nodes: 4,
+                duration_s: 6.0 * 3600.0,
+                seed: 21,
+                min_job_s: 900.0,
+            },
+            &catalog(),
+        )
+    }
+
+    #[test]
+    fn every_job_gets_statistics() {
+        let s = schedule();
+        let idx: JobPowerIndex = simulate_fleet(&s, &FleetConfig::default());
+        // Every job long enough to cover a window appears.
+        let expected = s.jobs.iter().filter(|j| j.duration_s() >= 30.0).count();
+        assert!(
+            idx.num_jobs() >= expected * 9 / 10,
+            "{} of {} jobs indexed",
+            idx.num_jobs(),
+            expected
+        );
+        for (_, st) in idx.iter() {
+            assert!(st.samples > 0);
+            assert!(st.min_w <= st.mean_w && st.mean_w <= st.max_w);
+            assert!(st.energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn watched_jobs_keep_full_series() {
+        let s = schedule();
+        let id = s.jobs[0].id;
+        let mut template = JobPowerIndex::watching(vec![id]);
+        // simulate_fleet needs Default; emulate a watch by merging into a
+        // watching index after a default-observer run is not possible, so
+        // drive the observer manually through a second simulation pass.
+        let collected: JobPowerIndex = simulate_fleet(&s, &FleetConfig::default());
+        // Watch-list functionality exercised directly:
+        let job = &s.jobs[0];
+        for i in 0..10 {
+            template.gpu_sample(
+                &crate::fleet::SampleCtx {
+                    node: 0,
+                    slot: 0,
+                    job: Some(job),
+                },
+                i as f64 * 15.0,
+                300.0,
+            );
+        }
+        let series = template.series(id).expect("watched series");
+        assert_eq!(series.len(), 10);
+        assert!(collected.job(id).is_some());
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass() {
+        let job = pmss_sched::Job {
+            id: 7,
+            domain: 2,
+            project_id: "X".into(),
+            num_nodes: 1,
+            size_class: pmss_sched::JobSizeClass::E,
+            begin_s: 0.0,
+            end_s: 1.0,
+            app_class: pmss_workloads::AppClass::Mixed,
+            seed: 0,
+        };
+        let ctx = crate::fleet::SampleCtx {
+            node: 0,
+            slot: 0,
+            job: Some(&job),
+        };
+        let powers = [100.0, 200.0, 300.0, 400.0, 150.0, 250.0];
+
+        let mut single = JobPowerIndex::default();
+        for (i, &p) in powers.iter().enumerate() {
+            single.gpu_sample(&ctx, i as f64, p);
+        }
+
+        let mut a = JobPowerIndex::default();
+        let mut b = JobPowerIndex::default();
+        for (i, &p) in powers.iter().enumerate() {
+            if i < 3 {
+                a.gpu_sample(&ctx, i as f64, p);
+            } else {
+                b.gpu_sample(&ctx, i as f64, p);
+            }
+        }
+        a.merge(b);
+
+        let s1 = single.job(7).unwrap();
+        let s2 = a.job(7).unwrap();
+        assert!((s1.mean_w - s2.mean_w).abs() < 1e-9);
+        assert!((s1.std_w() - s2.std_w()).abs() < 1e-9);
+        assert_eq!(s1.samples, s2.samples);
+    }
+
+    #[test]
+    fn domain_means_cover_active_domains() {
+        let s = schedule();
+        let idx: JobPowerIndex = simulate_fleet(&s, &FleetConfig::default());
+        let means = idx.domain_means();
+        assert!(!means.is_empty());
+        for (_, mean, jobs) in means {
+            assert!(mean > 80.0 && mean < 560.0);
+            assert!(jobs >= 1);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # pmss-telemetry — out-of-band power telemetry simulation
+//!
+//! The paper's raw material is three months of Frontier power telemetry:
+//! per-node sensors sampled every 2 seconds, aggregated to 15-second means,
+//! joined with the SLURM job log (Table II).  This crate reproduces that
+//! data product end to end:
+//!
+//! * [`sampler`] — 2 s → 15 s aggregation;
+//! * [`hist`] — power histograms with smoothing and peak finding (Figs. 8–9);
+//! * [`fleet`] — the rayon-parallel fleet simulation streaming 15 s samples
+//!   (with boost excursions and sensor noise) to a [`fleet::FleetObserver`];
+//! * [`observers`] — system-wide and per-domain histograms, GPU-vs-CPU
+//!   energy split (Fig. 2 b);
+//! * [`smi`] — in-band (ROCm-SMI-like) vs out-of-band agreement (Fig. 2 a);
+//! * [`join`] — telemetry ↔ job-log join with per-job power statistics;
+//! * [`export`] — CSV persistence and storage-cost estimation;
+//! * [`fleetpower`] — facility-level aggregate power (peak demand, load
+//!   duration, peak shaving under caps);
+//! * [`compress`] — delta/run-length codec for power series (the storage
+//!   cost the paper's discussion raises).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compress;
+pub mod export;
+pub mod fleet;
+pub mod fleetpower;
+pub mod hist;
+pub mod join;
+pub mod observers;
+pub mod sampler;
+pub mod smi;
+
+pub use fleet::{simulate_fleet, FleetConfig, FleetObserver, SampleCtx};
+pub use hist::PowerHistogram;
+pub use observers::{DomainHistograms, GpuCpuEnergy, Pair, SystemHistogram};
+pub use fleetpower::FleetPowerSeries;
+pub use join::{JobPowerIndex, JobPowerStats};
+pub use smi::{compare_sensors, Comparison};

@@ -1,0 +1,212 @@
+//! Ready-made fleet observers: the system-wide power distribution (Fig. 8),
+//! per-science-domain distributions (Fig. 9), and the GPU-vs-CPU energy
+//! split (Fig. 2 b).
+
+use crate::fleet::{FleetObserver, SampleCtx};
+use crate::hist::PowerHistogram;
+
+/// System-wide GPU power distribution — the paper's Fig. 8.
+#[derive(Debug, Clone)]
+pub struct SystemHistogram {
+    /// The distribution of all 15 s GPU power samples.
+    pub hist: PowerHistogram,
+}
+
+impl Default for SystemHistogram {
+    fn default() -> Self {
+        SystemHistogram {
+            hist: PowerHistogram::gpu_default(),
+        }
+    }
+}
+
+impl FleetObserver for SystemHistogram {
+    fn gpu_sample(&mut self, _ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
+        self.hist.record(power_w);
+    }
+    fn merge(&mut self, other: Self) {
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// Per-science-domain GPU power distributions — the paper's Fig. 9.
+/// Samples outside any job are dropped (the paper joins telemetry with the
+/// scheduler log, so only job samples carry a domain).
+#[derive(Debug, Clone, Default)]
+pub struct DomainHistograms {
+    hists: Vec<PowerHistogram>,
+}
+
+impl DomainHistograms {
+    fn ensure(&mut self, domain: usize) {
+        while self.hists.len() <= domain {
+            self.hists.push(PowerHistogram::gpu_default());
+        }
+    }
+
+    /// Histogram of a domain, if any samples were attributed to it.
+    pub fn domain(&self, domain: usize) -> Option<&PowerHistogram> {
+        self.hists.get(domain).filter(|h| h.total() > 0)
+    }
+
+    /// Number of domain slots seen.
+    pub fn len(&self) -> usize {
+        self.hists.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(|h| h.total() == 0)
+    }
+}
+
+impl FleetObserver for DomainHistograms {
+    fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
+        if let Some(job) = ctx.job {
+            self.ensure(job.domain);
+            self.hists[job.domain].record(power_w);
+        }
+    }
+    fn merge(&mut self, other: Self) {
+        self.ensure(other.hists.len().saturating_sub(1));
+        for (i, h) in other.hists.into_iter().enumerate() {
+            self.ensure(i);
+            self.hists[i].merge(&h);
+        }
+    }
+}
+
+/// GPU vs rest-of-node energy accounting — the paper's Fig. 2(b), showing
+/// that GPUs dominate node energy on the system.
+#[derive(Debug, Clone)]
+pub struct GpuCpuEnergy {
+    /// Total GPU energy, joules (sum over samples x window; filled by the
+    /// caller from sample power x window seconds).
+    pub gpu_energy_j: f64,
+    /// Total rest-of-node energy, joules.
+    pub rest_energy_j: f64,
+    /// Distribution of GPU sample powers.
+    pub gpu_hist: PowerHistogram,
+    /// Distribution of rest-of-node sample powers.
+    pub rest_hist: PowerHistogram,
+    window_s: f64,
+}
+
+impl Default for GpuCpuEnergy {
+    fn default() -> Self {
+        GpuCpuEnergy {
+            gpu_energy_j: 0.0,
+            rest_energy_j: 0.0,
+            gpu_hist: PowerHistogram::gpu_default(),
+            rest_hist: PowerHistogram::gpu_default(),
+            window_s: 15.0,
+        }
+    }
+}
+
+impl GpuCpuEnergy {
+    /// GPU share of total node energy, in `[0, 1]`.
+    pub fn gpu_share(&self) -> f64 {
+        let total = self.gpu_energy_j + self.rest_energy_j;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.gpu_energy_j / total
+        }
+    }
+}
+
+impl FleetObserver for GpuCpuEnergy {
+    fn gpu_sample(&mut self, _ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
+        self.gpu_energy_j += power_w * self.window_s;
+        self.gpu_hist.record(power_w);
+    }
+    fn node_sample(&mut self, _node: u32, _t_s: f64, rest_w: f64) {
+        self.rest_energy_j += rest_w * self.window_s;
+        self.rest_hist.record(rest_w);
+    }
+    fn merge(&mut self, other: Self) {
+        self.gpu_energy_j += other.gpu_energy_j;
+        self.rest_energy_j += other.rest_energy_j;
+        self.gpu_hist.merge(&other.gpu_hist);
+        self.rest_hist.merge(&other.rest_hist);
+    }
+}
+
+/// Combines two observers into one fleet pass.
+#[derive(Debug, Clone, Default)]
+pub struct Pair<A, B> {
+    /// First observer.
+    pub a: A,
+    /// Second observer.
+    pub b: B,
+}
+
+impl<A: FleetObserver, B: FleetObserver> FleetObserver for Pair<A, B> {
+    fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64) {
+        self.a.gpu_sample(ctx, t_s, power_w);
+        self.b.gpu_sample(ctx, t_s, power_w);
+    }
+    fn node_sample(&mut self, node: u32, t_s: f64, rest_w: f64) {
+        self.a.node_sample(node, t_s, rest_w);
+        self.b.node_sample(node, t_s, rest_w);
+    }
+    fn merge(&mut self, other: Self) {
+        self.a.merge(other.a);
+        self.b.merge(other.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{simulate_fleet, FleetConfig};
+    use pmss_sched::{catalog, generate, TraceParams};
+
+    fn schedule() -> pmss_sched::Schedule {
+        generate(
+            TraceParams {
+                nodes: 6,
+                duration_s: 8.0 * 3600.0,
+                seed: 11,
+                min_job_s: 900.0,
+            },
+            &catalog(),
+        )
+    }
+
+    #[test]
+    fn system_histogram_collects_all_samples() {
+        let s = schedule();
+        let obs: SystemHistogram = simulate_fleet(&s, &FleetConfig::default());
+        let windows = (s.duration_s / 15.0) as usize;
+        assert_eq!(obs.hist.total() as usize, 6 * 4 * windows);
+    }
+
+    #[test]
+    fn domain_histograms_only_count_job_samples() {
+        let s = schedule();
+        let obs: Pair<SystemHistogram, DomainHistograms> =
+            simulate_fleet(&s, &FleetConfig::default());
+        let domain_total: u64 = (0..obs.b.len())
+            .filter_map(|d| obs.b.domain(d))
+            .map(|h| h.total())
+            .sum();
+        assert!(domain_total > 0);
+        assert!(domain_total <= obs.a.hist.total());
+    }
+
+    #[test]
+    fn gpu_dominates_node_energy() {
+        // Paper Sec. VI: non-GPU components are dwarfed (< 20 %) on busy
+        // nodes; with 4 GPUs vs one CPU the fleet share is strongly
+        // GPU-heavy.
+        let s = schedule();
+        let obs: GpuCpuEnergy = simulate_fleet(&s, &FleetConfig::default());
+        assert!(
+            obs.gpu_share() > 0.6,
+            "GPU energy share {}",
+            obs.gpu_share()
+        );
+    }
+}

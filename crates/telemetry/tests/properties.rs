@@ -1,0 +1,112 @@
+//! Property-based tests for the telemetry substrate.
+
+use pmss_gpu::PowerSample;
+use pmss_telemetry::sampler::{aggregate, trace_energy_j};
+use pmss_telemetry::PowerHistogram;
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<PowerSample>> {
+    prop::collection::vec(80.0..600.0f64, 1..300).prop_map(|values| {
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| PowerSample {
+                t_s: (i as f64 + 0.5) * 2.0,
+                power_w: w,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Aggregation conserves energy when windows divide evenly, and is
+    /// within one window's worth otherwise.
+    #[test]
+    fn aggregation_preserves_energy(trace in arb_trace()) {
+        let agg = aggregate(&trace, 14.0); // 7 samples per window
+        let original = trace_energy_j(&trace, 2.0);
+        let aggregated: f64 = agg.iter().map(|s| s.power_w * 14.0).sum();
+        // The trailing partial window is scaled up by the mean; bound the
+        // discrepancy by one full window at max power.
+        prop_assert!((original - aggregated).abs() <= 14.0 * 600.0);
+        if trace.len() % 7 == 0 {
+            prop_assert!((original - aggregated).abs() < 1e-6 * original.max(1.0));
+        }
+    }
+
+    /// Aggregated means never exceed the input range.
+    #[test]
+    fn aggregation_respects_range(trace in arb_trace(), window in 4.0..60.0f64) {
+        let agg = aggregate(&trace, window);
+        let lo = trace.iter().map(|s| s.power_w).fold(f64::INFINITY, f64::min);
+        let hi = trace.iter().map(|s| s.power_w).fold(0.0f64, f64::max);
+        for s in agg {
+            prop_assert!(s.power_w >= lo - 1e-9 && s.power_w <= hi + 1e-9);
+        }
+    }
+
+    /// Histogram mass is conserved: density sums to 1, fractions of the
+    /// full range equal 1, merge adds totals.
+    #[test]
+    fn histogram_mass_conservation(values in prop::collection::vec(0.0..700.0f64, 1..500)) {
+        let mut h = PowerHistogram::gpu_default();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total() as usize, values.len());
+        let mass: f64 = h.density().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        prop_assert!((h.fraction_between(0.0, 700.0) - 1.0).abs() < 1e-9);
+        let mean = h.mean_w().unwrap();
+        let direct = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((mean - direct).abs() < 1e-9);
+    }
+
+    /// Merging two histograms equals recording the union.
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(0.0..700.0f64, 0..200),
+        b in prop::collection::vec(0.0..700.0f64, 0..200),
+    ) {
+        let mut ha = PowerHistogram::gpu_default();
+        let mut hb = PowerHistogram::gpu_default();
+        let mut hu = PowerHistogram::gpu_default();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.counts(), hu.counts());
+    }
+
+    /// Smoothing never creates or destroys probability mass (interior).
+    #[test]
+    fn smoothing_conserves_interior_mass(values in prop::collection::vec(100.0..600.0f64, 10..300)) {
+        let mut h = PowerHistogram::gpu_default();
+        for &v in &values {
+            h.record(v);
+        }
+        let sm = h.smoothed_density(2.0);
+        let mass: f64 = sm.iter().sum();
+        // Mass within 2% (edge truncation only affects bins near 0/700 W,
+        // which the 100-600 W support avoids).
+        prop_assert!((mass - 1.0).abs() < 0.02, "mass {mass}");
+    }
+
+    /// CSV round-trip is lossless to the printed precision.
+    #[test]
+    fn csv_round_trip(trace in arb_trace()) {
+        use pmss_telemetry::export::{read_samples, write_samples};
+        let mut buf = Vec::new();
+        write_samples(&mut buf, &trace).unwrap();
+        let back = read_samples(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(&back) {
+            prop_assert!((a.power_w - b.power_w).abs() < 1e-3);
+        }
+    }
+}

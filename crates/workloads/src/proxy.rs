@@ -1,0 +1,293 @@
+//! Proxy applications: named, documented workload archetypes.
+//!
+//! "Proxy applications represent a kernel of a full application workload
+//! without the complexity of the entire application" (paper Sec. III-B).
+//! Where [`crate::phases`] synthesizes *statistical* workloads for the
+//! fleet, this module provides *named* proxies with fixed, documented
+//! phase structures — the kind of reproducer an HPC center would use to
+//! test a capping policy against a specific application class before
+//! deploying it.
+
+use pmss_gpu::consts::{GPU_HBM_BW, GPU_PEAK_FLOPS};
+use pmss_gpu::KernelProfile;
+
+use crate::vai::VAI_FLOP_EFFICIENCY;
+
+/// The proxy-application catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProxyApp {
+    /// Dense-linear-algebra solver: large GEMMs with periodic panel
+    /// factorizations.  Compute-bound, AI ~ 64, near-peak ALU utilization.
+    GemmSolver,
+    /// Structured-grid CFD: stencil sweeps over fields much larger than
+    /// the L2 — bandwidth-bound at high sustained HBM rates with halo
+    /// exchanges between sweeps.
+    StencilCfd,
+    /// Sparse iterative solver: SpMV-dominated, irregular gathers that
+    /// sustain only part of the STREAM rate; dot-product reductions add
+    /// short latency-bound phases.
+    SpmvSolver,
+    /// Molecular dynamics: neighbor-list force kernels (mixed compute and
+    /// cache traffic) with integration and communication gaps.
+    MolecularDynamics,
+    /// Spectral/FFT code: alternates compute-rich butterflies with
+    /// all-to-all transposes that stall the GPU on the interconnect.
+    SpectralFft,
+    /// Checkpoint-dominated workflow: bursts of computation punctuated by
+    /// long file-I/O stalls — the paper's "I/O bound" population.
+    CheckpointHeavy,
+    /// Deep-learning training: GEMM-heavy steps at high occupancy with
+    /// input-pipeline stalls; frequent boost-region excursions.
+    DlTraining,
+}
+
+impl ProxyApp {
+    /// All proxies.
+    pub fn all() -> [ProxyApp; 7] {
+        [
+            ProxyApp::GemmSolver,
+            ProxyApp::StencilCfd,
+            ProxyApp::SpmvSolver,
+            ProxyApp::MolecularDynamics,
+            ProxyApp::SpectralFft,
+            ProxyApp::CheckpointHeavy,
+            ProxyApp::DlTraining,
+        ]
+    }
+
+    /// Short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProxyApp::GemmSolver => "gemm-solver",
+            ProxyApp::StencilCfd => "stencil-cfd",
+            ProxyApp::SpmvSolver => "spmv-solver",
+            ProxyApp::MolecularDynamics => "molecular-dynamics",
+            ProxyApp::SpectralFft => "spectral-fft",
+            ProxyApp::CheckpointHeavy => "checkpoint-heavy",
+            ProxyApp::DlTraining => "dl-training",
+        }
+    }
+
+    /// The Table IV region this proxy predominantly occupies when running
+    /// uncapped.
+    pub fn expected_region_w(&self) -> (f64, f64) {
+        match self {
+            ProxyApp::GemmSolver | ProxyApp::DlTraining => (420.0, 560.0),
+            ProxyApp::StencilCfd | ProxyApp::SpmvSolver | ProxyApp::MolecularDynamics => {
+                (200.0, 420.0)
+            }
+            ProxyApp::SpectralFft => (200.0, 420.0),
+            ProxyApp::CheckpointHeavy => (0.0, 200.0),
+        }
+    }
+
+    /// One iteration ("time step") of the proxy, scaled to roughly
+    /// `step_s` seconds at the maximum clock.
+    pub fn step(&self, step_s: f64) -> Vec<KernelProfile> {
+        assert!(step_s > 0.0);
+        let eff_peak = GPU_PEAK_FLOPS * VAI_FLOP_EFFICIENCY;
+        match self {
+            ProxyApp::GemmSolver => vec![
+                // Trailing-update GEMM: AI 64, full tensor throughput.
+                KernelProfile::builder("gemm-update")
+                    .flops(eff_peak * 0.85 * step_s)
+                    .hbm_bytes(eff_peak * 0.85 * step_s / 64.0)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .build(),
+                // Panel factorization: smaller, partly latency-bound.
+                KernelProfile::builder("gemm-panel")
+                    .flops(eff_peak * 0.05 * step_s)
+                    .hbm_bytes(eff_peak * 0.05 * step_s / 8.0)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .serial_at_fmax(0.08 * step_s)
+                    .build(),
+            ],
+            ProxyApp::StencilCfd => vec![
+                KernelProfile::builder("stencil-sweep")
+                    .hbm_bytes(GPU_HBM_BW * 0.85 * 0.9 * step_s)
+                    .flops(GPU_HBM_BW * 0.85 * 0.9 * step_s * 0.5)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .bw_oversub(3.0)
+                    .bw_sustain(0.85)
+                    .build(),
+                KernelProfile::builder("halo-exchange")
+                    .hbm_bytes(GPU_HBM_BW * 0.02 * step_s)
+                    .flops(1.0)
+                    .bw_oversub(0.5)
+                    .bw_sustain(0.5)
+                    .stall(0.08 * step_s)
+                    .build(),
+            ],
+            ProxyApp::SpmvSolver => vec![
+                KernelProfile::builder("spmv")
+                    .hbm_bytes(GPU_HBM_BW * 0.55 * 0.8 * step_s)
+                    .flops(GPU_HBM_BW * 0.55 * 0.8 * step_s * 0.15)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .bw_oversub(2.5)
+                    .bw_sustain(0.55)
+                    .divergence(0.25)
+                    .build(),
+                KernelProfile::builder("dot-reduce")
+                    .flops(1.0)
+                    .serial_at_fmax(0.15 * step_s)
+                    .build(),
+            ],
+            ProxyApp::MolecularDynamics => vec![
+                KernelProfile::builder("force-kernel")
+                    .flops(eff_peak * 0.35 * 0.7 * step_s)
+                    .hbm_bytes(GPU_HBM_BW * 0.5 * 0.7 * step_s)
+                    .ondie_bytes(GPU_HBM_BW * 1.4 * 0.7 * step_s)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .bw_oversub(2.0)
+                    .bw_sustain(0.5)
+                    .divergence(0.15)
+                    .build(),
+                KernelProfile::builder("integrate+comm")
+                    .hbm_bytes(GPU_HBM_BW * 0.2 * 0.1 * step_s)
+                    .flops(1.0)
+                    .bw_oversub(1.0)
+                    .bw_sustain(0.2)
+                    .serial_at_fmax(0.1 * step_s)
+                    .stall(0.1 * step_s)
+                    .build(),
+            ],
+            ProxyApp::SpectralFft => vec![
+                KernelProfile::builder("butterflies")
+                    .flops(eff_peak * 0.5 * 0.45 * step_s)
+                    .hbm_bytes(GPU_HBM_BW * 0.6 * 0.45 * step_s)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .bw_oversub(2.0)
+                    .bw_sustain(0.6)
+                    .build(),
+                KernelProfile::builder("transpose-a2a")
+                    .hbm_bytes(GPU_HBM_BW * 0.25 * 0.15 * step_s)
+                    .flops(1.0)
+                    .bw_oversub(0.5)
+                    .bw_sustain(0.25)
+                    .stall(0.4 * step_s)
+                    .build(),
+            ],
+            ProxyApp::CheckpointHeavy => vec![
+                // Moderate analysis kernels between checkpoints; the real
+                // compute happens elsewhere in the workflow.
+                KernelProfile::builder("compute-burst")
+                    .flops(GPU_HBM_BW * 0.5 * 0.15 * step_s * 0.5)
+                    .hbm_bytes(GPU_HBM_BW * 0.5 * 0.15 * step_s)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .bw_oversub(2.0)
+                    .bw_sustain(0.5)
+                    .build(),
+                KernelProfile::builder("checkpoint-io")
+                    .flops(1.0)
+                    .stall(0.75 * step_s)
+                    .serial_at_fmax(0.1 * step_s)
+                    .build(),
+            ],
+            ProxyApp::DlTraining => vec![
+                KernelProfile::builder("fwd-bwd-gemm")
+                    .flops(eff_peak * 0.95 * 0.8 * step_s)
+                    .hbm_bytes(eff_peak * 0.95 * 0.8 * step_s / 6.0)
+                    .flop_efficiency(VAI_FLOP_EFFICIENCY)
+                    .bw_oversub(2.0)
+                    .build(),
+                KernelProfile::builder("input-pipeline")
+                    .flops(1.0)
+                    .stall(0.12 * step_s)
+                    .build(),
+            ],
+        }
+    }
+
+    /// A run of `steps` iterations at `step_s` seconds per step.
+    pub fn run(&self, steps: usize, step_s: f64) -> Vec<KernelProfile> {
+        let template = self.step(step_s);
+        let mut out = Vec::with_capacity(steps * template.len());
+        for _ in 0..steps {
+            out.extend(template.iter().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmss_gpu::{Engine, GpuSettings};
+
+    fn mean_power(app: ProxyApp) -> f64 {
+        let engine = Engine::default();
+        let (mut e, mut t) = (0.0, 0.0);
+        for k in app.run(3, 60.0) {
+            let ex = engine.execute(&k, GpuSettings::uncapped());
+            e += ex.energy_j;
+            t += ex.time_s;
+        }
+        e / t
+    }
+
+    #[test]
+    fn every_proxy_lands_in_its_documented_region() {
+        for app in ProxyApp::all() {
+            let (lo, hi) = app.expected_region_w();
+            let p = mean_power(app);
+            assert!(
+                (lo - 10.0..hi + 15.0).contains(&p),
+                "{}: mean power {p} outside [{lo}, {hi}]",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_is_frequency_sensitive_stencil_is_not() {
+        let engine = Engine::default();
+        let slowdown = |app: ProxyApp| {
+            let total = |s: GpuSettings| -> f64 {
+                app.run(2, 30.0)
+                    .iter()
+                    .map(|k| engine.execute(k, s).time_s)
+                    .sum()
+            };
+            total(GpuSettings::freq_capped(900.0)) / total(GpuSettings::uncapped())
+        };
+        assert!(slowdown(ProxyApp::GemmSolver) > 1.5);
+        assert!(slowdown(ProxyApp::StencilCfd) < 1.1);
+    }
+
+    #[test]
+    fn checkpoint_heavy_is_unaffected_by_power_caps() {
+        // Paper region 1: "no benefits in the energy-to-solution" but also
+        // no cap pressure — the workload idles below any reasonable cap.
+        let engine = Engine::default();
+        let base: f64 = ProxyApp::CheckpointHeavy
+            .run(2, 60.0)
+            .iter()
+            .map(|k| engine.execute(k, GpuSettings::uncapped()).time_s)
+            .sum();
+        let capped: f64 = ProxyApp::CheckpointHeavy
+            .run(2, 60.0)
+            .iter()
+            .map(|k| engine.execute(k, GpuSettings::power_capped(400.0)).time_s)
+            .sum();
+        assert!((capped / base - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn dl_training_touches_the_boost_region() {
+        // High-occupancy GEMMs drive demand past the firmware limit.
+        let engine = Engine::default();
+        let throttled = ProxyApp::DlTraining
+            .step(60.0)
+            .iter()
+            .any(|k| engine.execute(k, GpuSettings::uncapped()).ppt_throttled);
+        // AI = 10 sits near the ridge where demand exceeds the PPT.
+        assert!(throttled, "DL training should pin the firmware limit");
+    }
+
+    #[test]
+    fn steps_scale_runs_linearly() {
+        let one = ProxyApp::SpmvSolver.run(1, 30.0);
+        let five = ProxyApp::SpmvSolver.run(5, 30.0);
+        assert_eq!(five.len(), 5 * one.len());
+    }
+}

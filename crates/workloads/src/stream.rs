@@ -1,0 +1,191 @@
+//! STREAM-style bandwidth benchmark suite.
+//!
+//! The paper's VAI benchmark degenerates to a stream copy at AI = 0
+//! ("for arithmetic intensity of 0 the lines 7–11 are replaced by
+//! `c[i] <- b[i]`").  This module provides the full classic STREAM quartet
+//! — Copy, Scale, Add, Triad — as both real CPU kernels (validating the
+//! byte/FLOP accounting) and device-model descriptors, rounding out the
+//! synthetic-workload family of Sec. III-B.
+
+use pmss_gpu::KernelProfile;
+
+use crate::vai::{VAI_BW_OVERSUB, VAI_FLOP_EFFICIENCY};
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 16 B/element, 0 FLOPs.
+    Copy,
+    /// `b[i] = s * c[i]` — 16 B/element, 1 FLOP.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 24 B/element, 1 FLOP.
+    Add,
+    /// `a[i] = b[i] + s * c[i]` — 24 B/element, 2 FLOPs.
+    Triad,
+}
+
+impl StreamKernel {
+    /// All four kernels in canonical order.
+    pub fn all() -> [StreamKernel; 4] {
+        [
+            StreamKernel::Copy,
+            StreamKernel::Scale,
+            StreamKernel::Add,
+            StreamKernel::Triad,
+        ]
+    }
+
+    /// Kernel name as STREAM prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "Copy",
+            StreamKernel::Scale => "Scale",
+            StreamKernel::Add => "Add",
+            StreamKernel::Triad => "Triad",
+        }
+    }
+
+    /// Bytes moved per element (f64 arrays).
+    pub fn bytes_per_element(&self) -> f64 {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16.0,
+            StreamKernel::Add | StreamKernel::Triad => 24.0,
+        }
+    }
+
+    /// FLOPs per element.
+    pub fn flops_per_element(&self) -> f64 {
+        match self {
+            StreamKernel::Copy => 0.0,
+            StreamKernel::Scale | StreamKernel::Add => 1.0,
+            StreamKernel::Triad => 2.0,
+        }
+    }
+
+    /// Executes the kernel for real on CPU arrays (one pass), returning the
+    /// result array.  `s` is the STREAM scalar.
+    pub fn run_reference(&self, a: &[f64], b: &[f64], c: &[f64], s: f64) -> Vec<f64> {
+        let n = a.len();
+        assert!(b.len() == n && c.len() == n, "array length mismatch");
+        match self {
+            StreamKernel::Copy => a.to_vec(),
+            StreamKernel::Scale => c.iter().map(|&x| s * x).collect(),
+            StreamKernel::Add => a.iter().zip(b).map(|(&x, &y)| x + y).collect(),
+            StreamKernel::Triad => b.iter().zip(c).map(|(&x, &y)| x + s * y).collect(),
+        }
+    }
+
+    /// Device-model descriptor for `elements` array elements over `passes`
+    /// repetitions.
+    pub fn kernel(&self, elements: u64, passes: u64) -> KernelProfile {
+        let work = elements as f64 * passes as f64;
+        KernelProfile::builder(format!("stream-{}", self.name()))
+            .flops(self.flops_per_element() * work)
+            .hbm_bytes(self.bytes_per_element() * work)
+            .flop_efficiency(VAI_FLOP_EFFICIENCY)
+            .bw_oversub(VAI_BW_OVERSUB)
+            .build()
+    }
+}
+
+/// STREAM result row: best bandwidth per kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamResult {
+    /// Which kernel.
+    pub kernel: StreamKernel,
+    /// Achieved bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Sustained power, watts.
+    pub power_w: f64,
+}
+
+/// Runs the quartet on the device model at the given settings.
+pub fn run_suite(
+    engine: &pmss_gpu::Engine,
+    settings: pmss_gpu::GpuSettings,
+    elements: u64,
+    passes: u64,
+) -> Vec<StreamResult> {
+    StreamKernel::all()
+        .iter()
+        .map(|k| {
+            let ex = engine.execute(&k.kernel(elements, passes), settings);
+            StreamResult {
+                kernel: *k,
+                bandwidth: ex.perf.hbm_bw,
+                power_w: ex.busy_power_w,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmss_gpu::{Engine, GpuSettings};
+
+    #[test]
+    fn reference_kernels_compute_correctly() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 20.0, 30.0];
+        let c = vec![100.0, 200.0, 300.0];
+        assert_eq!(StreamKernel::Copy.run_reference(&a, &b, &c, 3.0), a);
+        assert_eq!(
+            StreamKernel::Scale.run_reference(&a, &b, &c, 3.0),
+            vec![300.0, 600.0, 900.0]
+        );
+        assert_eq!(
+            StreamKernel::Add.run_reference(&a, &b, &c, 3.0),
+            vec![11.0, 22.0, 33.0]
+        );
+        assert_eq!(
+            StreamKernel::Triad.run_reference(&a, &b, &c, 3.0),
+            vec![310.0, 620.0, 930.0]
+        );
+    }
+
+    #[test]
+    fn all_kernels_saturate_hbm_at_full_clock() {
+        let engine = Engine::default();
+        for r in run_suite(&engine, GpuSettings::uncapped(), 1 << 28, 4) {
+            assert!(
+                r.bandwidth > 0.9 * pmss_gpu::consts::GPU_HBM_BW,
+                "{}: {}",
+                r.kernel.name(),
+                r.bandwidth
+            );
+            // Streaming power band (paper: ~380 W).
+            assert!(
+                (350.0..=400.0).contains(&r.power_w),
+                "{}: {} W",
+                r.kernel.name(),
+                r.power_w
+            );
+        }
+    }
+
+    #[test]
+    fn triad_draws_slightly_more_power_than_copy() {
+        // Two FLOPs per element vs zero: a small ALU adder on top of the
+        // same memory traffic.
+        let engine = Engine::default();
+        let rs = run_suite(&engine, GpuSettings::uncapped(), 1 << 28, 4);
+        let copy = rs.iter().find(|r| r.kernel == StreamKernel::Copy).unwrap();
+        let triad = rs.iter().find(|r| r.kernel == StreamKernel::Triad).unwrap();
+        assert!(triad.power_w > copy.power_w);
+        assert!(triad.power_w - copy.power_w < 25.0);
+    }
+
+    #[test]
+    fn byte_accounting_matches_vai_stream_copy() {
+        // VAI at AI = 0 is exactly STREAM Copy: 16 B/element.
+        let k = StreamKernel::Copy.kernel(1024, 1);
+        let vai = crate::vai::kernel(crate::vai::VaiParams {
+            global_wis: 1024,
+            repeat: 1,
+            loopsize: 0,
+        });
+        assert_eq!(k.hbm_bytes, vai.hbm_bytes);
+        assert_eq!(k.flops, 0.0);
+    }
+}

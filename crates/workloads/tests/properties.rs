@@ -1,0 +1,83 @@
+//! Property-based tests for the benchmark reproducers.
+
+use pmss_gpu::{Engine, GpuSettings};
+use pmss_workloads::membench::{self, MembenchParams};
+use pmss_workloads::sweep::{freq_settings, normalize, sweep_kernel};
+use pmss_workloads::vai::{self, VaiParams};
+use proptest::prelude::*;
+
+proptest! {
+    /// Algorithm 1's closed form holds for any parameters: after REPEAT
+    /// repeats of LOOPSIZE fused updates, c[i] = 1.3 + R*L*1.3*i.
+    #[test]
+    fn vai_reference_matches_closed_form(
+        n in 1usize..64,
+        repeat in 1u64..5,
+        loopsize in 0u64..20,
+    ) {
+        let p = VaiParams { global_wis: n as u64, repeat, loopsize };
+        let r = vai::run_reference(p);
+        for (i, &c) in r.c.iter().enumerate() {
+            let expect = if loopsize == 0 {
+                i as f64 // stream copy
+            } else {
+                1.3 + (repeat * loopsize) as f64 * 1.3 * i as f64
+            };
+            prop_assert!((c - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    /// The VAI kernel descriptor's arithmetic intensity always equals the
+    /// requested LOOPSIZE/16.
+    #[test]
+    fn vai_kernel_intensity_consistent(loopsize in 1u64..20_000, wis in 1u64<<10..1u64<<24) {
+        let p = VaiParams { global_wis: wis, repeat: 2, loopsize };
+        let k = vai::kernel(p);
+        prop_assert!((k.arithmetic_intensity() - loopsize as f64 / 16.0).abs() < 1e-9);
+    }
+
+    /// Membench L2 hit fraction is within [0, 1] and non-increasing in the
+    /// working-set size.
+    #[test]
+    fn membench_hit_fraction_monotone(a in 18u32..34, b in 18u32..34) {
+        let (lo, hi) = (1u64 << a.min(b), 1u64 << a.max(b));
+        let f_lo = MembenchParams::sized_for(lo, 1.0).l2_hit_fraction();
+        let f_hi = MembenchParams::sized_for(hi, 1.0).l2_hit_fraction();
+        prop_assert!((0.0..=1.0).contains(&f_lo) && (0.0..=1.0).contains(&f_hi));
+        prop_assert!(f_hi <= f_lo + 1e-12);
+    }
+
+    /// Sustained bandwidth is within (0, 1] and non-increasing in size.
+    #[test]
+    fn membench_sustain_monotone(a in 18u32..33, b in 18u32..33) {
+        let (lo, hi) = (1u64 << a.min(b), 1u64 << a.max(b));
+        let s_lo = MembenchParams::sized_for(lo, 1.0).sustained_bw_fraction();
+        let s_hi = MembenchParams::sized_for(hi, 1.0).sustained_bw_fraction();
+        prop_assert!(s_lo > 0.0 && s_lo <= 1.0);
+        prop_assert!(s_hi <= s_lo + 1e-12);
+    }
+
+    /// Normalized sweeps always have the baseline at exactly 1.0 and
+    /// strictly positive metrics everywhere.
+    #[test]
+    fn sweep_normalization_invariants(ai_exp in -4i32..10) {
+        let ai = 2f64.powi(ai_exp);
+        let k = vai::kernel(VaiParams::for_intensity(ai, 1 << 24, 2));
+        let norm = normalize(&sweep_kernel(&Engine::default(), &k, &freq_settings()));
+        prop_assert!((norm[0].runtime - 1.0).abs() < 1e-12);
+        for p in &norm {
+            prop_assert!(p.runtime > 0.0 && p.power > 0.0 && p.energy > 0.0);
+            prop_assert!((p.energy - p.runtime * p.power).abs() < 1e-6 * p.energy);
+        }
+    }
+
+    /// Membench kernels never promise more HBM traffic than total traffic.
+    #[test]
+    fn membench_traffic_accounting(size_exp in 18u32..34, secs in 1.0f64..20.0) {
+        let p = MembenchParams::sized_for(1u64 << size_exp, secs);
+        let k = membench::kernel(p);
+        prop_assert!(k.hbm_bytes <= k.ondie_bytes + 1e-6);
+        let ex = Engine::default().execute(&k, GpuSettings::uncapped());
+        prop_assert!(ex.time_s > 0.0 && ex.energy_j > 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Empirical Roofline Tool probe + power-model calibration round trip.
+//!
+//! Discovers the device's attainable ceilings empirically (the paper's
+//! Sec. III-B-a methodology), then demonstrates the calibration workflow:
+//! fit a fresh power model from anchor measurements and verify it matches.
+//!
+//! ```sh
+//! cargo run --example ert_probe
+//! ```
+
+use pmss::gpu::calibrate::{anchor_observations, fit, rmse};
+use pmss::gpu::{Engine, PowerModel};
+use pmss::workloads::ert::{probe_ladder, ErtConfig};
+
+fn main() {
+    let engine = Engine::default();
+
+    println!("Empirical roofline across the DVFS ladder:");
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12} | {:>8}",
+        "MHz", "peak TFLOP/s", "HBM TB/s", "L2 TB/s", "ridge AI"
+    );
+    for r in probe_ladder(&engine, &ErtConfig::default()) {
+        println!(
+            "{:>8.0} | {:>12.2} | {:>12.2} | {:>12.2} | {:>8.2}",
+            r.freq.mhz(),
+            r.peak_flops / 1e12,
+            r.peak_hbm_bw / 1e12,
+            r.peak_l2_bw / 1e12,
+            r.ridge_ai()
+        );
+    }
+    println!("paper check: ridge at AI = 4; HBM roof survives capping, compute roof scales with f\n");
+
+    // Calibration round trip: measure anchors on the "real" device, fit a
+    // fresh model, compare.
+    let reference = PowerModel::default();
+    let observations = anchor_observations(&reference);
+    let fitted = fit(&observations, reference.curve).expect("calibration");
+    println!("power-model calibration from {} anchor measurements:", observations.len());
+    println!(
+        "  idle {:.1} W, clock {:.1} W, ALU {:.1} W, on-die {:.1} W, HBM {:.1} W",
+        fitted.idle_w, fitted.clock_w, fitted.alu_max_w, fitted.ondie_max_w, fitted.hbm_max_w
+    );
+    println!("  RMSE vs measurements: {:.3} W", rmse(&fitted, &observations));
+}

@@ -1,0 +1,54 @@
+//! The paper's real-application case study (Sec. IV-C / Fig. 7): Louvain
+//! community detection on social and road networks under DVFS.
+//!
+//! Runs the *actual* Louvain algorithm on generated networks, maps each
+//! level onto the GPU model via the degree-based thread mapping, and
+//! reports the frequency sensitivity and energy savings per network family.
+//!
+//! ```sh
+//! cargo run --release --example louvain_dvfs
+//! ```
+
+use pmss::graph::case_study::{networks, CaseScale, CaseStudy};
+use pmss::graph::choose_mapping;
+use pmss::gpu::GpuSettings;
+
+fn main() {
+    for case in networks(CaseScale::Medium, 7) {
+        let stats = case.graph.degree_stats();
+        let mapping = choose_mapping(&stats);
+        let study = CaseStudy::prepare(&case, 3);
+        println!(
+            "{}: {} nodes, {} edges (d_max {}, d_avg {:.1}) -> {:?}",
+            case.name,
+            case.graph.num_nodes(),
+            case.graph.num_edges(),
+            stats.d_max,
+            stats.d_avg,
+            mapping,
+        );
+        println!(
+            "  Louvain: Q = {:.3} over {} levels, {} communities",
+            study.result.modularity,
+            study.result.levels.len(),
+            study.result.num_communities(),
+        );
+        print!("  runtime vs 1700 MHz:");
+        let base = study.run(GpuSettings::uncapped());
+        for mhz in [1300.0, 900.0, 500.0] {
+            let p = study.run(GpuSettings::freq_capped(mhz));
+            print!("  {:.0} MHz x{:.2}", mhz, p.runtime_s / base.runtime_s);
+        }
+        println!();
+        let s = study.savings(GpuSettings::freq_capped(900.0));
+        println!(
+            "  900 MHz: {:.1}% energy saved, {:+.1}% runtime   peak power {:.0} W",
+            100.0 * s.energy_saving,
+            100.0 * s.runtime_increase,
+            base.peak_power_w,
+        );
+    }
+    println!("\nPaper checks: social networks are mildly frequency-sensitive with a few");
+    println!("percent of free-ish savings at 900 MHz; the bounded-degree road network is");
+    println!("strongly frequency-sensitive and peaks near 205 W.");
+}

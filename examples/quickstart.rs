@@ -1,0 +1,52 @@
+//! Quickstart: run a kernel on the GPU model under both power-management
+//! knobs and print the power/performance/energy trade-off.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pmss::gpu::{Engine, GpuSettings, KernelProfile};
+
+fn main() {
+    let engine = Engine::default();
+
+    // A memory-bound streaming kernel (like the paper's low-AI VAI runs)
+    // and a compute-bound one (the high-AI tail).
+    let streaming = KernelProfile::builder("streaming")
+        .flops(8e12)
+        .hbm_bytes(128e12) // AI = 1/16
+        .flop_efficiency(0.268)
+        .bw_oversub(3.0) // latency-hiding: bandwidth survives capping
+        .build();
+    let compute = KernelProfile::builder("compute")
+        .flops(12.8e12 * 40.0)
+        .hbm_bytes(5e11) // AI = 1024
+        .flop_efficiency(0.268)
+        .build();
+
+    println!("kernel      settings          time(s)  power(W)  energy(kJ)");
+    for kernel in [&streaming, &compute] {
+        let base = engine.execute(kernel, GpuSettings::uncapped());
+        for (label, settings) in [
+            ("uncapped    ", GpuSettings::uncapped()),
+            ("900 MHz cap ", GpuSettings::freq_capped(900.0)),
+            ("300 W cap   ", GpuSettings::power_capped(300.0)),
+        ] {
+            let ex = engine.execute(kernel, settings);
+            println!(
+                "{:<11} {label}  {:>7.2}  {:>8.0}  {:>9.1}   ({:+.1}% energy, {:+.1}% time)",
+                kernel.name,
+                ex.time_s,
+                ex.busy_power_w,
+                ex.energy_j / 1e3,
+                100.0 * (ex.energy_j / base.energy_j - 1.0),
+                100.0 * (ex.time_s / base.time_s - 1.0),
+            );
+        }
+    }
+
+    println!();
+    println!("The paper's core observation, in two kernels: capping the clock is");
+    println!("free energy for bandwidth-bound work (runtime unchanged, power down),");
+    println!("but a time/energy trade-off for compute-bound work.");
+}

@@ -1,0 +1,50 @@
+//! # pmss — Power Management at System Scale
+//!
+//! A full Rust reproduction of *"Exploring the Frontiers of Energy
+//! Efficiency using Power Management at System Scale"* (SC 2024): the
+//! MI250X-class GPU power/performance model, the VAI and memory
+//! benchmarks, the Louvain case study, the SLURM-like scheduler and
+//! out-of-band telemetry simulation, and — on top of all of it — the
+//! paper's contribution: modal decomposition of fleet power telemetry and
+//! the projection of benchmark-derived capping factors into an upper bound
+//! on system-wide energy savings.
+//!
+//! This facade re-exports every crate of the workspace:
+//!
+//! * [`gpu`] — the device model (`pmss-gpu`);
+//! * [`workloads`] — benchmark reproducers and app synthesis
+//!   (`pmss-workloads`);
+//! * [`graph`] — CSR graphs, generators, Louvain (`pmss-graph`);
+//! * [`sched`] — domains, queue policy, trace generation (`pmss-sched`);
+//! * [`telemetry`] — sensors, fleet simulation, histograms
+//!   (`pmss-telemetry`);
+//! * [`core`] — modal decomposition and savings projection (`pmss-core`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pmss::gpu::{Engine, GpuSettings, KernelProfile};
+//!
+//! // Run a memory-bound kernel uncapped and frequency-capped.
+//! let kernel = KernelProfile::builder("stream")
+//!     .flops(4e9)
+//!     .hbm_bytes(64e9)
+//!     .bw_oversub(3.0)
+//!     .build();
+//! let engine = Engine::default();
+//! let base = engine.execute(&kernel, GpuSettings::uncapped());
+//! let capped = engine.execute(&kernel, GpuSettings::freq_capped(900.0));
+//! // Bandwidth-bound work keeps its runtime but sheds power: free energy.
+//! assert!((capped.time_s - base.time_s).abs() < 1e-9);
+//! assert!(capped.energy_j < base.energy_j);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pmss_core as core;
+pub use pmss_gpu as gpu;
+pub use pmss_graph as graph;
+pub use pmss_sched as sched;
+pub use pmss_telemetry as telemetry;
+pub use pmss_workloads as workloads;

@@ -1,0 +1,187 @@
+//! Integration tests for the beyond-the-paper extensions: governors,
+//! calibration, thermal-derived boost, policy exploration, and the
+//! projection-validation loop.
+
+use pmss::gpu::{DvfsLadder, Engine, GovernedTotals, Governor, GpuSettings, ThermalModel};
+use pmss::workloads::proxy::ProxyApp;
+
+#[test]
+fn governor_beats_static_caps_on_every_proxy_app() {
+    // The per-phase energy-optimal governor must never lose to any static
+    // frequency cap on any named proxy application.
+    let engine = Engine::default();
+    let ladder = DvfsLadder::default();
+    for app in ProxyApp::all() {
+        let phases = app.run(2, 60.0);
+        let opt = GovernedTotals::from_governed(
+            &Governor::EnergyOptimal.govern_phases(&engine, &phases, &ladder),
+        );
+        for mhz in [1700.0, 1300.0, 1100.0, 900.0, 700.0] {
+            let fixed = GovernedTotals::from_governed(
+                &Governor::Fixed(mhz).govern_phases(&engine, &phases, &ladder),
+            );
+            assert!(
+                opt.energy_j <= fixed.energy_j + 1e-6,
+                "{}: optimal loses to {mhz} MHz",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn slowdown_budget_governor_respects_budget_on_proxies() {
+    let engine = Engine::default();
+    let ladder = DvfsLadder::default();
+    for app in ProxyApp::all() {
+        for budget in [0.02, 0.1] {
+            let t = GovernedTotals::from_governed(
+                &Governor::SlowdownBudget { budget }.govern_phases(
+                    &engine,
+                    &app.run(1, 60.0),
+                    &ladder,
+                ),
+            );
+            assert!(
+                t.slowdown() <= budget + 1e-9,
+                "{} at budget {budget}: slowdown {}",
+                app.name(),
+                t.slowdown()
+            );
+            assert!(t.energy_saving() >= -1e-9);
+        }
+    }
+}
+
+#[test]
+fn calibration_recovers_the_engine_model_from_benchmark_runs() {
+    // End-to-end calibration: measure (utilization, power) pairs by
+    // executing real benchmark kernels, fit, and verify the fitted model
+    // predicts held-out kernels.
+    use pmss::gpu::calibrate::{fit, Observation};
+    use pmss::gpu::Freq;
+    use pmss::workloads::vai::{kernel, VaiParams};
+
+    let engine = Engine::default();
+    let mut obs = Vec::new();
+    for ai in [0.0625, 0.5, 2.0, 16.0, 512.0] {
+        let k = kernel(VaiParams::for_intensity(ai, 1 << 26, 2));
+        for mhz in [1700.0, 1300.0, 900.0, 600.0] {
+            let ex = engine.execute(&k, GpuSettings::freq_capped(mhz));
+            obs.push(Observation {
+                util: ex.perf.util,
+                freq: ex.freq,
+                power_w: ex.busy_power_w,
+            });
+        }
+    }
+    let fitted = fit(&obs, engine.power_model().curve).expect("fit");
+
+    // Held-out prediction: the membench HBM point.
+    let k = pmss::workloads::membench::kernel(
+        pmss::workloads::membench::MembenchParams::sized_for(1 << 28, 3.0),
+    );
+    let ex = engine.execute(&k, GpuSettings::uncapped());
+    let predicted = fitted.demand_w(ex.perf.util, Freq::MAX);
+    assert!(
+        (predicted - ex.busy_power_w).abs() < 0.05 * ex.busy_power_w,
+        "predicted {predicted} vs measured {}",
+        ex.busy_power_w
+    );
+}
+
+#[test]
+fn thermal_model_grounds_the_boost_budget() {
+    let b = ThermalModel::default().derive_boost_budget();
+    // The derived budget must sit in the regime that produced the ~1%
+    // boosted GPU-hours of Table IV.
+    assert!((3.0..30.0).contains(&b.stored_s()));
+    assert!((0.02..0.4).contains(&b.duty_cycle()));
+}
+
+#[test]
+fn proxy_apps_cover_all_table_iv_regions() {
+    use pmss::core::Region;
+    let engine = Engine::default();
+    let mut seen = std::collections::HashSet::new();
+    for app in ProxyApp::all() {
+        let (mut e, mut t) = (0.0, 0.0);
+        for k in app.run(2, 60.0) {
+            let ex = engine.execute(&k, GpuSettings::uncapped());
+            e += ex.energy_j;
+            t += ex.time_s;
+        }
+        seen.insert(Region::of_power(e / t));
+    }
+    assert!(seen.contains(&Region::LatencyBound));
+    assert!(seen.contains(&Region::MemoryIntensive));
+    assert!(seen.contains(&Region::ComputeIntensive));
+}
+
+#[test]
+fn job_log_round_trips_through_the_scheduler_pipeline() {
+    use pmss::sched::{catalog, generate, log, TraceParams};
+    use std::io::BufReader;
+
+    let cat = catalog();
+    let codes: Vec<&str> = cat.iter().map(|d| d.code).collect();
+    let s = generate(
+        TraceParams {
+            nodes: 8,
+            duration_s: 86_400.0,
+            seed: 31,
+            min_job_s: 900.0,
+        },
+        &cat,
+    );
+    let mut buf = Vec::new();
+    log::write_log(&mut buf, &s.jobs).unwrap();
+    let parsed = log::read_log(BufReader::new(buf.as_slice()), &codes).unwrap();
+    assert_eq!(parsed.len(), s.jobs.len());
+
+    // The parsed log carries everything the decomposition needs: rebuild
+    // statistics and compare.
+    let st_orig = pmss::sched::schedule_stats(&s, cat.len());
+    let rebuilt = pmss::sched::Schedule {
+        jobs: parsed,
+        per_node: s.per_node.clone(),
+        duration_s: s.duration_s,
+    };
+    let st_back = pmss::sched::schedule_stats(&rebuilt, cat.len());
+    assert_eq!(st_orig.total_jobs(), st_back.total_jobs());
+    assert!((st_orig.total_node_seconds - st_back.total_node_seconds).abs() < 1.0);
+}
+
+#[test]
+fn sensitivity_spread_is_small_on_fleet_data() {
+    use pmss::core::sensitivity::boundary_sweep;
+    use pmss::sched::{catalog, generate, TraceParams};
+    use pmss::telemetry::{simulate_fleet, FleetConfig, SystemHistogram};
+    use pmss::workloads::table3;
+
+    let s = generate(
+        TraceParams {
+            nodes: 12,
+            duration_s: 2.0 * 86_400.0,
+            seed: 41,
+            min_job_s: 900.0,
+        },
+        &catalog(),
+    );
+    let sys: SystemHistogram = simulate_fleet(&s, &FleetConfig::default());
+    let total_j: f64 = sys
+        .hist
+        .centers()
+        .zip(sys.hist.counts())
+        .map(|(c, &n)| c * n as f64 * 15.0)
+        .sum();
+    let t3 = table3::compute_default();
+    let report = boundary_sweep(&sys.hist, total_j, &t3, 30.0, 4);
+    assert!(report.reference.best_free_pct > 3.0);
+    assert!(
+        report.free_savings_spread() < 0.6 * report.reference.best_free_pct,
+        "spread {} vs reference {}",
+        report.free_savings_spread(),
+        report.reference.best_free_pct
+    );
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: the full paper pipeline from benchmarks
+//! through fleet telemetry to the savings projection, with the headline
+//! shape assertions.
+
+use pmss::core::project::{project, ProjectionInput};
+use pmss::core::{EnergyLedger, Region};
+use pmss::gpu::GpuSettings;
+use pmss::sched::{catalog, generate, TraceParams};
+use pmss::telemetry::{simulate_fleet, FleetConfig, Pair, SystemHistogram};
+use pmss::workloads::table3;
+
+fn medium_params() -> TraceParams {
+    TraceParams {
+        nodes: 48,
+        duration_s: 5.0 * 86_400.0,
+        seed: 2024,
+        min_job_s: 900.0,
+    }
+}
+
+fn fleet_ledger() -> (SystemHistogram, EnergyLedger) {
+    let schedule = generate(medium_params(), &catalog());
+    let obs: Pair<SystemHistogram, EnergyLedger> =
+        simulate_fleet(&schedule, &FleetConfig::default());
+    (obs.a, obs.b)
+}
+
+#[test]
+fn modal_decomposition_reproduces_table_iv() {
+    // Paper Table IV: 29.8 / 49.5 / 19.5 / 1.1 % of GPU hours.
+    let (_, ledger) = fleet_ledger();
+    let f = ledger.gpu_hours_fractions();
+    assert!(
+        (f[Region::LatencyBound.index()] - 0.298).abs() < 0.06,
+        "latency-bound hours {:.3}",
+        f[Region::LatencyBound.index()]
+    );
+    assert!(
+        (f[Region::MemoryIntensive.index()] - 0.495).abs() < 0.06,
+        "memory-intensive hours {:.3}",
+        f[Region::MemoryIntensive.index()]
+    );
+    assert!(
+        (f[Region::ComputeIntensive.index()] - 0.195).abs() < 0.05,
+        "compute-intensive hours {:.3}",
+        f[Region::ComputeIntensive.index()]
+    );
+    assert!(
+        (f[Region::Boosted.index()] - 0.011).abs() < 0.01,
+        "boosted hours {:.3}",
+        f[Region::Boosted.index()]
+    );
+}
+
+#[test]
+fn system_distribution_has_the_fig8_shape() {
+    let (system, _) = fleet_ledger();
+    let hist = system.hist;
+    // Idle peak near 89 W exists.
+    let peaks = hist.peaks_w(2.0, 0.005);
+    assert!(
+        peaks.iter().any(|&p| (80.0..100.0).contains(&p)),
+        "no idle peak: {peaks:?}"
+    );
+    // Several distinct modes across the power axis (the paper: "several
+    // peaks close to low power utilization and few peaks towards higher").
+    assert!(peaks.len() >= 3, "expected multi-modal distribution: {peaks:?}");
+    // A small boost tail above the TDP.
+    let boost = hist.fraction_between(560.0, 700.0);
+    assert!((0.001..0.03).contains(&boost), "boost tail {boost}");
+}
+
+#[test]
+fn projection_reproduces_table_v_headlines() {
+    let (_, ledger) = fleet_ledger();
+    let t3 = table3::compute_default();
+    let p = project(ProjectionInput::from_ledger(&ledger), &t3);
+
+    // Headline: best no-slowdown savings in the high single digits at
+    // 900 MHz (paper: 8.5 %).
+    let best = p.best_free();
+    assert!(
+        (5.0..=12.0).contains(&best.savings_dt0_pct),
+        "best free savings {:.2}%",
+        best.savings_dt0_pct
+    );
+    assert!(
+        matches!(best.setting, pmss::workloads::CapSetting::FreqMhz(m) if (899.0..=1101.0).contains(&m)),
+        "best free setting {:?}",
+        best.setting
+    );
+
+    // CI savings negative at 700 MHz (paper: -129.7 MWh).
+    assert!(p.freq_row(700.0).expect("700 row").ci_mwh < 0.0);
+
+    // Frequency capping beats power capping (paper Sec. V-C).
+    let best_freq = p.freq_rows.iter().map(|r| r.ts_mwh).fold(f64::MIN, f64::max);
+    let best_power = p.power_rows.iter().map(|r| r.ts_mwh).fold(f64::MIN, f64::max);
+    assert!(best_freq > best_power);
+
+    // dT grows monotonically as the frequency cap tightens.
+    let dts: Vec<f64> = p.freq_rows.iter().map(|r| r.delta_t_pct).collect();
+    for w in dts.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "dT not monotone: {dts:?}");
+    }
+}
+
+#[test]
+fn selective_capping_keeps_most_of_the_savings() {
+    // Paper Table VI: capping only the hot domains at job sizes A-C keeps
+    // a significant share of the system-wide savings.
+    use pmss::core::heatmap::{energy_saved, energy_used};
+    use pmss::sched::JobSizeClass;
+
+    let (_, ledger) = fleet_ledger();
+    let t3 = table3::compute_default();
+
+    let full = project(ProjectionInput::from_ledger(&ledger), &t3);
+    let saved = energy_saved(&ledger, t3.freq_row(1100.0).expect("1100 row"));
+    let threshold =
+        0.35 * saved.rows.iter().flat_map(|r| r.iter()).cloned().fold(0.0, f64::max);
+    let hot = saved.hot_domains(threshold);
+    assert!(!hot.is_empty() && hot.len() < 8, "hot domains {hot:?}");
+
+    let selective = project(
+        ProjectionInput::from_ledger_filtered(&ledger, |d, s| {
+            hot.contains(&d) && s <= JobSizeClass::C
+        }),
+        &t3,
+    );
+    let full_900 = full.freq_row(900.0).expect("900").ts_mwh;
+    let sel_900 = selective.freq_row(900.0).expect("900").ts_mwh;
+    assert!(sel_900 > 0.4 * full_900, "selective {sel_900} vs full {full_900}");
+    assert!(sel_900 <= full_900 + 1e-9);
+
+    // Sanity on the Fig. 10(a) heatmap: most energy in large job classes
+    // (paper: "most of the science domain primary energy utilization comes
+    // from jobs that belong to job sizes A and B").
+    let used = energy_used(&ledger);
+    let large: f64 = used.rows.iter().map(|r| r[0] + r[1] + r[2]).sum();
+    assert!(large > 0.6 * used.total(), "A-C share {}", large / used.total());
+}
+
+#[test]
+fn capped_fleet_draws_less_power_but_boost_disappears() {
+    // Re-running the fleet under a hard frequency cap validates the
+    // telemetry side: mean power drops and the >= 560 W region vanishes.
+    let schedule = generate(
+        TraceParams {
+            nodes: 8,
+            duration_s: 86_400.0,
+            seed: 3,
+            min_job_s: 900.0,
+        },
+        &catalog(),
+    );
+    let base: EnergyLedger = simulate_fleet(&schedule, &FleetConfig::default());
+    let capped: EnergyLedger = simulate_fleet(
+        &schedule,
+        &FleetConfig {
+            settings: GpuSettings::freq_capped(1100.0),
+            ..Default::default()
+        },
+    );
+    let mean = |l: &EnergyLedger| l.total().joules / l.total().seconds;
+    assert!(mean(&capped) < mean(&base) - 15.0);
+    let f = capped.gpu_hours_fractions();
+    assert!(f[Region::Boosted.index()] < 0.002, "boost under cap {:?}", f);
+}
+
+#[test]
+fn sensor_comparison_validates_telemetry_fidelity() {
+    // Fig. 2(a): the two sensor paths agree within a few percent.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let phases =
+        pmss::workloads::phases::synthesize_app(pmss::workloads::AppClass::Mixed, 1800.0, &mut rng);
+    let c = pmss::telemetry::compare_sensors(&phases, GpuSettings::uncapped(), 11);
+    assert!(c.mean_abs_diff_w / c.mean_power_w < 0.05);
+}
