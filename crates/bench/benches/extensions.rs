@@ -15,13 +15,8 @@ fn bench_extensions(c: &mut Criterion) {
     grp.sample_size(10);
 
     grp.bench_function("governor/energy_optimal_proxy_suite", |b| {
-        let phases: Vec<_> = ProxyApp::all()
-            .iter()
-            .flat_map(|a| a.step(60.0))
-            .collect();
-        b.iter(|| {
-            black_box(Governor::EnergyOptimal.govern_phases(&engine, &phases, &ladder))
-        })
+        let phases: Vec<_> = ProxyApp::all().iter().flat_map(|a| a.step(60.0)).collect();
+        b.iter(|| black_box(Governor::EnergyOptimal.govern_phases(&engine, &phases, &ladder)))
     });
 
     grp.bench_function("calibrate/least_squares_fit", |b| {

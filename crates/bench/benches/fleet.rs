@@ -1,10 +1,19 @@
 //! Fleet-simulation benches (the Figs. 8-9 / Tables IV-VI substrate):
 //! schedule generation and telemetry-simulation throughput.
+//!
+//! The `fleet/throughput` entries measure simulated node-hours per
+//! wall-second at 64/256/1024 nodes, cached (warm [`FleetCache`]) against
+//! the unmemoized reference path; `cargo run -p pmss-bench --bin
+//! bench_fleet` runs the same comparison standalone and records the
+//! numbers in `BENCH_fleet.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pmss_core::EnergyLedger;
+use pmss_gpu::GpuSettings;
 use pmss_sched::{catalog, generate, TraceParams};
-use pmss_telemetry::{simulate_fleet, FleetConfig, SystemHistogram};
+use pmss_telemetry::{
+    simulate_fleet, simulate_fleet_with_cache, FleetCache, FleetConfig, SystemHistogram,
+};
 
 fn params(nodes: usize, hours: f64) -> TraceParams {
     TraceParams {
@@ -37,6 +46,42 @@ fn bench_fleet(c: &mut Criterion) {
             black_box(l)
         })
     });
+
+    // Fleet-scale throughput: 2-hour schedules, uncapped and under the
+    // 300 W what-if cap, memoized vs the unmemoized reference path.  Each
+    // iteration simulates `nodes * 2` node-hours; node-hours per
+    // wall-second is that divided by the reported per-iteration time.
+    for nodes in [64usize, 256, 1024] {
+        let schedule = generate(params(nodes, 2.0), &domains);
+        for (scenario, settings) in [
+            ("uncapped", GpuSettings::uncapped()),
+            ("cap300", GpuSettings::power_capped(300.0)),
+        ] {
+            let cached_cfg = FleetConfig {
+                settings,
+                ..Default::default()
+            };
+            let uncached_cfg = FleetConfig {
+                settings,
+                use_exec_cache: false,
+                ..Default::default()
+            };
+            let cache = FleetCache::new();
+            let _warm: EnergyLedger = simulate_fleet_with_cache(&schedule, &cached_cfg, &cache);
+            g.bench_function(&format!("throughput/{scenario}_{nodes}n_cached"), |b| {
+                b.iter(|| {
+                    let l: EnergyLedger = simulate_fleet_with_cache(&schedule, &cached_cfg, &cache);
+                    black_box(l)
+                })
+            });
+            g.bench_function(&format!("throughput/{scenario}_{nodes}n_uncached"), |b| {
+                b.iter(|| {
+                    let l: EnergyLedger = simulate_fleet(&schedule, &uncached_cfg);
+                    black_box(l)
+                })
+            });
+        }
+    }
     g.finish();
 }
 

@@ -38,7 +38,14 @@ fn bench_louvain(c: &mut Criterion) {
         b.iter(|| black_box(modularity(big, &result.communities)))
     });
     c.bench_function("fig7/gpu_mapping", |b| {
-        b.iter(|| black_box(louvain_phases(big, &result, &LouvainCostModel::default(), 3)))
+        b.iter(|| {
+            black_box(louvain_phases(
+                big,
+                &result,
+                &LouvainCostModel::default(),
+                3,
+            ))
+        })
     });
 }
 

@@ -14,14 +14,22 @@ fn main() {
     let used = energy_used(&ledger);
     println!(
         "{}",
-        render_heatmap(&used, &labels, "(a) total energy used (MWh), domain x job size")
+        render_heatmap(
+            &used,
+            &labels,
+            "(a) total energy used (MWh), domain x job size"
+        )
     );
 
     let t3 = table3::compute_default();
     let saved = energy_saved(&ledger, t3.freq_row(1100.0).expect("1100 MHz row"));
     println!(
         "{}",
-        render_heatmap(&saved, &labels, "(b) estimated energy saved @1100 MHz cap (MWh)")
+        render_heatmap(
+            &saved,
+            &labels,
+            "(b) estimated energy saved @1100 MHz cap (MWh)"
+        )
     );
     println!(
         "savings concentration: {:.0}% of savings from job sizes A-C (paper: most savings from large jobs)",

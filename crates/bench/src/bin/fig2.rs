@@ -23,7 +23,10 @@ fn main() {
         100.0 * c.mean_abs_diff_w / c.mean_power_w
     );
     for (t, s) in c.telemetry.iter().zip(&c.smi).take(12) {
-        println!("    t={:>5.0}s  oob={:>6.1} W  smi={:>6.1} W", t.t_s, t.power_w, s.power_w);
+        println!(
+            "    t={:>5.0}s  oob={:>6.1} W  smi={:>6.1} W",
+            t.t_s, t.power_w, s.power_w
+        );
     }
 
     // (b) GPU vs CPU energy on the fleet.
@@ -35,6 +38,12 @@ fn main() {
         "    GPU energy share of node energy: {:.1}% (paper: GPUs dominate; others < 20% on busy nodes)",
         100.0 * split.gpu_share()
     );
-    println!("    GPU power distribution  : {}", sparkline(&split.gpu_hist.density(), 70));
-    println!("    rest-of-node distribution: {}", sparkline(&split.rest_hist.density(), 70));
+    println!(
+        "    GPU power distribution  : {}",
+        sparkline(&split.gpu_hist.density(), 70)
+    );
+    println!(
+        "    rest-of-node distribution: {}",
+        sparkline(&split.rest_hist.density(), 70)
+    );
 }

@@ -22,7 +22,11 @@ fn main() {
         let p = MembenchParams::sized_for(bytes, 5.0);
         let k = membench::kernel(p);
         let ex = engine.execute(&k, pmss_gpu::GpuSettings::uncapped());
-        let from = if p.l2_hit_fraction() > 0.5 { "L2" } else { "HBM" };
+        let from = if p.l2_hit_fraction() > 0.5 {
+            "L2"
+        } else {
+            "HBM"
+        };
         tb.row(vec![
             if bytes >= 1 << 20 {
                 format!("{} MB", bytes >> 20)

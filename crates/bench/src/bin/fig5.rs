@@ -34,7 +34,13 @@ fn block(engine: &Engine, settings: &[pmss_workloads::CapSetting], title: &str) 
 
 fn main() {
     let engine = Engine::default();
-    block(&engine, &freq_settings(), "Fig. 5 left: frequency caps (MHz)");
+    block(
+        &engine,
+        &freq_settings(),
+        "Fig. 5 left: frequency caps (MHz)",
+    );
     block(&engine, &power_settings(), "Fig. 5 right: power caps (W)");
-    println!("paper checks: best energy-to-solution near 1300 MHz; caps < 300 W inflate runtime sharply");
+    println!(
+        "paper checks: best energy-to-solution near 1300 MHz; caps < 300 W inflate runtime sharply"
+    );
 }

@@ -25,7 +25,11 @@ fn block(engine: &Engine, settings: &[CapSetting], title: &str) {
                 format!("{bw:.0}"),
                 format!("{:.0}", ex.busy_power_w),
                 format!("{:.3}", ex.time_s / base.time_s),
-                if ex.cap_breached { "yes".into() } else { "".into() },
+                if ex.cap_breached {
+                    "yes".into()
+                } else {
+                    "".into()
+                },
             ]);
         }
         println!("-- {label} --\n{}", tb.render());

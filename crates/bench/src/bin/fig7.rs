@@ -2,8 +2,8 @@
 //! and frequencies, plus the road-network power-cap discussion.
 
 use pmss_core::report::Table;
-use pmss_graph::case_study::{networks, CaseScale, CaseStudy};
 use pmss_gpu::GpuSettings;
+use pmss_graph::case_study::{networks, CaseScale, CaseStudy};
 
 fn main() {
     let scale = match std::env::var("PMSS_SCALE").as_deref() {
@@ -50,10 +50,17 @@ fn main() {
                     format!("{:.0}", p.knob),
                     format!("{:.3}", p.runtime_s / base.runtime_s),
                     format!("{:.1}", 100.0 * (1.0 - p.energy_j / base.energy_j)),
-                    if p.cap_breached { "yes".into() } else { "".into() },
+                    if p.cap_breached {
+                        "yes".into()
+                    } else {
+                        "".into()
+                    },
                 ]);
             }
-            println!("road-network power caps (paper: 220 W free, 140 W costs ~36% runtime):\n{}", tb.render());
+            println!(
+                "road-network power caps (paper: 220 W free, 140 W costs ~36% runtime):\n{}",
+                tb.render()
+            );
         }
     }
 }

@@ -20,6 +20,9 @@ fn main() {
         println!("  {:<30} {:>5.1} %", r.label(), 100.0 * frac);
     }
     let peaks = hist.peaks_w(2.0, 0.01);
-    println!("\ndistribution peaks (W): {:?}", peaks.iter().map(|p| p.round()).collect::<Vec<_>>());
+    println!(
+        "\ndistribution peaks (W): {:?}",
+        peaks.iter().map(|p| p.round()).collect::<Vec<_>>()
+    );
     println!("paper checks: peaks near idle/low power, mass concentrated in MI band, small boost tail >= 560 W");
 }

@@ -2,7 +2,7 @@
 //! the four workload archetypes.
 
 use pmss_core::report::Table;
-use pmss_gpu::{DvfsLadder, Engine, Governor, GovernedTotals};
+use pmss_gpu::{DvfsLadder, Engine, GovernedTotals, Governor};
 use pmss_workloads::phases::synthesize_app;
 use pmss_workloads::AppClass;
 use rand::rngs::StdRng;
@@ -15,7 +15,10 @@ fn main() {
         ("static 1100 MHz", Governor::Fixed(1100.0)),
         ("static 900 MHz", Governor::Fixed(900.0)),
         ("energy-optimal", Governor::EnergyOptimal),
-        ("5% slowdown budget", Governor::SlowdownBudget { budget: 0.05 }),
+        (
+            "5% slowdown budget",
+            Governor::SlowdownBudget { budget: 0.05 },
+        ),
     ];
 
     for class in AppClass::all() {

@@ -16,7 +16,11 @@ fn main() {
     let node_factor = 9408.0 / params.nodes as f64;
 
     let mut tb = Table::new(&[
-        "cap (MHz)", "peak (MW)", "mean (MW)", "load factor", "peak shaved %",
+        "cap (MHz)",
+        "peak (MW)",
+        "mean (MW)",
+        "load factor",
+        "peak shaved %",
     ]);
     let mut base_peak = 0.0;
     for mhz in [1700.0, 1500.0, 1300.0, 1100.0, 900.0] {

@@ -2,8 +2,8 @@
 //! "diffused" Table IV region boundaries (paper Sec. V-B)?
 
 use pmss_bench::{fleet_run, Scale};
-use pmss_core::sensitivity::{boundary_sweep, input_from_histogram, Boundaries};
 use pmss_core::project::project;
+use pmss_core::sensitivity::{boundary_sweep, input_from_histogram, Boundaries};
 use pmss_workloads::table3;
 
 fn main() {
@@ -23,10 +23,26 @@ fn main() {
         report.free_savings_spread()
     );
     for b in [
-        Boundaries { latency_mi_w: 160.0, mi_ci_w: 420.0, ci_boost_w: 560.0 },
-        Boundaries { latency_mi_w: 240.0, mi_ci_w: 420.0, ci_boost_w: 560.0 },
-        Boundaries { latency_mi_w: 200.0, mi_ci_w: 380.0, ci_boost_w: 560.0 },
-        Boundaries { latency_mi_w: 200.0, mi_ci_w: 460.0, ci_boost_w: 560.0 },
+        Boundaries {
+            latency_mi_w: 160.0,
+            mi_ci_w: 420.0,
+            ci_boost_w: 560.0,
+        },
+        Boundaries {
+            latency_mi_w: 240.0,
+            mi_ci_w: 420.0,
+            ci_boost_w: 560.0,
+        },
+        Boundaries {
+            latency_mi_w: 200.0,
+            mi_ci_w: 380.0,
+            ci_boost_w: 560.0,
+        },
+        Boundaries {
+            latency_mi_w: 200.0,
+            mi_ci_w: 460.0,
+            ci_boost_w: 560.0,
+        },
     ] {
         let p = project(input_from_histogram(&run.system.hist, b, total_j), &t3);
         println!(

@@ -7,13 +7,25 @@ fn main() {
     println!("Frontier System (model constants)");
     let rows: Vec<(&str, String)> = vec![
         ("Compute node", c::FRONTIER_NODES.to_string()),
-        ("Each Compute node", format!("{} AMD MI250X", c::GPUS_PER_NODE)),
+        (
+            "Each Compute node",
+            format!("{} AMD MI250X", c::GPUS_PER_NODE),
+        ),
         ("Each GPU", format!("{} GCD", c::GCDS_PER_GPU)),
-        ("Each GCD", format!("{} GB HBM2E", c::GCD_HBM_BYTES / (1 << 30))),
+        (
+            "Each GCD",
+            format!("{} GB HBM2E", c::GCD_HBM_BYTES / (1 << 30)),
+        ),
         ("GCD max power (pkg TDP)", format!("{:.0} W", c::GPU_TDP_W)),
         ("GCD max frequency", format!("{:.0} MHz", c::F_MAX_MHZ)),
-        ("GCD peak FP64", format!("{:.1} TFLOP/s", c::GCD_PEAK_FLOPS / 1e12)),
-        ("HBM bandwidth per GCD", format!("{:.1} TB/s", c::GCD_HBM_BW / 1e12)),
+        (
+            "GCD peak FP64",
+            format!("{:.1} TFLOP/s", c::GCD_PEAK_FLOPS / 1e12),
+        ),
+        (
+            "HBM bandwidth per GCD",
+            format!("{:.1} TB/s", c::GCD_HBM_BW / 1e12),
+        ),
         ("GPU idle power", format!("{:.0} W", c::GPU_IDLE_W)),
         ("Firmware sustained limit", format!("{:.0} W", c::GPU_PPT_W)),
     ];

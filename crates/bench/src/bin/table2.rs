@@ -18,12 +18,19 @@ fn main() {
     );
 
     println!("(a) power telemetry: per-node per-GPU samples @15 s (out-of-band)");
-    println!("    raw 2 s capture, Frontier scale, 3 months: {:.1} TB",
-        sample_storage_bytes(9408, 4, 90.0, 2.0, 16.0) / 1e12);
-    println!("    aggregated 15 s product:                   {:.1} TB\n",
-        sample_storage_bytes(9408, 4, 90.0, 15.0, 16.0) / 1e12);
+    println!(
+        "    raw 2 s capture, Frontier scale, 3 months: {:.1} TB",
+        sample_storage_bytes(9408, 4, 90.0, 2.0, 16.0) / 1e12
+    );
+    println!(
+        "    aggregated 15 s product:                   {:.1} TB\n",
+        sample_storage_bytes(9408, 4, 90.0, 15.0, 16.0) / 1e12
+    );
 
-    println!("(b) job-scheduler log ({} jobs for an 8-node day):", schedule.jobs.len());
+    println!(
+        "(b) job-scheduler log ({} jobs for an 8-node day):",
+        schedule.jobs.len()
+    );
     let mut buf = Vec::new();
     log::write_log(&mut buf, &schedule.jobs).unwrap();
     for line in String::from_utf8(buf).unwrap().lines().take(5) {

@@ -6,16 +6,33 @@ use pmss_workloads::table3;
 fn main() {
     let t = table3::compute_default();
     println!("(a) Frequency Cap");
-    println!("{:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}", "MHz", "P% VAI", "P% MB", "T% VAI", "T% MB", "E% VAI", "E% MB");
+    println!(
+        "{:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "MHz", "P% VAI", "P% MB", "T% VAI", "T% MB", "E% VAI", "E% MB"
+    );
     for r in &t.freq_rows {
-        println!("{:>8.0} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1}",
-            r.setting.value(), r.vai.power_pct, r.mb.power_pct,
-            r.vai.runtime_pct, r.mb.runtime_pct, r.vai.energy_pct, r.mb.energy_pct);
+        println!(
+            "{:>8.0} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1}",
+            r.setting.value(),
+            r.vai.power_pct,
+            r.mb.power_pct,
+            r.vai.runtime_pct,
+            r.mb.runtime_pct,
+            r.vai.energy_pct,
+            r.mb.energy_pct
+        );
     }
     println!("(b) Power Cap");
     for r in &t.power_rows {
-        println!("{:>8.0} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1}",
-            r.setting.value(), r.vai.power_pct, r.mb.power_pct,
-            r.vai.runtime_pct, r.mb.runtime_pct, r.vai.energy_pct, r.mb.energy_pct);
+        println!(
+            "{:>8.0} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1}",
+            r.setting.value(),
+            r.vai.power_pct,
+            r.mb.power_pct,
+            r.vai.runtime_pct,
+            r.mb.runtime_pct,
+            r.vai.energy_pct,
+            r.mb.energy_pct
+        );
     }
 }

@@ -8,7 +8,5 @@ fn main() {
     let scale = Scale::from_env();
     let run = fleet_run(scale);
     println!("{}", render_table4(&run.ledger));
-    println!(
-        "paper reference: 29.8 / 49.5 / 19.5 / 1.1 %  (3 months of Frontier)"
-    );
+    println!("paper reference: 29.8 / 49.5 / 19.5 / 1.1 %  (3 months of Frontier)");
 }

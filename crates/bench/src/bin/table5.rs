@@ -19,7 +19,10 @@ fn main() {
     println!(
         "headline: up to {:.1}% savings with no slowdown ({} cap {:.0}); paper: ~8.5% at 900 MHz",
         best.savings_dt0_pct,
-        match best.setting { pmss_workloads::CapSetting::FreqMhz(_) => "frequency", _ => "power" },
+        match best.setting {
+            pmss_workloads::CapSetting::FreqMhz(_) => "frequency",
+            _ => "power",
+        },
         best.setting.value(),
     );
 }

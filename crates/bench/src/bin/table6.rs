@@ -17,7 +17,13 @@ fn main() {
     // "Hot" selection: domains with at least one high cell in the
     // 1100 MHz savings heatmap (the paper's red cells), job sizes A-C.
     let saved = energy_saved(&ledger, t3.freq_row(1100.0).expect("1100 MHz row"));
-    let threshold = 0.35 * saved.rows.iter().flat_map(|r| r.iter()).cloned().fold(0.0, f64::max);
+    let threshold = 0.35
+        * saved
+            .rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .cloned()
+            .fold(0.0, f64::max);
     let hot = saved.hot_domains(threshold);
     println!(
         "selected domains (>=1 hot cell): {:?}",

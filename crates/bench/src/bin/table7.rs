@@ -3,7 +3,10 @@
 use pmss_sched::JobSizeClass;
 
 fn main() {
-    println!("{:<10} {:<14} Max. Walltime (Hrs.)", "Job size", "Num-nodes");
+    println!(
+        "{:<10} {:<14} Max. Walltime (Hrs.)",
+        "Job size", "Num-nodes"
+    );
     for class in JobSizeClass::all() {
         let (lo, hi) = class.node_range();
         println!(

@@ -24,7 +24,11 @@ fn main() {
 
     let jobs: Vec<_> = run.schedule.jobs.iter().take(400).collect();
     let mut tb = Table::new(&[
-        "cap (MHz)", "projected sav %", "measured sav %", "projected dT %", "measured dT %",
+        "cap (MHz)",
+        "projected sav %",
+        "measured sav %",
+        "projected dT %",
+        "measured dT %",
     ]);
     for mhz in [1500.0, 1300.0, 1100.0, 900.0, 700.0] {
         let (e_b, e_c, t_b, t_c) = jobs
@@ -55,7 +59,10 @@ fn main() {
             format!("{:+.1}", 100.0 * (t_c / t_b - 1.0)),
         ]);
     }
-    println!("projection vs measured energy-to-solution ({} jobs re-executed):", jobs.len());
+    println!(
+        "projection vs measured energy-to-solution ({} jobs re-executed):",
+        jobs.len()
+    );
     println!("{}", tb.render());
     println!("The measured column pays the latency-region slowdown the projection");
     println!("method deliberately excludes — the projection is an upper bound.");

@@ -10,7 +10,12 @@ fn main() {
     let t3 = table3::compute_default();
     let total_j = run.ledger.total().joules;
 
-    let mut tb = Table::new(&["dT budget %", "mixed saves %", "uniform saves %", "uniform cap"]);
+    let mut tb = Table::new(&[
+        "dT budget %",
+        "mixed saves %",
+        "uniform saves %",
+        "uniform cap",
+    ]);
     for budget in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
         let mixed = optimize_per_domain(&run.ledger, &t3, budget);
         let (setting, uniform_j) = best_uniform(&run.ledger, &t3, budget);

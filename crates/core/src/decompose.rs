@@ -255,7 +255,10 @@ mod tests {
         assert_eq!(mi.joules, 300.0 * 15.0);
         let totals = l.region_totals();
         assert_eq!(totals[Region::LatencyBound.index()].seconds, 15.0);
-        assert_eq!(totals[Region::ComputeIntensive.index()].joules, 500.0 * 15.0);
+        assert_eq!(
+            totals[Region::ComputeIntensive.index()].joules,
+            500.0 * 15.0
+        );
     }
 
     #[test]
@@ -278,7 +281,10 @@ mod tests {
         a.gpu_sample(&ctx(Some(&j)), 0.0, 300.0);
         b.gpu_sample(&ctx(Some(&j)), 0.0, 300.0);
         a.merge(b);
-        assert_eq!(a.cell(1, JobSizeClass::C, Region::MemoryIntensive).seconds, 30.0);
+        assert_eq!(
+            a.cell(1, JobSizeClass::C, Region::MemoryIntensive).seconds,
+            30.0
+        );
     }
 
     #[test]

@@ -88,11 +88,7 @@ pub fn rank_cells(ledger: &EnergyLedger, factors: &Table3Row) -> Vec<CellSaving>
 
 /// Builds the smallest cell set (greedy by projected savings) reaching
 /// `target` fraction of the full-system savings.
-pub fn minimal_policy(
-    ledger: &EnergyLedger,
-    factors: &Table3Row,
-    target: f64,
-) -> CappingPolicy {
+pub fn minimal_policy(ledger: &EnergyLedger, factors: &Table3Row, target: f64) -> CappingPolicy {
     assert!((0.0..=1.0).contains(&target), "target must be a fraction");
     let ranked = rank_cells(ledger, factors);
     let full_saving_j: f64 = ranked.iter().map(|c| c.saving_j).sum();
@@ -165,14 +161,22 @@ mod tests {
         let small = mk(1, JobSizeClass::E);
         for i in 0..100 {
             l.gpu_sample(
-                &SampleCtx { node: 0, slot: 0, job: Some(&big) },
+                &SampleCtx {
+                    node: 0,
+                    slot: 0,
+                    job: Some(&big),
+                },
                 i as f64,
                 320.0,
             );
         }
         for i in 0..5 {
             l.gpu_sample(
-                &SampleCtx { node: 0, slot: 0, job: Some(&small) },
+                &SampleCtx {
+                    node: 0,
+                    slot: 0,
+                    job: Some(&small),
+                },
                 i as f64,
                 320.0,
             );

@@ -237,10 +237,12 @@ mod tests {
         // so the "free" savings come from the MI mode alone.
         let p = projection();
         let r = p.freq_row(900.0).unwrap();
-        assert!((r.savings_dt0_pct - 100.0 * r.mi_mwh * pmss_gpu::consts::JOULES_PER_MWH
-            / p.input.e_total_j / 1.0)
-            .abs()
-            < 1e-9);
+        assert!(
+            (r.savings_dt0_pct
+                - 100.0 * r.mi_mwh * pmss_gpu::consts::JOULES_PER_MWH / p.input.e_total_j / 1.0)
+                .abs()
+                < 1e-9
+        );
         assert!(
             (4.0..=11.0).contains(&r.savings_dt0_pct),
             "free savings {}",

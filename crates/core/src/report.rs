@@ -65,7 +65,10 @@ impl Table {
 /// Renders Table III (benchmark factors).
 pub fn render_table3(t: &Table3) -> String {
     let mut out = String::from("(a) Frequency Cap\n");
-    for (title, rows) in [("(a) Frequency Cap", &t.freq_rows), ("(b) Power Cap", &t.power_rows)] {
+    for (title, rows) in [
+        ("(a) Frequency Cap", &t.freq_rows),
+        ("(b) Power Cap", &t.power_rows),
+    ] {
         let mut tb = Table::new(&[
             "cap", "P% VAI", "P% MB", "T% VAI", "T% MB", "E% VAI", "E% MB",
         ]);
@@ -91,7 +94,12 @@ pub fn render_table3(t: &Table3) -> String {
 /// Renders Table IV (modal decomposition) from a ledger.
 pub fn render_table4(ledger: &EnergyLedger) -> String {
     let fractions = ledger.gpu_hours_fractions();
-    let mut tb = Table::new(&["Region", "Mode (region of operation)", "Range (W)", "GPU Hrs. (%)"]);
+    let mut tb = Table::new(&[
+        "Region",
+        "Mode (region of operation)",
+        "Range (W)",
+        "GPU Hrs. (%)",
+    ]);
     for (i, region) in Region::all().iter().enumerate() {
         let (lo, hi) = region.range_w();
         let range = if hi.is_infinite() {
@@ -119,7 +127,12 @@ pub fn render_projection(p: &Projection, freq_only: bool) -> String {
     );
     let render_rows = |rows: &[crate::project::ProjectionRow]| -> String {
         let mut tb = Table::new(&[
-            "cap", "C.I. (MWh)", "M.I. (MWh)", "T.S. (MWh)", "Savings (%)", "dT (%)",
+            "cap",
+            "C.I. (MWh)",
+            "M.I. (MWh)",
+            "T.S. (MWh)",
+            "Savings (%)",
+            "dT (%)",
             "Sav.% dT=0",
         ]);
         for r in rows {

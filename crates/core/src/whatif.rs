@@ -55,8 +55,8 @@ fn domain_mode_energy(ledger: &EnergyLedger, domain: usize) -> (f64, f64, f64) {
 /// Effect of applying the cap in `row` to one domain.
 pub fn domain_effect(ledger: &EnergyLedger, domain: usize, row: &Table3Row) -> DomainCapEffect {
     let (e_ci, e_mi, e_all) = domain_mode_energy(ledger, domain);
-    let saving = e_ci * (1.0 - row.vai.energy_pct / 100.0)
-        + e_mi * (1.0 - row.mb.energy_pct / 100.0);
+    let saving =
+        e_ci * (1.0 - row.vai.energy_pct / 100.0) + e_mi * (1.0 - row.mb.energy_pct / 100.0);
     let delta_t = if e_all > 0.0 {
         (e_ci / e_all) * (row.vai.runtime_pct - 100.0)
             + (e_mi / e_all) * (row.mb.runtime_pct - 100.0)
@@ -147,9 +147,33 @@ mod tests {
         };
         let jobs = [mk(0), mk(1), mk(2)];
         for _ in 0..50 {
-            l.gpu_sample(&SampleCtx { node: 0, slot: 0, job: Some(&jobs[0]) }, 0.0, 320.0);
-            l.gpu_sample(&SampleCtx { node: 0, slot: 0, job: Some(&jobs[1]) }, 0.0, 480.0);
-            l.gpu_sample(&SampleCtx { node: 0, slot: 0, job: Some(&jobs[2]) }, 0.0, 120.0);
+            l.gpu_sample(
+                &SampleCtx {
+                    node: 0,
+                    slot: 0,
+                    job: Some(&jobs[0]),
+                },
+                0.0,
+                320.0,
+            );
+            l.gpu_sample(
+                &SampleCtx {
+                    node: 0,
+                    slot: 0,
+                    job: Some(&jobs[1]),
+                },
+                0.0,
+                480.0,
+            );
+            l.gpu_sample(
+                &SampleCtx {
+                    node: 0,
+                    slot: 0,
+                    job: Some(&jobs[2]),
+                },
+                0.0,
+                120.0,
+            );
         }
         l
     }

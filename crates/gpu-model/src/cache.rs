@@ -1,0 +1,479 @@
+//! Memoized kernel execution: a sharded, concurrent
+//! (kernel, settings) → [`Execution`] cache.
+//!
+//! The fleet simulation executes synthesized phase kernels under a handful
+//! of [`GpuSettings`] over and over — per phase, per cycle, per GPU slot,
+//! per node, and again for every repeated simulation of the same schedule
+//! (one run per observer, benchmark iterations, what-if sweeps).
+//! [`Engine::execute`] is pure (no RNG, no state), so the map from its
+//! inputs to its output is a perfect memoization target.
+//!
+//! ## Key quantization
+//!
+//! The cache key ([`ExecKey`]) is the *exact bit pattern* of every numeric
+//! input: all nine `f64` fields of [`KernelProfile`] plus the frequency cap
+//! and power cap of [`GpuSettings`], each taken through [`f64::to_bits`].
+//! Exact-bit keying is deliberately the *finest* possible quantization:
+//! two inputs collide only when `execute` would compute bit-identical
+//! outputs anyway, so a cached lookup is indistinguishable from a fresh
+//! execution and the cached simulation path reproduces the uncached path
+//! bit for bit.  An absent power cap is encoded as `u64::MAX` — a NaN bit
+//! pattern no finite cap can produce.
+//!
+//! The kernel *name* (copied verbatim into [`Execution::kernel_name`]) is
+//! folded into the hashed key only as a 64-bit FNV-1a fingerprint, keeping
+//! the hot lookup allocation-free; the full string is compared on the slow
+//! path via a tiny per-key bucket, so fingerprint collisions cost a probe,
+//! never a wrong answer.
+//!
+//! ## Concurrency
+//!
+//! The map is split into power-of-two shards, each a
+//! `CachePadded<RwLock<HashMap>>` so that shard locks never share a cache
+//! line.  Readers take the shard read lock only; a miss computes the
+//! execution inside the shard write lock so concurrent requests for the
+//! same key deduplicate.  Hit/miss counters are relaxed atomics, padded
+//! away from the shards.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
+
+use crate::engine::{Engine, Execution, GpuSettings};
+use crate::kernel::KernelProfile;
+
+/// Number of `f64` inputs captured in the key: nine kernel fields, the
+/// frequency cap, and the power cap.
+const KEY_WORDS: usize = 11;
+
+/// Exact-bit cache key for one (kernel, settings) pair.
+///
+/// Carries the numeric inputs bit-for-bit and the kernel name as a 64-bit
+/// fingerprint; building one never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecKey {
+    name_fp: u64,
+    bits: [u64; KEY_WORDS],
+}
+
+/// FNV-1a over the kernel name bytes.
+fn name_fingerprint(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl ExecKey {
+    /// Builds the key from the exact bit patterns of every numeric input.
+    pub fn new(kernel: &KernelProfile, settings: GpuSettings) -> Self {
+        ExecKey {
+            name_fp: name_fingerprint(&kernel.name),
+            bits: [
+                kernel.flops.to_bits(),
+                kernel.hbm_bytes.to_bits(),
+                kernel.ondie_bytes.to_bits(),
+                kernel.flop_efficiency.to_bits(),
+                kernel.bw_oversub.to_bits(),
+                kernel.bw_sustain.to_bits(),
+                kernel.divergence.to_bits(),
+                kernel.serial_at_fmax_s.to_bits(),
+                kernel.stall_s.to_bits(),
+                settings.freq_cap.mhz().to_bits(),
+                settings.power_cap_w.map_or(u64::MAX, f64::to_bits),
+            ],
+        }
+    }
+}
+
+/// Hit/miss counters of an [`ExecCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the engine.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when no lookups were made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+/// FxHash-style multiply-xor hasher: a few nanoseconds per [`ExecKey`]
+/// where SipHash costs ~100.  Keys come from the trusted simulation, not
+/// adversarial input, so DoS hardness is not a concern here.
+///
+/// Public so downstream memo tables (the fleet template cache) can key
+/// their own maps the same way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// [`BuildHasher`] for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// Entries whose keys share a fingerprint: the owned name disambiguates.
+/// Almost always length 1.
+type Bucket = Vec<(String, Arc<Execution>)>;
+
+type Shard = CachePadded<RwLock<HashMap<ExecKey, Bucket, BuildHasherDefault<FxHasher>>>>;
+
+/// Sharded concurrent memo table for [`Engine::execute`] results.
+///
+/// One cache must only be shared between engines with *identical*
+/// calibration (power model and firmware limit): the key covers the kernel
+/// and the settings, not the engine, because the fleet simulation runs a
+/// single engine across all rayon workers.
+#[derive(Debug)]
+pub struct ExecCache {
+    shards: Box<[Shard]>,
+    /// log2 of the shard count; shards are selected by the hash's *top*
+    /// bits because the in-shard `HashMap` consumes the low bits.
+    shard_bits: u32,
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
+}
+
+impl Default for ExecCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecCache {
+    /// Default shard count: enough to keep a machine-full of rayon workers
+    /// off each other's locks while staying cheap to construct per run.
+    const DEFAULT_SHARDS: usize = 64;
+
+    /// Creates a cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with at least `shards` shards (rounded up to a power
+    /// of two so shard selection is a mask).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ExecCache {
+            shards: (0..n)
+                .map(|_| CachePadded::new(RwLock::new(HashMap::default())))
+                .collect(),
+            shard_bits: n.trailing_zeros(),
+            hits: CachePadded::new(AtomicU64::new(0)),
+            misses: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn shard(&self, key: &ExecKey) -> &Shard {
+        let h = BuildHasherDefault::<FxHasher>::default().hash_one(key);
+        // Top bits: the in-shard map indexes by the low bits of the same
+        // hash, so using them twice would cluster every shard's entries.
+        let shift = (u64::BITS - self.shard_bits) % u64::BITS;
+        &self.shards[(h >> shift) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Looks up `(kernel, settings)`, running `compute` under the shard
+    /// write lock on a miss so concurrent requests for the same key run it
+    /// once.  The hit path performs no allocation.
+    pub fn get_or_insert_with(
+        &self,
+        kernel: &KernelProfile,
+        settings: GpuSettings,
+        compute: impl FnOnce() -> Execution,
+    ) -> Arc<Execution> {
+        let key = ExecKey::new(kernel, settings);
+        let shard = self.shard(&key);
+        if let Some(bucket) = shard.read().get(&key) {
+            if let Some((_, ex)) = bucket.iter().find(|(n, _)| *n == kernel.name) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(ex);
+            }
+        }
+        let mut guard = shard.write();
+        let bucket = match guard.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(Bucket::new()),
+        };
+        if let Some((_, ex)) = bucket.iter().find(|(n, _)| *n == kernel.name) {
+            // Raced with another worker that filled it first.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ex);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ex = Arc::new(compute());
+        bucket.push((kernel.name.clone(), Arc::clone(&ex)));
+        ex
+    }
+
+    /// Number of distinct (kernel, settings) pairs cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Engine {
+    /// Memoized [`Engine::execute`]: answers from `cache` when the exact
+    /// (kernel, settings) bit pattern was executed before, otherwise runs
+    /// the engine and caches the result.
+    ///
+    /// The returned execution is shared; it is bit-identical to what
+    /// [`Engine::execute`] would produce because the key is exact
+    /// (see the module docs on quantization).
+    ///
+    /// # Panics
+    /// Panics if the kernel profile fails validation, like
+    /// [`Engine::execute`].
+    pub fn execute_cached(
+        &self,
+        cache: &ExecCache,
+        kernel: &KernelProfile,
+        settings: GpuSettings,
+    ) -> Arc<Execution> {
+        cache.get_or_insert_with(kernel, settings, || self.execute(kernel, settings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::Freq;
+
+    fn kernel(ai: f64) -> KernelProfile {
+        let bytes = 64e9;
+        KernelProfile::builder(format!("k-{ai}"))
+            .flops(ai * bytes)
+            .hbm_bytes(bytes)
+            .build()
+    }
+
+    #[test]
+    fn cached_execution_matches_uncached_bit_for_bit() {
+        let eng = Engine::default();
+        let cache = ExecCache::new();
+        for settings in [
+            GpuSettings::uncapped(),
+            GpuSettings::freq_capped(900.0),
+            GpuSettings::power_capped(300.0),
+        ] {
+            for ai in [0.0625, 1.0, 64.0] {
+                let k = kernel(ai);
+                let direct = eng.execute(&k, settings);
+                let cached = eng.execute_cached(&cache, &k, settings);
+                assert_eq!(direct.time_s.to_bits(), cached.time_s.to_bits());
+                assert_eq!(direct.energy_j.to_bits(), cached.energy_j.to_bits());
+                assert_eq!(direct.busy_power_w.to_bits(), cached.busy_power_w.to_bits());
+                assert_eq!(direct.freq.mhz().to_bits(), cached.freq.mhz().to_bits());
+                assert_eq!(direct.kernel_name, cached.kernel_name);
+                assert_eq!(direct.ppt_throttled, cached.ppt_throttled);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let eng = Engine::default();
+        let cache = ExecCache::new();
+        let k = kernel(1.0);
+        for _ in 0..5 {
+            eng.execute_cached(&cache, &k, GpuSettings::uncapped());
+        }
+        eng.execute_cached(&cache, &k, GpuSettings::freq_capped(1200.0));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "two distinct keys");
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.lookups(), 6);
+        assert!((stats.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        let eng = Engine::default();
+        let cache = ExecCache::new();
+        let k = kernel(4.0);
+        let a = eng.execute_cached(&cache, &k, GpuSettings::uncapped());
+        let b = eng.execute_cached(&cache, &k, GpuSettings::uncapped());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn key_distinguishes_every_numeric_field() {
+        let base = kernel(1.0);
+        let s = GpuSettings::uncapped();
+        let k0 = ExecKey::new(&base, s);
+        assert_eq!(k0, ExecKey::new(&base.clone(), s));
+
+        let mut variants = Vec::new();
+        for f in 0..9 {
+            let mut k = base.clone();
+            match f {
+                0 => k.flops += 1.0,
+                1 => k.hbm_bytes += 1.0,
+                2 => k.ondie_bytes += 1.0,
+                3 => k.flop_efficiency *= 0.5,
+                4 => k.bw_oversub *= 0.5,
+                5 => k.bw_sustain *= 0.5,
+                6 => k.divergence = 0.1,
+                7 => k.serial_at_fmax_s = 1.0,
+                _ => k.stall_s = 1.0,
+            }
+            variants.push(ExecKey::new(&k, s));
+        }
+        variants.push(ExecKey::new(
+            &base,
+            GpuSettings {
+                freq_cap: Freq::from_mhz(900.0),
+                power_cap_w: None,
+            },
+        ));
+        variants.push(ExecKey::new(&base, GpuSettings::power_capped(300.0)));
+        for v in &variants {
+            assert_ne!(&k0, v);
+        }
+    }
+
+    #[test]
+    fn same_numerics_different_names_stay_distinct() {
+        // Two kernels that differ only in their label must come back with
+        // their own names even though the numeric key words agree.
+        let eng = Engine::default();
+        let cache = ExecCache::new();
+        let a = KernelProfile::builder("alpha")
+            .flops(1e12)
+            .hbm_bytes(1e10)
+            .build();
+        let mut b = a.clone();
+        b.name = "beta".into();
+        let ea = eng.execute_cached(&cache, &a, GpuSettings::uncapped());
+        let eb = eng.execute_cached(&cache, &b, GpuSettings::uncapped());
+        assert_eq!(ea.kernel_name, "alpha");
+        assert_eq!(eb.kernel_name, "beta");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(ea.time_s.to_bits(), eb.time_s.to_bits());
+    }
+
+    #[test]
+    fn none_power_cap_cannot_collide_with_a_finite_cap() {
+        let k = kernel(1.0);
+        let none = ExecKey::new(&k, GpuSettings::uncapped());
+        let some = ExecKey::new(&k, GpuSettings::power_capped(f64::from_bits(u64::MAX - 1)));
+        // Any *finite* cap differs from the None sentinel by construction;
+        // even this NaN-pattern cap differs because the sentinel is MAX.
+        assert_ne!(none, some);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let eng = Engine::default();
+        let cache = ExecCache::with_shards(3); // rounds up to 4
+        eng.execute_cached(&cache, &kernel(1.0), GpuSettings::uncapped());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let eng = Engine::default();
+        let cache = std::sync::Arc::new(ExecCache::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let eng = eng.clone();
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for ai in [0.0625, 1.0, 4.0, 64.0] {
+                        eng.execute_cached(&cache, &kernel(ai), GpuSettings::uncapped());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(cache.len(), 4, "four distinct keys");
+        assert_eq!(stats.lookups(), 16);
+        assert!(stats.misses >= 4 && stats.misses <= 16);
+    }
+}

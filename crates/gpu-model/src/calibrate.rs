@@ -48,7 +48,10 @@ impl std::fmt::Display for CalibrationError {
                 write!(f, "need at least 5 observations to fit 5 coefficients")
             }
             CalibrationError::SingularSystem => {
-                write!(f, "degenerate observation set: normal equations are singular")
+                write!(
+                    f,
+                    "degenerate observation set: normal equations are singular"
+                )
             }
         }
     }
@@ -74,8 +77,12 @@ fn features(util: Utilization, freq: Freq, curve: &VoltageCurve) -> [f64; N_COEF
 fn solve(mut a: [[f64; N_COEFFS]; N_COEFFS], mut b: [f64; N_COEFFS]) -> Option<[f64; N_COEFFS]> {
     for col in 0..N_COEFFS {
         // Pivot.
-        let pivot = (col..N_COEFFS)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("no NaN"))?;
+        let pivot = (col..N_COEFFS).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("no NaN")
+        })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }

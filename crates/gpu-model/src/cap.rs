@@ -119,7 +119,11 @@ mod tests {
         for limit in [150.0, 200.0, 300.0, 450.0, 600.0] {
             let out = solve_freq_for_cap(limit, Freq::MAX, linear_demand);
             if !out.breached {
-                assert!(out.power_w <= limit + 1e-6, "limit {limit}: {}", out.power_w);
+                assert!(
+                    out.power_w <= limit + 1e-6,
+                    "limit {limit}: {}",
+                    out.power_w
+                );
             }
         }
     }

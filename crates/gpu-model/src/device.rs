@@ -10,14 +10,12 @@ use crate::kernel::KernelProfile;
 use crate::trace::{sample_execution, PowerSample, TraceConfig};
 
 /// One MI250X-class GPU with sticky power-management settings.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GpuDevice {
     engine: Engine,
     settings: GpuSettings,
     boost: BoostBudget,
 }
-
 
 impl GpuDevice {
     /// Device with a custom engine (e.g. a re-calibrated power model).
@@ -148,7 +146,10 @@ mod tests {
     fn settings_are_sticky() {
         let mut g = GpuDevice::default();
         g.apply(GpuSettings::freq_capped(1100.0));
-        let k = KernelProfile::builder("k").flops(1e13).hbm_bytes(1e10).build();
+        let k = KernelProfile::builder("k")
+            .flops(1e13)
+            .hbm_bytes(1e10)
+            .build();
         let ex = g.run(&k);
         assert_eq!(ex.freq.mhz(), 1100.0);
     }

@@ -226,8 +226,8 @@ impl Engine {
         // demand at the settings' frequency cap exceeds the PPT even though
         // the software cap alone would have allowed it.
         let unconstrained = self.busy_demand_w(kernel, settings.freq_cap);
-        let ppt_throttled = unconstrained > self.ppt_w
-            && settings.power_cap_w.is_none_or(|c| c >= self.ppt_w);
+        let ppt_throttled =
+            unconstrained > self.ppt_w && settings.power_cap_w.is_none_or(|c| c >= self.ppt_w);
 
         Ok(Execution {
             kernel_name: kernel.name.clone(),
@@ -329,7 +329,10 @@ mod tests {
         let e1300 = e(1300.0);
         let e700 = e(700.0);
         assert!(e1300 < e1700, "moderate cap saves energy");
-        assert!(e700 > e1300, "deep cap regresses toward the idle-energy wall");
+        assert!(
+            e700 > e1300,
+            "deep cap regresses toward the idle-energy wall"
+        );
     }
 
     #[test]
@@ -452,7 +455,10 @@ mod try_execute_tests {
 
     #[test]
     fn invalid_kernel_is_an_error_not_a_panic() {
-        let mut k = KernelProfile::builder("bad").flops(1e9).hbm_bytes(1e9).build();
+        let mut k = KernelProfile::builder("bad")
+            .flops(1e9)
+            .hbm_bytes(1e9)
+            .build();
         k.flop_efficiency = 2.0;
         let err = Engine::default()
             .try_execute(&k, GpuSettings::uncapped())
@@ -462,7 +468,10 @@ mod try_execute_tests {
 
     #[test]
     fn valid_kernel_matches_infallible_path() {
-        let k = KernelProfile::builder("ok").flops(1e12).hbm_bytes(1e10).build();
+        let k = KernelProfile::builder("ok")
+            .flops(1e12)
+            .hbm_bytes(1e10)
+            .build();
         let eng = Engine::default();
         let a = eng.execute(&k, GpuSettings::uncapped());
         let b = eng.try_execute(&k, GpuSettings::uncapped()).unwrap();

@@ -208,7 +208,11 @@ mod tests {
         let g = Governor::EnergyOptimal.govern(&engine(), &mem_kernel(), &ladder());
         assert!(g.settings.freq_cap.mhz() < 1000.0, "{:?}", g.settings);
         assert!(g.energy_saving() > 0.1);
-        assert!(g.slowdown() < 0.02, "memory-bound slowdown {}", g.slowdown());
+        assert!(
+            g.slowdown() < 0.02,
+            "memory-bound slowdown {}",
+            g.slowdown()
+        );
     }
 
     #[test]
@@ -256,8 +260,9 @@ mod tests {
         let eng = engine();
         let lad = ladder();
         let phases = vec![mem_kernel(), compute_kernel(), mem_kernel()];
-        let opt =
-            GovernedTotals::from_governed(&Governor::EnergyOptimal.govern_phases(&eng, &phases, &lad));
+        let opt = GovernedTotals::from_governed(
+            &Governor::EnergyOptimal.govern_phases(&eng, &phases, &lad),
+        );
         for mhz in [1700.0, 1300.0, 1100.0, 900.0, 700.0] {
             let fixed = GovernedTotals::from_governed(
                 &Governor::Fixed(mhz).govern_phases(&eng, &phases, &lad),

@@ -126,7 +126,10 @@ impl KernelProfile {
             ));
         }
         if !(0.0..1.0).contains(&self.divergence) {
-            return Err(format!("{}: divergence {} outside [0,1)", self.name, self.divergence));
+            return Err(format!(
+                "{}: divergence {} outside [0,1)",
+                self.name, self.divergence
+            ));
         }
         if self.serial_at_fmax_s < 0.0 || self.stall_s < 0.0 {
             return Err(format!("{}: negative phase time", self.name));

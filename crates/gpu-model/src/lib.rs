@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod boost;
+pub mod cache;
 pub mod calibrate;
 pub mod cap;
 pub mod consts;
@@ -57,6 +58,7 @@ pub mod thermal;
 pub mod trace;
 
 pub use boost::BoostBudget;
+pub use cache::{CacheStats, ExecCache, ExecKey, FxBuildHasher, FxHasher};
 pub use cap::{solve_freq_for_cap, CapOutcome};
 pub use device::{GpuDevice, Node, NodeRestModel};
 pub use engine::{Engine, Execution, GpuSettings};

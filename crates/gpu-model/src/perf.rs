@@ -220,7 +220,10 @@ mod tests {
     fn utilizations_stay_in_unit_interval() {
         for ai in [0.0, 0.0625, 1.0, 4.0, 64.0, 1024.0] {
             let k = if ai == 0.0 {
-                KernelProfile::builder("copy").hbm_bytes(1e9).bw_oversub(1.0).build()
+                KernelProfile::builder("copy")
+                    .hbm_bytes(1e9)
+                    .bw_oversub(1.0)
+                    .build()
             } else {
                 vai_like(ai)
             };

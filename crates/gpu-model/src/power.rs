@@ -57,7 +57,10 @@ impl Utilization {
             (self.hbm, "hbm"),
             (self.active, "active"),
         ] {
-            debug_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "{name} utilization {v} out of range");
+            debug_assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&v),
+                "{name} utilization {v} out of range"
+            );
         }
     }
 }

@@ -148,7 +148,10 @@ mod tests {
     fn no_throttle_below_the_limit() {
         let m = model();
         assert!(m.time_to_throttle_s(50.0, GPU_PPT_W).is_none());
-        assert_eq!(m.time_to_throttle_s(m.throttle_c + 1.0, GPU_BOOST_W), Some(0.0));
+        assert_eq!(
+            m.time_to_throttle_s(m.throttle_c + 1.0, GPU_BOOST_W),
+            Some(0.0)
+        );
     }
 
     #[test]

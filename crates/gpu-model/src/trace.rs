@@ -44,12 +44,75 @@ impl Default for TraceConfig {
     }
 }
 
-/// Standard-normal sample via the Box–Muller transform (keeps the
+/// x-coordinate of the bottom ziggurat layer (Marsaglia–Tsang, 128 layers).
+const ZIG_R: f64 = 3.442_619_855_899;
+
+/// Precomputed ziggurat acceptance tables for the standard normal.
+struct ZigTables {
+    kn: [u32; 128],
+    wn: [f64; 128],
+    fx: [f64; 128],
+}
+
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: std::sync::OnceLock<ZigTables> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let m1 = 2_147_483_648.0f64; // 2^31: scale of the 32-bit draws
+        let vn = 9.912_563_035_262_17e-3; // per-layer area
+        let mut dn = ZIG_R;
+        let mut tn = dn;
+        let q = vn / (-0.5 * dn * dn).exp();
+        let mut kn = [0u32; 128];
+        let mut wn = [0.0f64; 128];
+        let mut fx = [0.0f64; 128];
+        kn[0] = ((dn / q) * m1) as u32;
+        kn[1] = 0;
+        wn[0] = q / m1;
+        wn[127] = dn / m1;
+        fx[0] = 1.0;
+        fx[127] = (-0.5 * dn * dn).exp();
+        for i in (1..=126).rev() {
+            dn = (-2.0 * (vn / dn + (-0.5 * dn * dn).exp()).ln()).sqrt();
+            kn[i + 1] = ((dn / tn) * m1) as u32;
+            tn = dn;
+            fx[i] = (-0.5 * dn * dn).exp();
+            wn[i] = dn / m1;
+        }
+        ZigTables { kn, wn, fx }
+    })
+}
+
+/// Standard-normal sample via the Marsaglia–Tsang ziggurat (keeps the
 /// dependency surface at `rand` alone; `rand_distr` is not needed).
+///
+/// The fleet simulation draws one of these per 15-second telemetry window —
+/// billions per campaign — so the common path must be a table lookup and a
+/// multiply, not transcendentals: ~98 % of draws take one `u64` from the
+/// RNG and never touch `exp`/`ln`.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    let t = zig_tables();
+    loop {
+        let hz = rng.next_u64() as u32 as i32;
+        let i = (hz & 127) as usize;
+        if hz.unsigned_abs() < t.kn[i] {
+            return hz as f64 * t.wn[i];
+        }
+        if i == 0 {
+            // Base layer: sample the tail beyond ZIG_R (Marsaglia's method).
+            loop {
+                let x = -(rng.gen_range(f64::EPSILON..1.0)).ln() / ZIG_R;
+                let y = -(rng.gen_range(f64::EPSILON..1.0)).ln();
+                if y + y >= x * x {
+                    return if hz > 0 { ZIG_R + x } else { -(ZIG_R + x) };
+                }
+            }
+        }
+        // Layer-edge rejection against the true density.
+        let x = hz as f64 * t.wn[i];
+        if t.fx[i] + rng.gen_range(0.0..1.0) * (t.fx[i - 1] - t.fx[i]) < (-0.5 * x * x).exp() {
+            return x;
+        }
+    }
 }
 
 /// Synthesizes the power trace of `ex`, spending boost headroom from

@@ -5,13 +5,13 @@ use proptest::prelude::*;
 
 fn arb_kernel() -> impl Strategy<Value = KernelProfile> {
     (
-        1e9..1e14f64,        // flops
-        1e8..1e13f64,        // hbm bytes
-        0.05..1.0f64,        // flop efficiency
-        0.5..4.0f64,         // bw oversub
-        0.0..0.9f64,         // divergence
-        0.0..30.0f64,        // serial at fmax
-        0.0..30.0f64,        // stall
+        1e9..1e14f64, // flops
+        1e8..1e13f64, // hbm bytes
+        0.05..1.0f64, // flop efficiency
+        0.5..4.0f64,  // bw oversub
+        0.0..0.9f64,  // divergence
+        0.0..30.0f64, // serial at fmax
+        0.0..30.0f64, // stall
     )
         .prop_map(|(flops, hbm, eff, ov, div, serial, stall)| {
             KernelProfile::builder("prop")

@@ -218,10 +218,7 @@ mod tests {
     fn weighted_arcs_keep_self_loops() {
         // A 2-node aggregated graph: self-loop of weight 4 on node 0 and an
         // edge of weight 2 between them.
-        let g = Csr::from_weighted_arcs(
-            2,
-            vec![(0, 0, 4.0), (0, 1, 2.0), (1, 0, 2.0)],
-        );
+        let g = Csr::from_weighted_arcs(2, vec![(0, 0, 4.0), (0, 1, 2.0), (1, 0, 2.0)]);
         assert_eq!(g.weighted_degree(0), 6.0);
         assert_eq!(g.weighted_degree(1), 2.0);
         assert_eq!(g.total_arc_weight(), 8.0);

@@ -72,7 +72,10 @@ pub fn rmat<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Csr {
     let d = 1.0 - a - b - c;
-    assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0, "bad RMAT partition");
+    assert!(
+        a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0,
+        "bad RMAT partition"
+    );
     let n = 1usize << scale;
     let m = n * edge_factor;
 

@@ -135,13 +135,9 @@ pub fn louvain_phases(
             let sweeps = lvl.sweeps.max(1) as f64;
             let hbm = cost.hbm_bytes_per_arc * lvl.arcs as f64 * sweeps * runs;
             let flops = cost.flops_per_arc * lvl.arcs as f64 * sweeps * runs;
-            let serial = cost.serial_s_per_node
-                * prof.serial_factor
-                * lvl.nodes as f64
-                * sweeps
-                * runs;
-            let stall =
-                (lvl.arcs as f64 * 16.0 / cost.host_link_bw + cost.host_overhead_s) * runs;
+            let serial =
+                cost.serial_s_per_node * prof.serial_factor * lvl.nodes as f64 * sweeps * runs;
+            let stall = (lvl.arcs as f64 * 16.0 / cost.host_link_bw + cost.host_overhead_s) * runs;
             KernelProfile::builder(format!("louvain-L{i}-{mapping:?}"))
                 .flops(flops.max(1.0))
                 .hbm_bytes(hbm)

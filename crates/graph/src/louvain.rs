@@ -65,7 +65,11 @@ pub struct LouvainResult {
 impl LouvainResult {
     /// Number of distinct final communities.
     pub fn num_communities(&self) -> usize {
-        self.communities.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+        self.communities
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -92,7 +96,11 @@ pub fn modularity(g: &Csr, communities: &[u32]) -> f64 {
         })
         .sum();
 
-    let n_comms = communities.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let n_comms = communities
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut tot = vec![0.0f64; n_comms];
     for u in 0..g.num_nodes() {
         tot[communities[u] as usize] += g.weighted_degree(u as u32);

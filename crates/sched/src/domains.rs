@@ -60,7 +60,11 @@ pub fn catalog() -> Vec<DomainSpec> {
         DomainSpec {
             code: "MAT",
             name: "materials / electronic structure",
-            mix: vec![(ComputeIntensive, 0.78), (MemoryIntensive, 0.17), (LatencyBound, 0.05)],
+            mix: vec![
+                (ComputeIntensive, 0.78),
+                (MemoryIntensive, 0.17),
+                (LatencyBound, 0.05),
+            ],
             size_weights: [0.10, 0.35, 0.40, 0.10, 0.05],
             activity: 0.09,
         },
@@ -195,9 +199,7 @@ mod tests {
         let d = &catalog()[0]; // CPH: 85 % compute-intensive
         let n = 10_000;
         let ci = (0..n)
-            .filter(|&i| {
-                d.class_for(i as f64 / n as f64) == AppClass::ComputeIntensive
-            })
+            .filter(|&i| d.class_for(i as f64 / n as f64) == AppClass::ComputeIntensive)
             .count();
         assert!((ci as f64 / n as f64 - 0.85).abs() < 0.01);
     }

@@ -142,10 +142,7 @@ pub fn generate(params: TraceParams, domains: &[DomainSpec]) -> Schedule {
     let mut ns_by_domain = vec![0.0f64; domains.len()];
     let mut total_ns = 0.0f64;
     // Same deficit logic one level down: workload classes within a domain.
-    let mut ns_by_class: Vec<Vec<f64>> = domains
-        .iter()
-        .map(|d| vec![0.0; d.mix.len()])
-        .collect();
+    let mut ns_by_class: Vec<Vec<f64>> = domains.iter().map(|d| vec![0.0; d.mix.len()]).collect();
 
     loop {
         // Earliest-available nodes first.

@@ -36,7 +36,9 @@ fn parse_app_class(s: &str) -> Option<AppClass> {
 }
 
 fn parse_size_class(s: &str) -> Option<JobSizeClass> {
-    JobSizeClass::all().into_iter().find(|c| c.label().to_string() == s)
+    JobSizeClass::all()
+        .into_iter()
+        .find(|c| c.label().to_string() == s)
 }
 
 /// Writes the job log, one pipe-separated record per job.
@@ -147,10 +149,10 @@ mod tests {
     #[test]
     fn malformed_records_are_errors() {
         for bad in [
-            "1|CPH1|4|E|0.0|100.0|MI",        // missing field
-            "x|CPH1|4|E|0.0|100.0|MI|7",      // bad id
-            "1|CPH1|4|Q|0.0|100.0|MI|7",      // bad class
-            "1|CPH1|4|E|0.0|100.0|??|7",      // bad app class
+            "1|CPH1|4|E|0.0|100.0|MI",   // missing field
+            "x|CPH1|4|E|0.0|100.0|MI|7", // bad id
+            "1|CPH1|4|Q|0.0|100.0|MI|7", // bad class
+            "1|CPH1|4|E|0.0|100.0|??|7", // bad app class
         ] {
             let log = format!("{HEADER}\n{bad}\n");
             assert!(

@@ -111,10 +111,7 @@ mod tests {
         assert_eq!(st.total_jobs(), n_jobs);
         let share_sum: f64 = (0..8).map(|d| st.domain_share(d)).sum();
         assert!((share_sum - 1.0).abs() < 1e-9, "{share_sum}");
-        let size_sum: f64 = JobSizeClass::all()
-            .iter()
-            .map(|&c| st.size_share(c))
-            .sum();
+        let size_sum: f64 = JobSizeClass::all().iter().map(|&c| st.size_share(c)).sum();
         assert!((size_sum - 1.0).abs() < 1e-9);
     }
 

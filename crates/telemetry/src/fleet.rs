@@ -18,6 +18,8 @@ use pmss_sched::{Job, Schedule};
 use pmss_workloads::phases::synthesize_app;
 use pmss_workloads::AppClass;
 
+use crate::fleetcache::FleetCache;
+
 /// Fleet-simulation parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -35,6 +37,13 @@ pub struct FleetConfig {
     pub domain_settings: Vec<Option<GpuSettings>>,
     /// RNG seed.
     pub seed: u64,
+    /// Memoize slot templates and engine executions across phases, cycles,
+    /// nodes, slots, and repeated runs (see [`FleetCache`]).  When
+    /// disabled, the simulation takes the unmemoized reference path that
+    /// re-synthesizes each app and re-executes every phase on every cycle
+    /// iteration; both paths produce bit-identical output, so disabling
+    /// only serves equivalence tests and A/B benchmarking.
+    pub use_exec_cache: bool,
 }
 
 impl Default for FleetConfig {
@@ -45,6 +54,7 @@ impl Default for FleetConfig {
             settings: GpuSettings::uncapped(),
             domain_settings: Vec::new(),
             seed: 1,
+            use_exec_cache: true,
         }
     }
 }
@@ -111,6 +121,7 @@ fn slot_segments(
     node: usize,
     slot: usize,
     engine: &Engine,
+    cache: Option<&FleetCache>,
     cfg: &FleetConfig,
     idle_power_w: f64,
 ) -> Vec<Segment> {
@@ -129,47 +140,102 @@ fn slot_segments(
         }
         let job = &schedule.jobs[placement.job];
         let settings = cfg.settings_for(job.domain);
-        let mut rng =
-            StdRng::seed_from_u64(job.seed ^ ((node as u64) << 8) ^ slot as u64);
-        let phases = synthesize_app(job.app_class, job.duration_s(), &mut rng);
+        let slot_seed = job.seed ^ ((node as u64) << 8) ^ slot as u64;
 
         // Cycle phases until the job window is filled (under caps the same
         // wall window holds less completed work).
         let mut cursor = placement.begin_s;
-        'fill: loop {
-            let cursor_at_cycle_start = cursor;
-            for phase in &phases {
-                let ex = engine.execute(phase, settings);
-                for (dur, power, boostable) in [
-                    (ex.perf.roofline_s, ex.busy_power_w, ex.ppt_throttled),
-                    (ex.perf.serial_s, ex.serial_power_w, false),
-                    (ex.perf.stall_s, ex.idle_power_w, false),
-                ] {
-                    if dur <= 0.0 {
-                        continue;
-                    }
-                    let end = (cursor + dur).min(placement.end_s);
-                    if end > cursor {
-                        segs.push(Segment {
-                            start_s: cursor,
-                            end_s: end,
-                            power_w: power,
-                            job: Some(placement.job),
-                            boostable,
-                        });
-                    }
-                    cursor = end;
-                    if cursor >= placement.end_s {
-                        break 'fill;
+        match cache {
+            Some(cache) => {
+                // Memoized path: the whole per-cycle template — phase
+                // synthesis plus one engine execution per phase — is
+                // resolved through the shared cache, and the cycle loop
+                // replays it instead of re-running the engine every
+                // iteration.
+                let tmpl =
+                    cache.template(engine, slot_seed, job.app_class, job.duration_s(), settings);
+                if !tmpl.is_empty() {
+                    'fill: loop {
+                        let cursor_at_cycle_start = cursor;
+                        for seg in tmpl.iter() {
+                            let end = (cursor + seg.dur_s).min(placement.end_s);
+                            if end > cursor {
+                                segs.push(Segment {
+                                    start_s: cursor,
+                                    end_s: end,
+                                    power_w: seg.power_w,
+                                    job: Some(placement.job),
+                                    boostable: seg.boostable,
+                                });
+                                cursor = end;
+                            }
+                            if cursor >= placement.end_s {
+                                break 'fill;
+                            }
+                        }
+                        if cursor <= cursor_at_cycle_start {
+                            break;
+                        }
                     }
                 }
             }
-            if phases.is_empty() || cursor <= cursor_at_cycle_start {
-                // Degenerate phases cannot fill the window; leave the rest
-                // of the job window at the last cursor position (it will be
-                // covered by the next idle segment).
-                break;
+            None => {
+                // Reference path: re-synthesize the app and re-execute
+                // every phase on every cycle iteration, exactly as the
+                // pre-cache implementation did.  Synthesis is seed-pure and
+                // `Engine::execute` is stateless, so this produces
+                // bit-identical segments to the memoized path; it is kept
+                // as the baseline for equivalence tests and A/B
+                // benchmarking.
+                let mut rng = StdRng::seed_from_u64(slot_seed);
+                let phases = synthesize_app(job.app_class, job.duration_s(), &mut rng);
+                'fill: loop {
+                    let cursor_at_cycle_start = cursor;
+                    for phase in &phases {
+                        let ex = engine.execute(phase, settings);
+                        for (dur, power, boostable) in [
+                            (ex.perf.roofline_s, ex.busy_power_w, ex.ppt_throttled),
+                            (ex.perf.serial_s, ex.serial_power_w, false),
+                            (ex.perf.stall_s, ex.idle_power_w, false),
+                        ] {
+                            if dur <= 0.0 {
+                                continue;
+                            }
+                            let end = (cursor + dur).min(placement.end_s);
+                            if end > cursor {
+                                segs.push(Segment {
+                                    start_s: cursor,
+                                    end_s: end,
+                                    power_w: power,
+                                    job: Some(placement.job),
+                                    boostable,
+                                });
+                                cursor = end;
+                            }
+                            if cursor >= placement.end_s {
+                                break 'fill;
+                            }
+                        }
+                    }
+                    if cursor <= cursor_at_cycle_start {
+                        break;
+                    }
+                }
             }
+        }
+        if cursor < placement.end_s {
+            // Degenerate phases (an empty or sub-resolution synthesis, or
+            // durations too small to advance the cursor) cannot fill the
+            // job window.  The slot is still allocated to the job, so bill
+            // the remainder at idle power rather than leaving it uncovered
+            // (an uncovered span integrates as 0 W into window means).
+            segs.push(Segment {
+                start_s: cursor,
+                end_s: placement.end_s,
+                power_w: idle_power_w,
+                job: Some(placement.job),
+                boostable: false,
+            });
         }
         t = placement.end_s;
     }
@@ -199,12 +265,24 @@ fn emit_windows<O: FleetObserver>(
     boost: &mut BoostBudget,
     rng: &mut StdRng,
 ) {
-    let n_windows = (schedule.duration_s / cfg.window_s).floor() as usize;
+    let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
     let mut seg_idx = 0usize;
 
-    for w in 0..n_windows {
+    // `n_full` whole windows plus, when the duration is not an exact
+    // multiple of the window, one final partial window averaging the
+    // remaining covered span (previously the tail was silently dropped).
+    for w in 0..=n_full {
         let w_start = w as f64 * cfg.window_s;
-        let w_end = w_start + cfg.window_s;
+        let w_end = if w == n_full {
+            schedule.duration_s
+        } else {
+            w_start + cfg.window_s
+        };
+        let span = w_end - w_start;
+        if span <= 1e-9 {
+            break;
+        }
+        let center = w_start + 0.5 * span;
 
         // Advance to the first segment overlapping this window.
         while seg_idx + 1 < segments.len() && segments[seg_idx].end_s <= w_start {
@@ -228,8 +306,7 @@ fn emit_windows<O: FleetObserver>(
                     if boost.stored_s() >= BURST_MIN_S {
                         let granted = boost.spend(overlap.min(10.0));
                         let boosted = pmss_gpu::consts::GPU_TDP_W
-                            + 0.5 * (pmss_gpu::consts::GPU_BOOST_W
-                                - pmss_gpu::consts::GPU_TDP_W);
+                            + 0.5 * (pmss_gpu::consts::GPU_BOOST_W - pmss_gpu::consts::GPU_TDP_W);
                         p = (granted * boosted + (overlap - granted) * s.power_w) / overlap;
                     } else {
                         boost.recharge(overlap);
@@ -238,20 +315,23 @@ fn emit_windows<O: FleetObserver>(
                     boost.recharge(overlap);
                 }
                 energy += p * overlap;
-                if attributed.is_none() {
+                // Attribute the window to the job occupying its center —
+                // matching how the sample is stamped — rather than to
+                // whichever segment happens to overlap the window first.
+                if s.start_s <= center && center < s.end_s {
                     attributed = s.job;
                 }
             }
             i += 1;
         }
 
-        let mean = energy / cfg.window_s + cfg.noise_sd_w * standard_normal(rng);
+        let mean = energy / span + cfg.noise_sd_w * standard_normal(rng);
         let ctx = SampleCtx {
             node,
             slot,
             job: attributed.map(|j| &schedule.jobs[j]),
         };
-        observer.gpu_sample(&ctx, w_start + 0.5 * cfg.window_s, mean.max(0.0));
+        observer.gpu_sample(&ctx, center, mean.max(0.0));
     }
 }
 
@@ -263,12 +343,22 @@ fn emit_node_rest<O: FleetObserver>(
     cfg: &FleetConfig,
     rest: &NodeRestModel,
 ) {
-    let n_windows = (schedule.duration_s / cfg.window_s).floor() as usize;
+    let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
     let placements = &schedule.per_node[node as usize];
     let mut p_idx = 0usize;
 
-    for w in 0..n_windows {
-        let t = (w as f64 + 0.5) * cfg.window_s;
+    // Same window layout as `emit_windows`, including the partial tail.
+    for w in 0..=n_full {
+        let w_start = w as f64 * cfg.window_s;
+        let w_end = if w == n_full {
+            schedule.duration_s
+        } else {
+            w_start + cfg.window_s
+        };
+        if w_end - w_start <= 1e-9 {
+            break;
+        }
+        let t = 0.5 * (w_start + w_end);
         while p_idx < placements.len() && placements[p_idx].end_s <= t {
             p_idx += 1;
         }
@@ -282,7 +372,39 @@ fn emit_node_rest<O: FleetObserver>(
 }
 
 /// Runs the fleet simulation, returning the merged observer.
+///
+/// When [`FleetConfig::use_exec_cache`] is set (the default), a fresh
+/// [`FleetCache`] is shared across all rayon workers for the duration of
+/// the run; use [`simulate_fleet_with_cache`] to supply a caller-owned
+/// cache (e.g. to inspect hit rates or amortize warm-up across repeated
+/// runs).
 pub fn simulate_fleet<O>(schedule: &Schedule, cfg: &FleetConfig) -> O
+where
+    O: FleetObserver + Default,
+{
+    if cfg.use_exec_cache {
+        let cache = FleetCache::new();
+        simulate_fleet_impl(schedule, cfg, Some(&cache))
+    } else {
+        simulate_fleet_impl(schedule, cfg, None)
+    }
+}
+
+/// [`simulate_fleet`] with a caller-owned cache.
+///
+/// The cache must only be reused across runs with the same engine
+/// calibration (the fleet simulation always uses `Engine::default()`, so
+/// any two `simulate_fleet_with_cache` calls may share one cache).  Output
+/// is bit-identical to the uncached path regardless of the cache's prior
+/// contents, because cache keys are exact (see [`FleetCache`]).
+pub fn simulate_fleet_with_cache<O>(schedule: &Schedule, cfg: &FleetConfig, cache: &FleetCache) -> O
+where
+    O: FleetObserver + Default,
+{
+    simulate_fleet_impl(schedule, cfg, Some(cache))
+}
+
+fn simulate_fleet_impl<O>(schedule: &Schedule, cfg: &FleetConfig, cache: Option<&FleetCache>) -> O
 where
     O: FleetObserver + Default,
 {
@@ -297,7 +419,7 @@ where
         .fold(O::default, |mut obs, node| {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
             for slot in 0..GPUS_PER_NODE {
-                let segs = slot_segments(schedule, node, slot, &engine, cfg, idle_power_w);
+                let segs = slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
                 let mut boost = BoostBudget::default();
                 emit_windows(
                     &mut obs,
@@ -367,6 +489,108 @@ mod tests {
     }
 
     #[test]
+    fn partial_tail_window_is_emitted() {
+        // Duration not a multiple of the window: the 7-second tail gets its
+        // own sample (it used to be dropped entirely).
+        let s = generate(
+            TraceParams {
+                nodes: 2,
+                duration_s: 2.0 * 3600.0 + 7.0,
+                seed: 5,
+                min_job_s: 900.0,
+            },
+            &catalog(),
+        );
+        let c: Collector = simulate_fleet(&s, &FleetConfig::default());
+        let windows = (s.duration_s / 15.0).floor() as usize + 1;
+        assert_eq!(c.gpu.len(), 2 * GPUS_PER_NODE * windows);
+        assert_eq!(c.node.len(), 2 * windows);
+        // The tail sample is stamped at the center of its covered span.
+        let tail_t = 2.0 * 3600.0 + 3.5;
+        assert!(c
+            .gpu
+            .iter()
+            .any(|&(_, _, t, _, _)| (t - tail_t).abs() < 1e-9));
+    }
+
+    #[test]
+    fn partial_tail_mean_covers_the_actual_span() {
+        // An all-idle slot must read exactly idle power in *every* window,
+        // including the 10-second tail: the tail mean is normalized by the
+        // covered span, not the nominal window length.
+        let s = pmss_sched::Schedule {
+            jobs: Vec::new(),
+            per_node: vec![Vec::new()],
+            duration_s: 100.0,
+        };
+        let cfg = FleetConfig {
+            noise_sd_w: 0.0,
+            ..Default::default()
+        };
+        let c: Collector = simulate_fleet(&s, &cfg);
+        let idle_w = pmss_gpu::Engine::default()
+            .power_model()
+            .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
+        assert_eq!(c.gpu.len(), GPUS_PER_NODE * 7); // 6 full windows + tail
+        for &(_, _, t, w, job) in &c.gpu {
+            assert!((w - idle_w).abs() < 1e-9, "t {t}: {w} vs idle {idle_w}");
+            assert_eq!(job, None);
+        }
+        // Total integrated energy is conserved: sum of mean * span equals
+        // idle power over the whole 100 s horizon, per slot.
+        let slot0: f64 = c
+            .gpu
+            .iter()
+            .filter(|x| x.1 == 0)
+            .map(|x| {
+                let span = if x.2 > 90.0 { 10.0 } else { 15.0 };
+                x.3 * span
+            })
+            .sum();
+        assert!((slot0 - idle_w * 100.0).abs() < 1e-6, "energy {slot0}");
+    }
+
+    #[test]
+    fn degenerate_phases_are_billed_at_idle_power() {
+        // A job shorter than the phase-synthesis resolution (<= 1 s)
+        // produces no phases; its window must still be covered (at idle
+        // power, attributed to the job) instead of integrating as 0 W.
+        let job = pmss_sched::Job {
+            id: 7,
+            domain: 0,
+            project_id: "TST000".into(),
+            num_nodes: 1,
+            size_class: pmss_sched::JobSizeClass::E,
+            begin_s: 30.0,
+            end_s: 30.9,
+            app_class: pmss_workloads::AppClass::Mixed,
+            seed: 11,
+        };
+        let s = pmss_sched::Schedule {
+            per_node: vec![vec![pmss_sched::Placement {
+                job: 0,
+                begin_s: job.begin_s,
+                end_s: job.end_s,
+            }]],
+            jobs: vec![job],
+            duration_s: 60.0,
+        };
+        let cfg = FleetConfig {
+            noise_sd_w: 0.0,
+            ..Default::default()
+        };
+        let c: Collector = simulate_fleet(&s, &cfg);
+        let idle_w = pmss_gpu::Engine::default()
+            .power_model()
+            .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
+        // Every sample reads exactly idle power: the 0.9 s job span is
+        // covered by the degenerate-phase idle segment, not left as a gap.
+        for &(_, _, t, w, _) in &c.gpu {
+            assert!((w - idle_w).abs() < 1e-9, "t {t}: {w} vs idle {idle_w}");
+        }
+    }
+
+    #[test]
     fn samples_cover_physical_power_range() {
         let s = tiny_schedule();
         let c: Collector = simulate_fleet(&s, &FleetConfig::default());
@@ -379,16 +603,17 @@ mod tests {
 
     #[test]
     fn job_attribution_matches_schedule() {
+        // Window attribution is by the segment covering the window center,
+        // so every sample — attributed or idle — must agree exactly with
+        // the placement (if any) containing its timestamp.
         let s = tiny_schedule();
         let c: Collector = simulate_fleet(&s, &FleetConfig::default());
-        for &(node, _, t, _, job_id) in c.gpu.iter().take(5000) {
+        for &(node, _, t, _, job_id) in c.gpu.iter() {
             let expect = s.per_node[node as usize]
                 .iter()
                 .find(|p| p.begin_s <= t && t < p.end_s)
                 .map(|p| s.jobs[p.job].id);
-            if let (Some(a), Some(b)) = (job_id, expect) {
-                assert_eq!(a, b, "node {node} t {t}");
-            }
+            assert_eq!(job_id, expect, "node {node} t {t}");
         }
     }
 
@@ -413,9 +638,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mean = |c: &Collector| {
-            c.gpu.iter().map(|x| x.3).sum::<f64>() / c.gpu.len() as f64
-        };
+        let mean = |c: &Collector| c.gpu.iter().map(|x| x.3).sum::<f64>() / c.gpu.len() as f64;
         assert!(
             mean(&capped) < mean(&base) - 10.0,
             "capped {} vs base {}",
@@ -447,6 +670,53 @@ mod tests {
             let m = unattributed.iter().sum::<f64>() / unattributed.len() as f64;
             assert!((85.0..95.0).contains(&m), "idle mean {m}");
         }
+    }
+
+    #[test]
+    fn cached_simulation_is_bit_identical_to_uncached() {
+        let s = tiny_schedule();
+        let cached: Collector = simulate_fleet(&s, &FleetConfig::default());
+        let uncached: Collector = simulate_fleet(
+            &s,
+            &FleetConfig {
+                use_exec_cache: false,
+                ..Default::default()
+            },
+        );
+        // Exact-bit cache keys make the memoized path indistinguishable
+        // from fresh execution: every sample matches bit for bit.
+        assert_eq!(cached.gpu.len(), uncached.gpu.len());
+        assert_eq!(cached.gpu, uncached.gpu);
+        assert_eq!(cached.node, uncached.node);
+    }
+
+    #[test]
+    fn shared_cache_is_warm_on_repeat_runs() {
+        // Template keys are seeded per (job, node, slot), so within one
+        // cold run every slot template misses exactly once; any repeated
+        // simulation of the same schedule — different observers, benchmark
+        // iterations, what-if sweeps — then runs entirely warm: every
+        // template hits and the engine executes nothing at all.
+        let s = tiny_schedule();
+        let cache = FleetCache::new();
+        let cfg = FleetConfig::default();
+        let _: Collector = simulate_fleet_with_cache(&s, &cfg, &cache);
+        let cold_tmpl = cache.template_stats();
+        let cold_exec = cache.exec().stats();
+        assert_eq!(cold_tmpl.misses as usize, cache.template_len());
+        assert!(cold_tmpl.misses > 0);
+        assert_eq!(cold_exec.misses as usize, cache.exec().len());
+        assert!(cold_exec.misses > 0);
+
+        let _: Collector = simulate_fleet_with_cache(&s, &cfg, &cache);
+        let warm_tmpl = cache.template_stats();
+        assert_eq!(warm_tmpl.misses, cold_tmpl.misses, "no new synthesis");
+        assert_eq!(warm_tmpl.hits, cold_tmpl.hits + cold_tmpl.lookups());
+        assert_eq!(
+            cache.exec().stats(),
+            cold_exec,
+            "warm templates never reach the engine"
+        );
     }
 }
 

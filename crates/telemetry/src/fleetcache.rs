@@ -1,0 +1,262 @@
+//! Fleet-level memoization: per-(job, slot-seed) phase *templates* layered
+//! over the kernel-level [`ExecCache`].
+//!
+//! The fleet simulation synthesizes an application (a seeded random phase
+//! sequence) for every (placement, GPU slot) and executes each phase
+//! through the engine.  Synthesis is deterministic in its seed, class,
+//! duration, and the applied [`GpuSettings`], and the local RNG it consumes
+//! is dropped immediately afterwards — so the entire per-cycle segment
+//! template is a pure function of those four inputs and can be memoized
+//! wholesale.  A warm template hit skips the RNG draws, the kernel-profile
+//! construction, *and* every engine execution for that slot; repeated
+//! simulations of a schedule (one run per observer, benchmark iterations,
+//! what-if sweeps) touch one cache entry per placement instead of one per
+//! phase.
+//!
+//! Cold misses still go through [`Engine::execute_cached`], so the
+//! kernel-level cache deduplicates identical (kernel, settings) executions
+//! across templates and remains the single source of engine results.
+//!
+//! Keys are exact — the seed plus the bit patterns of the duration and
+//! settings — so the memoized path is bit-identical to recomputing (the
+//! same argument as the [`ExecCache`] key quantization, one level up).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
+
+use pmss_gpu::{CacheStats, Engine, ExecCache, FxBuildHasher, FxHasher, GpuSettings};
+use pmss_workloads::phases::synthesize_app;
+use pmss_workloads::AppClass;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One constant-power stretch of a single phase cycle, precomputed once
+/// per (job, slot-seed) and replayed across cycle iterations.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PhaseSeg {
+    pub(crate) dur_s: f64,
+    pub(crate) power_w: f64,
+    /// True when the device is pinned at its firmware limit and may boost.
+    pub(crate) boostable: bool,
+}
+
+/// Exact identity of one synthesized slot template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TemplateKey {
+    /// Per-(job, node, slot) synthesis seed.
+    seed: u64,
+    class: AppClass,
+    /// `f64::to_bits` of the synthesized app duration.
+    dur_bits: u64,
+    /// `f64::to_bits` of the frequency cap, in MHz.
+    freq_bits: u64,
+    /// `f64::to_bits` of the power cap (`u64::MAX` when uncapped).
+    cap_bits: u64,
+}
+
+type TemplateShard = CachePadded<RwLock<HashMap<TemplateKey, Arc<[PhaseSeg]>, FxBuildHasher>>>;
+
+/// Sharded concurrent cache of fleet slot templates plus the kernel-level
+/// [`ExecCache`] that fills them on misses.
+///
+/// Shareable across any runs that use the same engine calibration (the
+/// fleet simulation always runs `Engine::default()`), including
+/// concurrently from all rayon workers.
+#[derive(Debug)]
+pub struct FleetCache {
+    exec: ExecCache,
+    shards: Box<[TemplateShard]>,
+    shard_bits: u32,
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
+}
+
+impl Default for FleetCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetCache {
+    /// Creates an empty cache (64 template shards, like [`ExecCache`]).
+    pub fn new() -> Self {
+        let n = 64usize;
+        FleetCache {
+            exec: ExecCache::new(),
+            shards: (0..n)
+                .map(|_| CachePadded::new(RwLock::new(HashMap::default())))
+                .collect(),
+            shard_bits: n.trailing_zeros(),
+            hits: CachePadded::new(AtomicU64::new(0)),
+            misses: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The kernel-level execution cache templates are built from.
+    pub fn exec(&self) -> &ExecCache {
+        &self.exec
+    }
+
+    /// Template hit/miss counters.
+    pub fn template_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached slot templates.
+    pub fn template_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Drops all templates and executions and zeroes every counter.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.exec.clear();
+    }
+
+    fn shard(&self, key: &TemplateKey) -> &TemplateShard {
+        let h = BuildHasherDefault::<FxHasher>::default().hash_one(key);
+        // Top bits select the shard; the in-shard map uses the low bits.
+        let shift = (u64::BITS - self.shard_bits) % u64::BITS;
+        &self.shards[(h >> shift) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Returns the slot template for (`seed`, `class`, `duration_s`,
+    /// `settings`), synthesizing and executing it through the kernel cache
+    /// on first sight.
+    ///
+    /// The miss path computes outside the shard lock: template keys are
+    /// unique per (job, node, slot), so duplicated work from a concurrent
+    /// race is not worth serializing the shard for.
+    pub(crate) fn template(
+        &self,
+        engine: &Engine,
+        seed: u64,
+        class: AppClass,
+        duration_s: f64,
+        settings: GpuSettings,
+    ) -> Arc<[PhaseSeg]> {
+        let key = TemplateKey {
+            seed,
+            class,
+            dur_bits: duration_s.to_bits(),
+            freq_bits: settings.freq_cap.mhz().to_bits(),
+            cap_bits: settings.power_cap_w.map_or(u64::MAX, f64::to_bits),
+        };
+        let shard = self.shard(&key);
+        if let Some(tmpl) = shard.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(tmpl);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases = synthesize_app(class, duration_s, &mut rng);
+        let mut tmpl = Vec::with_capacity(phases.len() * 3);
+        for phase in &phases {
+            let ex = engine.execute_cached(&self.exec, phase, settings);
+            for (dur_s, power_w, boostable) in [
+                (ex.perf.roofline_s, ex.busy_power_w, ex.ppt_throttled),
+                (ex.perf.serial_s, ex.serial_power_w, false),
+                (ex.perf.stall_s, ex.idle_power_w, false),
+            ] {
+                if dur_s > 0.0 {
+                    tmpl.push(PhaseSeg {
+                        dur_s,
+                        power_w,
+                        boostable,
+                    });
+                }
+            }
+        }
+        let tmpl: Arc<[PhaseSeg]> = tmpl.into();
+        shard
+            .write()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&tmpl));
+        tmpl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_is_deterministic_and_memoized() {
+        let cache = FleetCache::new();
+        let engine = Engine::default();
+        let a = cache.template(
+            &engine,
+            42,
+            AppClass::Mixed,
+            3600.0,
+            GpuSettings::uncapped(),
+        );
+        let b = cache.template(
+            &engine,
+            42,
+            AppClass::Mixed,
+            3600.0,
+            GpuSettings::uncapped(),
+        );
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
+        assert_eq!(cache.template_stats().hits, 1);
+        assert_eq!(cache.template_stats().misses, 1);
+        assert_eq!(cache.template_len(), 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_templates() {
+        let cache = FleetCache::new();
+        let engine = Engine::default();
+        let base = cache.template(&engine, 7, AppClass::Mixed, 1800.0, GpuSettings::uncapped());
+        for (seed, class, dur, settings) in [
+            (8, AppClass::Mixed, 1800.0, GpuSettings::uncapped()),
+            (
+                7,
+                AppClass::ComputeIntensive,
+                1800.0,
+                GpuSettings::uncapped(),
+            ),
+            (7, AppClass::Mixed, 1801.0, GpuSettings::uncapped()),
+            (7, AppClass::Mixed, 1800.0, GpuSettings::power_capped(300.0)),
+        ] {
+            let t = cache.template(&engine, seed, class, dur, settings);
+            assert!(!Arc::ptr_eq(&base, &t));
+        }
+        assert_eq!(cache.template_len(), 5);
+        assert_eq!(cache.template_stats().misses, 5);
+    }
+
+    #[test]
+    fn clear_empties_both_levels() {
+        let cache = FleetCache::new();
+        let engine = Engine::default();
+        cache.template(
+            &engine,
+            1,
+            AppClass::MemoryIntensive,
+            600.0,
+            GpuSettings::uncapped(),
+        );
+        assert!(cache.template_len() > 0);
+        assert!(!cache.exec().is_empty());
+        cache.clear();
+        assert_eq!(cache.template_len(), 0);
+        assert!(cache.exec().is_empty());
+        assert_eq!(cache.template_stats(), CacheStats::default());
+        assert_eq!(cache.exec().stats(), CacheStats::default());
+    }
+}

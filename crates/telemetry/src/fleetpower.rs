@@ -18,7 +18,11 @@ pub struct FleetPowerSeries {
 
 impl FleetPowerSeries {
     fn slot(&mut self, t_s: f64) -> &mut f64 {
-        let w = if self.window_s > 0.0 { self.window_s } else { 15.0 };
+        let w = if self.window_s > 0.0 {
+            self.window_s
+        } else {
+            15.0
+        };
         self.window_s = w;
         let idx = (t_s / w) as usize;
         if self.totals_w.len() <= idx {
@@ -48,7 +52,11 @@ impl FleetPowerSeries {
 
     /// Total energy, joules.
     pub fn energy_j(&self) -> f64 {
-        let w = if self.window_s > 0.0 { self.window_s } else { 15.0 };
+        let w = if self.window_s > 0.0 {
+            self.window_s
+        } else {
+            15.0
+        };
         self.totals_w.iter().sum::<f64>() * w
     }
 

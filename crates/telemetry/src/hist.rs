@@ -30,8 +30,13 @@ impl PowerHistogram {
     }
 
     /// Records one power sample; values beyond the range clamp into the
-    /// edge bins.
+    /// edge bins.  Non-finite samples (sensor glitches propagated as NaN or
+    /// ±inf) are skipped: a NaN would land in bin 0 via the float-to-int
+    /// cast while poisoning `sum_w` — and with it `mean_w` — forever.
     pub fn record(&mut self, power_w: f64) {
+        if !power_w.is_finite() {
+            return;
+        }
         let idx = ((power_w / self.bin_w) as isize).clamp(0, self.counts.len() as isize - 1);
         self.counts[idx as usize] += 1;
         self.total += 1;
@@ -44,7 +49,10 @@ impl PowerHistogram {
     /// Panics on layout mismatch.
     pub fn merge(&mut self, other: &PowerHistogram) {
         assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
-        assert!((self.bin_w - other.bin_w).abs() < 1e-12, "bin width mismatch");
+        assert!(
+            (self.bin_w - other.bin_w).abs() < 1e-12,
+            "bin width mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -176,6 +184,20 @@ mod tests {
         assert_eq!(h.total(), 2);
         let sum: f64 = h.density().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped() {
+        let mut h = PowerHistogram::new(600.0, 300);
+        h.record(100.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(300.0);
+        // Only the two finite samples count; the mean stays finite.
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), 2);
+        assert!((h.mean_w().unwrap() - 200.0).abs() < 1e-12);
     }
 
     #[test]

@@ -136,7 +136,11 @@ impl JobPowerIndex {
 
 impl FleetObserver for JobPowerIndex {
     fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64) {
-        let window = if self.window_s > 0.0 { self.window_s } else { 15.0 };
+        let window = if self.window_s > 0.0 {
+            self.window_s
+        } else {
+            15.0
+        };
         if let Some(job) = ctx.job {
             let stats = self.stats.entry(job.id).or_default();
             stats.domain = job.domain;

@@ -25,6 +25,7 @@
 pub mod compress;
 pub mod export;
 pub mod fleet;
+pub mod fleetcache;
 pub mod fleetpower;
 pub mod hist;
 pub mod join;
@@ -32,9 +33,10 @@ pub mod observers;
 pub mod sampler;
 pub mod smi;
 
-pub use fleet::{simulate_fleet, FleetConfig, FleetObserver, SampleCtx};
-pub use hist::PowerHistogram;
-pub use observers::{DomainHistograms, GpuCpuEnergy, Pair, SystemHistogram};
+pub use fleet::{simulate_fleet, simulate_fleet_with_cache, FleetConfig, FleetObserver, SampleCtx};
+pub use fleetcache::FleetCache;
 pub use fleetpower::FleetPowerSeries;
+pub use hist::PowerHistogram;
 pub use join::{JobPowerIndex, JobPowerStats};
+pub use observers::{DomainHistograms, GpuCpuEnergy, Pair, SystemHistogram};
 pub use smi::{compare_sensors, Comparison};

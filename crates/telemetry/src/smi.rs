@@ -54,11 +54,7 @@ pub struct Comparison {
 }
 
 /// Runs `phases` once and observes the run through both sensors.
-pub fn compare_sensors(
-    phases: &[KernelProfile],
-    settings: GpuSettings,
-    seed: u64,
-) -> Comparison {
+pub fn compare_sensors(phases: &[KernelProfile], settings: GpuSettings, seed: u64) -> Comparison {
     let engine = Engine::default();
     let pair = SensorPair::default();
 
@@ -120,11 +116,7 @@ mod tests {
 
     fn sample_app() -> Vec<KernelProfile> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        pmss_workloads::phases::synthesize_app(
-            pmss_workloads::AppClass::Mixed,
-            1200.0,
-            &mut rng,
-        )
+        pmss_workloads::phases::synthesize_app(pmss_workloads::AppClass::Mixed, 1200.0, &mut rng)
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Window-energy conservation: [`EnergyLedger::region_totals`] must agree
+//! with the sum of every recorded window energy, including on schedules
+//! whose duration is not a multiple of the 15-second telemetry window —
+//! the regime where the (fixed) dropped-tail and coverage-hole sampling
+//! bugs used to lose or mis-bill energy.
+
+use pmss_core::EnergyLedger;
+use pmss_sched::{catalog, generate, TraceParams};
+use pmss_telemetry::{simulate_fleet, FleetConfig, FleetObserver, SampleCtx};
+use proptest::prelude::*;
+
+/// Independent tally of the same sample stream the ledger sees: one
+/// `power * window` energy contribution per GPU sample.
+#[derive(Default)]
+struct EnergySum {
+    joules: f64,
+    samples: u64,
+}
+
+impl FleetObserver for EnergySum {
+    fn gpu_sample(&mut self, _ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
+        self.joules += power_w * 15.0;
+        self.samples += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        self.joules += other.joules;
+        self.samples += other.samples;
+    }
+}
+
+proptest! {
+    #[test]
+    fn region_totals_match_recorded_window_energy(
+        nodes in 1usize..4,
+        // Offsets in (0, 900) that are mostly *not* multiples of 15 s.
+        dur_offset_s in 1u32..900,
+        seed in 0u64..1_000,
+    ) {
+        let schedule = generate(
+            TraceParams {
+                nodes,
+                duration_s: 3600.0 + dur_offset_s as f64,
+                seed,
+                min_job_s: 600.0,
+            },
+            &catalog(),
+        );
+        let cfg = FleetConfig::default();
+        // Same config and seed: both observers see the identical,
+        // deterministic sample stream.
+        let ledger: EnergyLedger = simulate_fleet(&schedule, &cfg);
+        let sum: EnergySum = simulate_fleet(&schedule, &cfg);
+
+        let ledger_joules: f64 = ledger.region_totals().iter().map(|c| c.joules).sum();
+        prop_assert!(sum.samples > 0);
+        prop_assert!(
+            (ledger_joules - sum.joules).abs() <= 1e-6 * sum.joules.max(1.0),
+            "ledger {} J vs recorded {} J over {} samples",
+            ledger_joules,
+            sum.joules,
+            sum.samples,
+        );
+    }
+}

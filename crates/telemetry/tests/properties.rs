@@ -29,7 +29,7 @@ proptest! {
         // The trailing partial window is scaled up by the mean; bound the
         // discrepancy by one full window at max power.
         prop_assert!((original - aggregated).abs() <= 14.0 * 600.0);
-        if trace.len() % 7 == 0 {
+        if trace.len().is_multiple_of(7) {
             prop_assert!((original - aggregated).abs() < 1e-6 * original.max(1.0));
         }
     }

@@ -160,7 +160,12 @@ mod tests {
         let hi = eng.execute(&k, GpuSettings::uncapped());
         let lo = eng.execute(&k, GpuSettings::freq_capped(900.0));
         assert_eq!(hi.bottleneck(), Bottleneck::OnDie);
-        assert!(lo.time_s > 1.5 * hi.time_s, "{} vs {}", lo.time_s, hi.time_s);
+        assert!(
+            lo.time_s > 1.5 * hi.time_s,
+            "{} vs {}",
+            lo.time_s,
+            hi.time_s
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub fn compute_phase<R: Rng + ?Sized>(rng: &mut R, duration_s: f64) -> KernelPro
     let ai = 2f64.powf(rng.gen_range(1.0..9.0));
     let eff_peak = GPU_PEAK_FLOPS * VAI_FLOP_EFFICIENCY;
     let flops = eff_peak * duration_s;
-    KernelProfile::builder(format!("ci-ai{ai:.0}"))
+    // A fixed label: phase synthesis sits on the fleet hot path, and
+    // formatting the drawn parameters into every name costs more than the
+    // whole rest of the builder.  The parameters stay visible in the
+    // numeric fields.
+    KernelProfile::builder("compute-intensive")
         .flops(flops)
         .hbm_bytes(flops / ai)
         .flop_efficiency(VAI_FLOP_EFFICIENCY)
@@ -77,7 +81,7 @@ pub fn memory_phase<R: Rng + ?Sized>(rng: &mut R, duration_s: f64) -> KernelProf
     // paper's memory benchmark, these phases keep their bandwidth (and thus
     // their runtime) when the clock is capped — the basis of the "energy
     // savings without compromising performance" headline.
-    KernelProfile::builder(format!("mi-{:.0}pct", sustain * 100.0))
+    KernelProfile::builder("memory-intensive")
         .flops(bytes * ai)
         .hbm_bytes(bytes)
         .flop_efficiency(VAI_FLOP_EFFICIENCY)
@@ -220,8 +224,16 @@ mod tests {
 
     #[test]
     fn synthesis_is_deterministic_per_seed() {
-        let a = synthesize_app(AppClass::MemoryIntensive, 1800.0, &mut StdRng::seed_from_u64(9));
-        let b = synthesize_app(AppClass::MemoryIntensive, 1800.0, &mut StdRng::seed_from_u64(9));
+        let a = synthesize_app(
+            AppClass::MemoryIntensive,
+            1800.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = synthesize_app(
+            AppClass::MemoryIntensive,
+            1800.0,
+            &mut StdRng::seed_from_u64(9),
+        );
         assert_eq!(a, b);
     }
 }

@@ -140,12 +140,18 @@ pub fn average_across_kernels(per_kernel: &[Vec<NormalizedPoint>]) -> Vec<Normal
 
 /// Convenience: all frequency-cap settings.
 pub fn freq_settings() -> Vec<CapSetting> {
-    FREQ_CAPS_MHZ.iter().map(|&m| CapSetting::FreqMhz(m)).collect()
+    FREQ_CAPS_MHZ
+        .iter()
+        .map(|&m| CapSetting::FreqMhz(m))
+        .collect()
 }
 
 /// Convenience: all power-cap settings.
 pub fn power_settings() -> Vec<CapSetting> {
-    POWER_CAPS_W.iter().map(|&w| CapSetting::PowerW(w)).collect()
+    POWER_CAPS_W
+        .iter()
+        .map(|&w| CapSetting::PowerW(w))
+        .collect()
 }
 
 #[cfg(test)]
@@ -177,8 +183,14 @@ mod tests {
         let pts = sweep_kernel(&engine(), &vai_kernel(64.0), &freq_settings());
         let norm = normalize(&pts);
         for w in norm.windows(2) {
-            assert!(w[1].runtime >= w[0].runtime - 1e-9, "runtime grows as caps tighten");
-            assert!(w[1].power <= w[0].power + 1e-9, "power falls as caps tighten");
+            assert!(
+                w[1].runtime >= w[0].runtime - 1e-9,
+                "runtime grows as caps tighten"
+            );
+            assert!(
+                w[1].power <= w[0].power + 1e-9,
+                "power falls as caps tighten"
+            );
         }
     }
 
@@ -211,11 +223,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "baseline")]
     fn normalize_requires_baseline() {
-        let pts = sweep_kernel(
-            &engine(),
-            &vai_kernel(1.0),
-            &[CapSetting::FreqMhz(900.0)],
-        );
+        let pts = sweep_kernel(&engine(), &vai_kernel(1.0), &[CapSetting::FreqMhz(900.0)]);
         let _ = normalize(&pts);
     }
 }

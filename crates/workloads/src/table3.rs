@@ -117,7 +117,13 @@ fn averaged_family(
 pub fn compute(engine: &Engine, scale: BenchScale) -> Table3 {
     let vai_kernels: Vec<_> = vai::intensity_sweep()
         .into_iter()
-        .map(|ai| vai::kernel(VaiParams::for_intensity(ai, scale.vai_wis, scale.vai_repeat)))
+        .map(|ai| {
+            vai::kernel(VaiParams::for_intensity(
+                ai,
+                scale.vai_wis,
+                scale.vai_repeat,
+            ))
+        })
         .collect();
     // The MB columns of Table III characterize the *memory-intensive
     // operating mode*, i.e. HBM-resident working sets: the paper's MB
@@ -247,7 +253,10 @@ mod tests {
             assert!(w[1] < w[0] + 1e-9, "{p:?}");
         }
         let p700 = *p.last().unwrap();
-        assert!((35.0..=60.0).contains(&p700), "VAI power at 700 MHz: {p700}");
+        assert!(
+            (35.0..=60.0).contains(&p700),
+            "VAI power at 700 MHz: {p700}"
+        );
     }
 
     #[test]

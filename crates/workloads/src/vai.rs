@@ -73,7 +73,11 @@ impl VaiParams {
     /// Total bytes moved (stream copy touches 16 B/item, the FMA variant
     /// 32 B/item).
     pub fn total_bytes(&self) -> f64 {
-        let per_item = if self.loopsize == 0 { 16.0 } else { BYTES_PER_ITEM };
+        let per_item = if self.loopsize == 0 {
+            16.0
+        } else {
+            BYTES_PER_ITEM
+        };
         per_item * self.global_wis as f64 * self.repeat as f64
     }
 }

@@ -30,17 +30,25 @@ fn main() {
             r.ridge_ai()
         );
     }
-    println!("paper check: ridge at AI = 4; HBM roof survives capping, compute roof scales with f\n");
+    println!(
+        "paper check: ridge at AI = 4; HBM roof survives capping, compute roof scales with f\n"
+    );
 
     // Calibration round trip: measure anchors on the "real" device, fit a
     // fresh model, compare.
     let reference = PowerModel::default();
     let observations = anchor_observations(&reference);
     let fitted = fit(&observations, reference.curve).expect("calibration");
-    println!("power-model calibration from {} anchor measurements:", observations.len());
+    println!(
+        "power-model calibration from {} anchor measurements:",
+        observations.len()
+    );
     println!(
         "  idle {:.1} W, clock {:.1} W, ALU {:.1} W, on-die {:.1} W, HBM {:.1} W",
         fitted.idle_w, fitted.clock_w, fitted.alu_max_w, fitted.ondie_max_w, fitted.hbm_max_w
     );
-    println!("  RMSE vs measurements: {:.3} W", rmse(&fitted, &observations));
+    println!(
+        "  RMSE vs measurements: {:.3} W",
+        rmse(&fitted, &observations)
+    );
 }

@@ -9,9 +9,9 @@
 //! cargo run --release --example louvain_dvfs
 //! ```
 
+use pmss::gpu::GpuSettings;
 use pmss::graph::case_study::{networks, CaseScale, CaseStudy};
 use pmss::graph::choose_mapping;
-use pmss::gpu::GpuSettings;
 
 fn main() {
     for case in networks(CaseScale::Medium, 7) {

@@ -35,13 +35,12 @@ fn slowdown_budget_governor_respects_budget_on_proxies() {
     let ladder = DvfsLadder::default();
     for app in ProxyApp::all() {
         for budget in [0.02, 0.1] {
-            let t = GovernedTotals::from_governed(
-                &Governor::SlowdownBudget { budget }.govern_phases(
+            let t =
+                GovernedTotals::from_governed(&Governor::SlowdownBudget { budget }.govern_phases(
                     &engine,
                     &app.run(1, 60.0),
                     &ladder,
-                ),
-            );
+                ));
             assert!(
                 t.slowdown() <= budget + 1e-9,
                 "{} at budget {budget}: slowdown {}",

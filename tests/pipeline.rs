@@ -64,7 +64,10 @@ fn system_distribution_has_the_fig8_shape() {
     );
     // Several distinct modes across the power axis (the paper: "several
     // peaks close to low power utilization and few peaks towards higher").
-    assert!(peaks.len() >= 3, "expected multi-modal distribution: {peaks:?}");
+    assert!(
+        peaks.len() >= 3,
+        "expected multi-modal distribution: {peaks:?}"
+    );
     // A small boost tail above the TDP.
     let boost = hist.fraction_between(560.0, 700.0);
     assert!((0.001..0.03).contains(&boost), "boost tail {boost}");
@@ -94,8 +97,16 @@ fn projection_reproduces_table_v_headlines() {
     assert!(p.freq_row(700.0).expect("700 row").ci_mwh < 0.0);
 
     // Frequency capping beats power capping (paper Sec. V-C).
-    let best_freq = p.freq_rows.iter().map(|r| r.ts_mwh).fold(f64::MIN, f64::max);
-    let best_power = p.power_rows.iter().map(|r| r.ts_mwh).fold(f64::MIN, f64::max);
+    let best_freq = p
+        .freq_rows
+        .iter()
+        .map(|r| r.ts_mwh)
+        .fold(f64::MIN, f64::max);
+    let best_power = p
+        .power_rows
+        .iter()
+        .map(|r| r.ts_mwh)
+        .fold(f64::MIN, f64::max);
     assert!(best_freq > best_power);
 
     // dT grows monotonically as the frequency cap tightens.
@@ -117,8 +128,13 @@ fn selective_capping_keeps_most_of_the_savings() {
 
     let full = project(ProjectionInput::from_ledger(&ledger), &t3);
     let saved = energy_saved(&ledger, t3.freq_row(1100.0).expect("1100 row"));
-    let threshold =
-        0.35 * saved.rows.iter().flat_map(|r| r.iter()).cloned().fold(0.0, f64::max);
+    let threshold = 0.35
+        * saved
+            .rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .cloned()
+            .fold(0.0, f64::max);
     let hot = saved.hot_domains(threshold);
     assert!(!hot.is_empty() && hot.len() < 8, "hot domains {hot:?}");
 
@@ -130,7 +146,10 @@ fn selective_capping_keeps_most_of_the_savings() {
     );
     let full_900 = full.freq_row(900.0).expect("900").ts_mwh;
     let sel_900 = selective.freq_row(900.0).expect("900").ts_mwh;
-    assert!(sel_900 > 0.4 * full_900, "selective {sel_900} vs full {full_900}");
+    assert!(
+        sel_900 > 0.4 * full_900,
+        "selective {sel_900} vs full {full_900}"
+    );
     assert!(sel_900 <= full_900 + 1e-9);
 
     // Sanity on the Fig. 10(a) heatmap: most energy in large job classes
@@ -138,7 +157,11 @@ fn selective_capping_keeps_most_of_the_savings() {
     // from jobs that belong to job sizes A and B").
     let used = energy_used(&ledger);
     let large: f64 = used.rows.iter().map(|r| r[0] + r[1] + r[2]).sum();
-    assert!(large > 0.6 * used.total(), "A-C share {}", large / used.total());
+    assert!(
+        large > 0.6 * used.total(),
+        "A-C share {}",
+        large / used.total()
+    );
 }
 
 #[test]
@@ -165,7 +188,11 @@ fn capped_fleet_draws_less_power_but_boost_disappears() {
     let mean = |l: &EnergyLedger| l.total().joules / l.total().seconds;
     assert!(mean(&capped) < mean(&base) - 15.0);
     let f = capped.gpu_hours_fractions();
-    assert!(f[Region::Boosted.index()] < 0.002, "boost under cap {:?}", f);
+    assert!(
+        f[Region::Boosted.index()] < 0.002,
+        "boost under cap {:?}",
+        f
+    );
 }
 
 #[test]

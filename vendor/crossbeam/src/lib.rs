@@ -1,0 +1,54 @@
+//! Offline stand-in for `crossbeam`, providing the
+//! [`utils::CachePadded`] subset the workspace uses (shard padding in the
+//! execution cache, avoiding false sharing between shard locks).
+
+#![forbid(unsafe_code)]
+
+/// Utilities (mirrors `crossbeam::utils`).
+pub mod utils {
+    /// Pads and aligns a value to (at least) a cache-line boundary so that
+    /// adjacent shards never share a line.
+    #[derive(Debug, Default, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value`.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the parallel-iterator API subset it uses (`into_par_iter`, `par_iter`,
+//! `map`, `filter`, `sum`, `fold`, `reduce`, `collect`, `for_each`) with a
+//! sequential executor.  Semantics match rayon's on one thread: `fold`
+//! produces per-"thread" accumulators (here: exactly one) and `reduce`
+//! merges them, so fold/reduce pipelines written for rayon run unchanged
+//! and deterministically.
+
+#![forbid(unsafe_code)]
+
+/// Everything a `use rayon::prelude::*` caller expects.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+/// Sequential "parallel" iterator: a thin wrapper over a std iterator.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Filters items.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Runs `f` on each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Rayon-style fold: seeds one accumulator per worker (sequentially:
+    /// exactly one) and folds every item into it, yielding the accumulators
+    /// as a new iterator to be `reduce`d.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let acc = self.inner.fold(identity(), fold_op);
+        ParIter {
+            inner: std::iter::once(acc),
+        }
+    }
+
+    /// Rayon-style reduce: merges all items pairwise starting from the
+    /// identity.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Minimum by a key function.
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.inner.min_by_key(f)
+    }
+
+    /// Maximum by a key function.
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.inner.max_by_key(f)
+    }
+}
+
+/// Conversion into a (sequentially executed) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// `par_iter()` over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterates `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Item = <&'a T as IntoIterator>::Item;
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// `par_iter_mut()` over exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterates `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoIterator,
+{
+    type Item = <&'a mut T as IntoIterator>::Item;
+    type Iter = <&'a mut T as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Runs both closures (sequentially) and returns their results — rayon's
+/// `join` signature.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_pipeline_matches_sequential() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, x| acc + x)
+            .reduce(|| 0usize, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn map_sum_and_par_iter() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let s: f64 = v.par_iter().map(|x| x * 2.0).sum();
+        assert_eq!(s, 12.0);
+        let doubled: Vec<i32> = (0..4).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6]);
+    }
+}
