@@ -17,7 +17,7 @@ fn bench_suites(c: &mut Criterion) {
             for ai in vai::intensity_sweep() {
                 let k = vai::kernel(vai::VaiParams::for_intensity(ai, 1 << 28, 4));
                 for settings in [freq_settings(), power_settings()] {
-                    black_box(normalize(&sweep_kernel(&engine, &k, &settings)));
+                    black_box(normalize(&sweep_kernel(&engine, &k, &settings).unwrap()).unwrap());
                 }
             }
         })
@@ -28,7 +28,7 @@ fn bench_suites(c: &mut Criterion) {
             for bytes in membench::size_sweep() {
                 let k = membench::kernel(MembenchParams::sized_for(bytes, 5.0));
                 for settings in [freq_settings(), power_settings()] {
-                    black_box(normalize(&sweep_kernel(&engine, &k, &settings)));
+                    black_box(normalize(&sweep_kernel(&engine, &k, &settings).unwrap()).unwrap());
                 }
             }
         })

@@ -1,136 +1,16 @@
-//! # pmss-bench — experiment harness
+//! # pmss-bench — criterion benchmark harness
 //!
-//! One binary per paper artifact (`table1` … `table7`, `fig2` … `fig10`),
-//! plus shared experiment plumbing: a scaled fleet run whose observers feed
-//! Figs. 8–10 and Tables IV–VI, and the Frontier extrapolation factor used
-//! to report MWh at the paper's scale.
+//! This crate hosts the workspace's criterion benchmarks (`benches/`):
+//! engine execution, the paper benchmarks, Louvain, fleet simulation
+//! throughput, the projection stack, and the extensions.
 //!
-//! Scale is selected with the `PMSS_SCALE` environment variable:
-//! `quick` (default, seconds), `medium`, or `large`.
+//! The per-artifact binaries that used to live here (`table1` … `fig10`,
+//! `validate`, …) are gone: every figure and table is now a subcommand of
+//! the single `pmss` CLI (`pmss fig 2`, `pmss table 3 --json`, …), backed
+//! by the typed scenario pipeline in `pmss-pipeline`.  The shared fleet
+//! plumbing (`Scale`, `FleetRun`, `fleet_run`, `sparkline`) moved there
+//! too: see `pmss_pipeline::ScenarioSpec`, `pmss_pipeline::Pipeline`, and
+//! `pmss_pipeline::render::sparkline`.
 
-use pmss_core::EnergyLedger;
-use pmss_sched::{catalog, generate, DomainSpec, Schedule, TraceParams};
-use pmss_telemetry::{simulate_fleet, DomainHistograms, FleetConfig, Pair, SystemHistogram};
-
-/// Experiment scale, from the `PMSS_SCALE` environment variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// 16 nodes x 2 days — seconds of runtime.
-    Quick,
-    /// 64 nodes x 7 days.
-    Medium,
-    /// 160 nodes x 14 days.
-    Large,
-}
-
-impl Scale {
-    /// Reads `PMSS_SCALE` (quick | medium | large), defaulting to `Quick`.
-    pub fn from_env() -> Scale {
-        match std::env::var("PMSS_SCALE").as_deref() {
-            Ok("large") => Scale::Large,
-            Ok("medium") => Scale::Medium,
-            _ => Scale::Quick,
-        }
-    }
-
-    /// Fleet parameters for the scale.
-    pub fn trace_params(self) -> TraceParams {
-        let (nodes, days) = match self {
-            Scale::Quick => (16, 2.0),
-            Scale::Medium => (64, 7.0),
-            Scale::Large => (160, 14.0),
-        };
-        TraceParams {
-            nodes,
-            duration_s: days * 86_400.0,
-            seed: 2024,
-            min_job_s: 900.0,
-        }
-    }
-
-    /// Multiplier that extrapolates this scale's energy to the paper's
-    /// three months of the full 9408-node Frontier system.
-    pub fn frontier_factor(self) -> f64 {
-        let p = self.trace_params();
-        let frontier_node_seconds = 9408.0 * 90.0 * 86_400.0;
-        frontier_node_seconds / (p.nodes as f64 * p.duration_s)
-    }
-}
-
-/// Everything the fleet-wide experiments need, computed in one pass.
-pub struct FleetRun {
-    /// The synthetic schedule (job log + placements).
-    pub schedule: Schedule,
-    /// The domain catalog used.
-    pub domains: Vec<DomainSpec>,
-    /// Fig. 8: system-wide power distribution.
-    pub system: SystemHistogram,
-    /// Fig. 9: per-domain power distributions.
-    pub per_domain: DomainHistograms,
-    /// Tables IV–VI / Fig. 10: the modal-decomposition ledger.
-    pub ledger: EnergyLedger,
-    /// Extrapolation factor to full-Frontier three-month MWh.
-    pub frontier_factor: f64,
-}
-
-/// Runs the fleet at `scale` with all standard observers attached.
-pub fn fleet_run(scale: Scale) -> FleetRun {
-    let domains = catalog();
-    let schedule = generate(scale.trace_params(), &domains);
-    type Obs = Pair<Pair<SystemHistogram, DomainHistograms>, EnergyLedger>;
-    let obs: Obs = simulate_fleet(&schedule, &FleetConfig::default());
-    FleetRun {
-        schedule,
-        domains,
-        system: obs.a.a,
-        per_domain: obs.a.b,
-        ledger: obs.b,
-        frontier_factor: scale.frontier_factor(),
-    }
-}
-
-/// Renders a crude ASCII sparkline of a density vector (for distribution
-/// binaries to show shape in a terminal).
-pub fn sparkline(density: &[f64], buckets: usize) -> String {
-    const GLYPHS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
-    let chunk = (density.len() / buckets).max(1);
-    let sums: Vec<f64> = density
-        .chunks(chunk)
-        .map(|c| c.iter().sum::<f64>())
-        .collect();
-    let max = sums.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
-    sums.iter()
-        .map(|&s| {
-            let idx = ((s / max) * (GLYPHS.len() - 1) as f64).round() as usize;
-            GLYPHS[idx.min(GLYPHS.len() - 1)]
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quick_fleet_run_produces_consistent_views() {
-        let run = fleet_run(Scale::Quick);
-        assert!(run.system.hist.total() > 0);
-        assert!(run.ledger.total().joules > 0.0);
-        // Histogram and ledger see the same sample count.
-        let ledger_samples = run.ledger.total().seconds / 15.0;
-        assert!((ledger_samples - run.system.hist.total() as f64).abs() < 1.0);
-    }
-
-    #[test]
-    fn frontier_factor_scales_node_seconds() {
-        let f = Scale::Quick.frontier_factor();
-        assert!((f - 9408.0 * 90.0 / (16.0 * 2.0)).abs() < 1e-9);
-    }
-
-    #[test]
-    fn sparkline_has_requested_buckets() {
-        let d = vec![0.1; 100];
-        let s = sparkline(&d, 20);
-        assert_eq!(s.chars().count(), 20);
-    }
-}
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

@@ -18,6 +18,7 @@
 //!   regress (within 1 %) — the "savings without compromising performance"
 //!   headline, which under frequency capping is the MI mode alone.
 
+use pmss_error::PmssError;
 use pmss_workloads::sweep::CapSetting;
 use pmss_workloads::{Table3, Table3Row};
 
@@ -146,8 +147,8 @@ impl Projection {
         self.freq_rows
             .iter()
             .chain(&self.power_rows)
-            .max_by(|a, b| a.ts_mwh.partial_cmp(&b.ts_mwh).expect("no NaN"))
-            .expect("non-empty projection")
+            .max_by(|a, b| a.ts_mwh.total_cmp(&b.ts_mwh))
+            .expect("projection has at least one capped row by construction")
     }
 
     /// The best row among those with no runtime regression.
@@ -155,29 +156,34 @@ impl Projection {
         self.freq_rows
             .iter()
             .chain(&self.power_rows)
-            .max_by(|a, b| {
-                a.savings_dt0_pct
-                    .partial_cmp(&b.savings_dt0_pct)
-                    .expect("no NaN")
-            })
-            .expect("non-empty projection")
+            .max_by(|a, b| a.savings_dt0_pct.total_cmp(&b.savings_dt0_pct))
+            .expect("projection has at least one capped row by construction")
     }
 }
 
 /// Projects savings for every capped setting of `table3` onto `input`.
-pub fn project(input: ProjectionInput, table3: &Table3) -> Projection {
-    assert!(input.e_total_j > 0.0, "empty fleet energy");
+///
+/// Errors on empty fleet energy (a projection against zero energy is
+/// meaningless) and on a factor table with no capped settings.
+pub fn project(input: ProjectionInput, table3: &Table3) -> Result<Projection, PmssError> {
+    if input.e_total_j.is_nan() || input.e_total_j <= 0.0 {
+        return Err(PmssError::empty("fleet energy (e_total_j must be > 0)"));
+    }
     let rows = |rows: &[Table3Row]| -> Vec<ProjectionRow> {
         rows.iter()
             .filter(|r| !r.setting.is_baseline())
             .map(|r| project_row(&input, r))
             .collect()
     };
-    Projection {
+    let p = Projection {
         freq_rows: rows(&table3.freq_rows),
         power_rows: rows(&table3.power_rows),
         input,
+    };
+    if p.freq_rows.is_empty() && p.power_rows.is_empty() {
+        return Err(PmssError::empty("factor table has no capped settings"));
     }
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -200,7 +206,7 @@ mod tests {
     }
 
     fn projection() -> Projection {
-        project(paper_like_input(), &table3::compute_default())
+        project(paper_like_input(), &table3::compute_default()).unwrap()
     }
 
     #[test]

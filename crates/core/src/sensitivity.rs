@@ -8,6 +8,7 @@
 //! far less than its magnitude when the 200/420 W boundaries shift by tens
 //! of watts.
 
+use pmss_error::PmssError;
 use pmss_telemetry::PowerHistogram;
 use pmss_workloads::Table3;
 
@@ -35,13 +36,18 @@ impl Default for Boundaries {
 }
 
 impl Boundaries {
-    /// Validates ordering.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates ordering: the three boundaries must be positive and
+    /// strictly increasing.
+    pub fn validate(&self) -> Result<(), PmssError> {
         if !(0.0 < self.latency_mi_w
             && self.latency_mi_w < self.mi_ci_w
             && self.mi_ci_w < self.ci_boost_w)
         {
-            return Err(format!("boundaries out of order: {self:?}"));
+            return Err(PmssError::InvalidBoundaries {
+                latency_mi_w: self.latency_mi_w,
+                mi_ci_w: self.mi_ci_w,
+                ci_boost_w: self.ci_boost_w,
+            });
         }
         Ok(())
     }
@@ -54,8 +60,8 @@ pub fn input_from_histogram(
     hist: &PowerHistogram,
     bounds: Boundaries,
     total_energy_j: f64,
-) -> ProjectionInput {
-    bounds.validate().expect("valid boundaries");
+) -> Result<ProjectionInput, PmssError> {
+    bounds.validate()?;
     // Energy share per region approximated by power-weighted bin mass.
     let mut mass_energy = [0.0f64; 4];
     let mut total_mass_energy = 0.0;
@@ -78,11 +84,11 @@ pub fn input_from_histogram(
     } else {
         0.0
     };
-    ProjectionInput {
+    Ok(ProjectionInput {
         e_mi_j: mass_energy[1] * scale,
         e_ci_j: mass_energy[2] * scale,
         e_total_j: total_energy_j,
-    }
+    })
 }
 
 /// One perturbation's headline numbers.
@@ -128,13 +134,13 @@ fn point(
     bounds: Boundaries,
     total_energy_j: f64,
     t3: &Table3,
-) -> SensitivityPoint {
-    let p: Projection = project(input_from_histogram(hist, bounds, total_energy_j), t3);
-    SensitivityPoint {
+) -> Result<SensitivityPoint, PmssError> {
+    let p: Projection = project(input_from_histogram(hist, bounds, total_energy_j)?, t3)?;
+    Ok(SensitivityPoint {
         bounds,
         best_free_pct: p.best_free().savings_dt0_pct,
         best_total_pct: p.best_total().savings_pct,
-    }
+    })
 }
 
 /// Sweeps both interior boundaries over `+/- delta_w` in `steps` steps and
@@ -145,9 +151,20 @@ pub fn boundary_sweep(
     t3: &Table3,
     delta_w: f64,
     steps: usize,
-) -> SensitivityReport {
-    assert!(steps >= 1 && delta_w >= 0.0);
-    let reference = point(hist, Boundaries::default(), total_energy_j, t3);
+) -> Result<SensitivityReport, PmssError> {
+    if steps < 1 {
+        return Err(PmssError::InvalidSpec {
+            field: "steps",
+            reason: "must be at least 1".into(),
+        });
+    }
+    if !(delta_w.is_finite() && delta_w >= 0.0) {
+        return Err(PmssError::InvalidSpec {
+            field: "delta_w",
+            reason: format!("must be finite and non-negative, got {delta_w}"),
+        });
+    }
+    let reference = point(hist, Boundaries::default(), total_energy_j, t3)?;
     let mut points = Vec::new();
     for i in 0..=steps {
         let off = -delta_w + 2.0 * delta_w * i as f64 / steps as f64;
@@ -158,11 +175,11 @@ pub fn boundary_sweep(
                 ..Default::default()
             };
             if bounds.validate().is_ok() {
-                points.push(point(hist, bounds, total_energy_j, t3));
+                points.push(point(hist, bounds, total_energy_j, t3)?);
             }
         }
     }
-    SensitivityReport { reference, points }
+    Ok(SensitivityReport { reference, points })
 }
 
 #[cfg(test)]
@@ -194,7 +211,7 @@ mod tests {
     #[test]
     fn reference_input_matches_direct_binning() {
         let h = fleet_like_hist();
-        let input = input_from_histogram(&h, Boundaries::default(), TOTAL_J);
+        let input = input_from_histogram(&h, Boundaries::default(), TOTAL_J).unwrap();
         assert!(input.e_mi_j > input.e_ci_j);
         assert!(input.e_mi_j + input.e_ci_j < input.e_total_j);
         assert_eq!(input.e_total_j, TOTAL_J);
@@ -203,7 +220,7 @@ mod tests {
     #[test]
     fn widening_the_mi_band_moves_energy_into_it() {
         let h = fleet_like_hist();
-        let narrow = input_from_histogram(&h, Boundaries::default(), TOTAL_J);
+        let narrow = input_from_histogram(&h, Boundaries::default(), TOTAL_J).unwrap();
         let wide = input_from_histogram(
             &h,
             Boundaries {
@@ -212,7 +229,8 @@ mod tests {
                 ..Default::default()
             },
             TOTAL_J,
-        );
+        )
+        .unwrap();
         assert!(wide.e_mi_j > narrow.e_mi_j);
     }
 
@@ -222,7 +240,7 @@ mod tests {
         // the no-slowdown headline moves by far less than its own size.
         let h = fleet_like_hist();
         let t3 = table3::compute_default();
-        let report = boundary_sweep(&h, TOTAL_J, &t3, 40.0, 4);
+        let report = boundary_sweep(&h, TOTAL_J, &t3, 40.0, 4).unwrap();
         assert!(report.reference.best_free_pct > 3.0);
         assert!(
             report.free_savings_spread() < 0.5 * report.reference.best_free_pct,

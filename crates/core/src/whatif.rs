@@ -6,6 +6,7 @@
 //! per-domain slowdown bound.  This module searches that space — a direct
 //! extension of the paper's "can be applied to selected domains" remark.
 
+use pmss_error::PmssError;
 use pmss_workloads::sweep::CapSetting;
 use pmss_workloads::{Table3, Table3Row};
 
@@ -87,7 +88,7 @@ pub fn optimize_per_domain(
             .filter(|r| !r.setting.is_baseline())
             .map(|r| domain_effect(ledger, domain, r))
             .filter(|e| e.delta_t_pct <= max_delta_t_pct + 1e-12 && e.saving_j > 0.0)
-            .max_by(|a, b| a.saving_j.partial_cmp(&b.saving_j).expect("no NaN"));
+            .max_by(|a, b| a.saving_j.total_cmp(&b.saving_j));
         if let Some(e) = best {
             total_saving += e.saving_j;
         }
@@ -102,7 +103,11 @@ pub fn optimize_per_domain(
 /// Savings of the best single *uniform* frequency cap under the same
 /// per-domain slowdown bound (domains whose ΔT would exceed the bound are
 /// exempted, as an operator would).
-pub fn best_uniform(ledger: &EnergyLedger, t3: &Table3, max_delta_t_pct: f64) -> (CapSetting, f64) {
+pub fn best_uniform(
+    ledger: &EnergyLedger,
+    t3: &Table3,
+    max_delta_t_pct: f64,
+) -> Result<(CapSetting, f64), PmssError> {
     t3.freq_rows
         .iter()
         .filter(|r| !r.setting.is_baseline())
@@ -119,8 +124,8 @@ pub fn best_uniform(ledger: &EnergyLedger, t3: &Table3, max_delta_t_pct: f64) ->
                 .sum();
             (r.setting, saving)
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
-        .expect("non-empty table")
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .ok_or_else(|| PmssError::empty("factor table has no capped frequency settings"))
 }
 
 #[cfg(test)]
@@ -200,7 +205,7 @@ mod tests {
         let t3 = table3::compute_default();
         for budget in [2.0, 10.0, 40.0] {
             let mixed = optimize_per_domain(&l, &t3, budget);
-            let (_, uniform) = best_uniform(&l, &t3, budget);
+            let (_, uniform) = best_uniform(&l, &t3, budget).unwrap();
             assert!(
                 mixed.saving_j >= uniform - 1e-9,
                 "budget {budget}: mixed {} < uniform {uniform}",

@@ -84,8 +84,8 @@ proptest! {
         let l = build_ledger(&samples);
         prop_assume!(l.total().joules > 0.0);
         let t3 = table3::compute_default();
-        let p1 = project(ProjectionInput::from_ledger(&l), &t3);
-        let p2 = project(ProjectionInput::from_ledger(&l.scaled(factor)), &t3);
+        let p1 = project(ProjectionInput::from_ledger(&l), &t3).expect("projection");
+        let p2 = project(ProjectionInput::from_ledger(&l.scaled(factor)), &t3).expect("projection");
         for (a, b) in p1.freq_rows.iter().zip(&p2.freq_rows) {
             prop_assert!((b.ts_mwh - factor * a.ts_mwh).abs() < 1e-6 * b.ts_mwh.abs().max(1e-9));
             prop_assert!((b.savings_pct - a.savings_pct).abs() < 1e-9);
@@ -100,7 +100,7 @@ proptest! {
         let l = build_ledger(&samples);
         prop_assume!(l.total().joules > 0.0);
         let t3 = table3::compute_default();
-        let p = project(ProjectionInput::from_ledger(&l), &t3);
+        let p = project(ProjectionInput::from_ledger(&l), &t3).expect("projection");
         for r in p.freq_rows.iter().chain(&p.power_rows) {
             // dT=0 savings only counts modes also counted in the total.
             prop_assert!(r.savings_dt0_pct <= r.savings_pct.max(0.0) + 1e-9

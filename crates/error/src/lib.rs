@@ -1,0 +1,203 @@
+//! # pmss-error — the workspace-wide typed error
+//!
+//! Every fallible seam of the PMSS workspace returns [`PmssError`]: kernel
+//! validation in `pmss-gpu`, sweep aggregation and Table III computation in
+//! `pmss-workloads`, telemetry persistence and the power-series codec in
+//! `pmss-telemetry`, boundary validation and the savings projection in
+//! `pmss-core`, and scenario parsing in `pmss-pipeline`.  The variants are
+//! structured (no stringly-typed `Result<_, String>`), implement
+//! [`std::error::Error`], and render operator-readable messages through
+//! [`std::fmt::Display`].
+//!
+//! The crate is dependency-free and sits at the bottom of the workspace
+//! graph so that every other crate can share the one type.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// The unified error type of the PMSS workspace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PmssError {
+    /// Modal-decomposition region boundaries are not strictly increasing.
+    InvalidBoundaries {
+        /// Latency / memory-intensive boundary, watts.
+        latency_mi_w: f64,
+        /// Memory- / compute-intensive boundary, watts.
+        mi_ci_w: f64,
+        /// Compute-intensive / boost boundary, watts.
+        ci_boost_w: f64,
+    },
+    /// A kernel profile failed validation.
+    InvalidKernel {
+        /// Kernel name.
+        kernel: String,
+        /// Which constraint failed.
+        reason: String,
+    },
+    /// A scenario-spec field failed validation.
+    InvalidSpec {
+        /// Field name.
+        field: &'static str,
+        /// Which constraint failed.
+        reason: String,
+    },
+    /// A user-supplied value (environment variable, CLI flag, config
+    /// field) failed to parse.
+    InvalidValue {
+        /// What was being parsed (e.g. `"PMSS_SCALE"`).
+        what: String,
+        /// The offending value.
+        value: String,
+        /// A description of the accepted values.
+        expected: String,
+    },
+    /// A lookup found no matching entry (e.g. a cap row missing from a
+    /// sweep).
+    Missing {
+        /// What was being looked up.
+        what: String,
+        /// The key or context of the failed lookup.
+        detail: String,
+    },
+    /// Serialized or encoded data failed to decode.
+    MalformedData {
+        /// The format being decoded (e.g. `"csv"`, `"power-codec"`,
+        /// `"json"`).
+        format: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A computation received empty input where data was required.
+    EmptyInput {
+        /// What was empty.
+        what: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A command-line usage error.
+    Usage(String),
+}
+
+impl PmssError {
+    /// Convenience constructor for [`PmssError::InvalidValue`].
+    pub fn invalid_value(
+        what: impl Into<String>,
+        value: impl Into<String>,
+        expected: impl Into<String>,
+    ) -> Self {
+        PmssError::InvalidValue {
+            what: what.into(),
+            value: value.into(),
+            expected: expected.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PmssError::Missing`].
+    pub fn missing(what: impl Into<String>, detail: impl Into<String>) -> Self {
+        PmssError::Missing {
+            what: what.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PmssError::MalformedData`].
+    pub fn malformed(format: &'static str, detail: impl Into<String>) -> Self {
+        PmssError::MalformedData {
+            format,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PmssError::EmptyInput`].
+    pub fn empty(what: impl Into<String>) -> Self {
+        PmssError::EmptyInput { what: what.into() }
+    }
+}
+
+impl fmt::Display for PmssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmssError::InvalidBoundaries {
+                latency_mi_w,
+                mi_ci_w,
+                ci_boost_w,
+            } => write!(
+                f,
+                "region boundaries out of order: latency/MI {latency_mi_w} W, \
+                 MI/CI {mi_ci_w} W, CI/boost {ci_boost_w} W (must be strictly \
+                 increasing and positive)"
+            ),
+            PmssError::InvalidKernel { kernel, reason } => {
+                write!(f, "invalid kernel profile `{kernel}`: {reason}")
+            }
+            PmssError::InvalidSpec { field, reason } => {
+                write!(f, "invalid scenario spec: `{field}` {reason}")
+            }
+            PmssError::InvalidValue {
+                what,
+                value,
+                expected,
+            } => write!(f, "invalid {what} value {value:?}: expected {expected}"),
+            PmssError::Missing { what, detail } => write!(f, "missing {what}: {detail}"),
+            PmssError::MalformedData { format, detail } => {
+                write!(f, "malformed {format} data: {detail}")
+            }
+            PmssError::EmptyInput { what } => write!(f, "empty input: {what}"),
+            PmssError::Io(e) => write!(f, "I/O error: {e}"),
+            PmssError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PmssError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmssError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PmssError {
+    fn from(e: std::io::Error) -> Self {
+        PmssError::Io(e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T, E = PmssError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_std_error_with_source() {
+        let e = PmssError::from(std::io::Error::other("disk"));
+        let dynerr: &dyn std::error::Error = &e;
+        assert!(dynerr.source().is_some());
+        assert!(dynerr.to_string().contains("disk"));
+    }
+
+    #[test]
+    fn display_messages_are_structured() {
+        let e = PmssError::InvalidBoundaries {
+            latency_mi_w: 500.0,
+            mi_ci_w: 420.0,
+            ci_boost_w: 560.0,
+        };
+        assert!(e.to_string().contains("out of order"));
+        let e = PmssError::invalid_value("PMSS_SCALE", "huge", "quick | medium | large");
+        assert!(e.to_string().contains("PMSS_SCALE"));
+        assert!(e.to_string().contains("huge"));
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = PmssError::empty("fleet energy");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -14,6 +14,7 @@ use crate::freq::Freq;
 use crate::kernel::KernelProfile;
 use crate::perf::{self, Bottleneck, PerfEstimate};
 use crate::power::{PowerBreakdown, PowerModel, Utilization};
+use pmss_error::PmssError;
 
 /// Software power-management settings applied to a GPU, i.e. the paper's
 /// two knobs: a DVFS frequency cap and a package power cap.
@@ -178,7 +179,7 @@ impl Engine {
         &self,
         kernel: &KernelProfile,
         settings: GpuSettings,
-    ) -> Result<Execution, String> {
+    ) -> Result<Execution, PmssError> {
         kernel.validate()?;
 
         let limit = settings.effective_limit_w(self.ppt_w);
@@ -463,7 +464,7 @@ mod try_execute_tests {
         let err = Engine::default()
             .try_execute(&k, GpuSettings::uncapped())
             .unwrap_err();
-        assert!(err.contains("flop_efficiency"), "{err}");
+        assert!(err.to_string().contains("flop_efficiency"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! stalled phases).  Everything else about the paper's benchmarks and fleet
 //! workloads is expressed through these descriptors.
 
+use pmss_error::PmssError;
+
 /// Work description for one kernel (or one phase of an application).
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelProfile {
@@ -106,33 +108,37 @@ impl KernelProfile {
     }
 
     /// Validates parameter ranges; the engine calls this before execution.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), PmssError> {
+        let invalid = |reason: String| PmssError::InvalidKernel {
+            kernel: self.name.clone(),
+            reason,
+        };
         if !(self.flops >= 0.0 && self.hbm_bytes >= 0.0 && self.ondie_bytes >= 0.0) {
-            return Err(format!("{}: negative work", self.name));
+            return Err(invalid("negative work".into()));
         }
         if !(self.flop_efficiency > 0.0 && self.flop_efficiency <= 1.0) {
-            return Err(format!(
-                "{}: flop_efficiency {} outside (0,1]",
-                self.name, self.flop_efficiency
-            ));
+            return Err(invalid(format!(
+                "flop_efficiency {} outside (0,1]",
+                self.flop_efficiency
+            )));
         }
         if self.bw_oversub.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(format!("{}: bw_oversub must be positive", self.name));
+            return Err(invalid("bw_oversub must be positive".into()));
         }
         if !(self.bw_sustain > 0.0 && self.bw_sustain <= 1.0) {
-            return Err(format!(
-                "{}: bw_sustain {} outside (0,1]",
-                self.name, self.bw_sustain
-            ));
+            return Err(invalid(format!(
+                "bw_sustain {} outside (0,1]",
+                self.bw_sustain
+            )));
         }
         if !(0.0..1.0).contains(&self.divergence) {
-            return Err(format!(
-                "{}: divergence {} outside [0,1)",
-                self.name, self.divergence
-            ));
+            return Err(invalid(format!(
+                "divergence {} outside [0,1)",
+                self.divergence
+            )));
         }
         if self.serial_at_fmax_s < 0.0 || self.stall_s < 0.0 {
-            return Err(format!("{}: negative phase time", self.name));
+            return Err(invalid("negative phase time".into()));
         }
         if self.flops == 0.0
             && self.hbm_bytes == 0.0
@@ -140,7 +146,7 @@ impl KernelProfile {
             && self.serial_at_fmax_s == 0.0
             && self.stall_s == 0.0
         {
-            return Err(format!("{}: empty kernel", self.name));
+            return Err(invalid("empty kernel".into()));
         }
         Ok(())
     }

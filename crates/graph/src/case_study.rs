@@ -43,6 +43,23 @@ pub enum CaseScale {
     Large,
 }
 
+impl CaseScale {
+    /// Parses a scale name (`small` | `medium` | `large`), as used by the
+    /// `PMSS_SCALE` environment variable and scenario specs.
+    pub fn from_name(name: &str) -> Result<CaseScale, pmss_error::PmssError> {
+        match name {
+            "small" | "quick" => Ok(CaseScale::Small),
+            "medium" => Ok(CaseScale::Medium),
+            "large" => Ok(CaseScale::Large),
+            other => Err(pmss_error::PmssError::invalid_value(
+                "case scale",
+                other,
+                "quick | small | medium | large",
+            )),
+        }
+    }
+}
+
 /// Generates the case-study network suite: social (power-law) networks of
 /// increasing size plus a bounded-degree road network, spanning the paper's
 /// edge range.

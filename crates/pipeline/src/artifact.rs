@@ -1,0 +1,1448 @@
+//! Typed artifact values for every paper figure and table.
+//!
+//! Each artifact is a plain data struct computed by the [`Pipeline`] from
+//! its memoized stages, carrying exactly the numbers the original
+//! per-artifact binaries printed.  Rendering lives in [`crate::render`]:
+//! every artifact renders both to the byte-identical ASCII of the old
+//! binaries and to structured JSON.
+
+use pmss_core::heatmap::{energy_saved, energy_used, Heatmap};
+use pmss_core::project::{project, Projection, ProjectionInput};
+use pmss_core::sensitivity::{boundary_sweep, input_from_histogram, Boundaries};
+use pmss_core::whatif::{best_uniform, optimize_per_domain};
+use pmss_core::Region;
+use pmss_error::PmssError;
+use pmss_gpu::{DvfsLadder, GovernedTotals, Governor, GpuSettings};
+use pmss_graph::case_study::{networks, CaseStudy};
+use pmss_sched::{catalog, generate, log, JobSizeClass, TraceParams};
+use pmss_telemetry::export::sample_storage_bytes;
+use pmss_telemetry::{
+    compare_sensors, simulate_fleet, FleetConfig, FleetPowerSeries, GpuCpuEnergy,
+};
+use pmss_workloads::membench::{self, chunk_for_block, MembenchParams};
+use pmss_workloads::phases::synthesize_app;
+use pmss_workloads::sweep::{normalize, sweep_kernel, CapSetting, MEMBENCH_POWER_CAPS_W};
+use pmss_workloads::table3::Table3;
+use pmss_workloads::vai::{self, VaiParams};
+use pmss_workloads::{AppClass, NormalizedPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::json::Json;
+use crate::render;
+use crate::spec::ScenarioSpec;
+use crate::stage::Pipeline;
+
+/// Identifies one reproducible paper artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactId {
+    /// Fig. 2: out-of-band vs in-band telemetry; GPU vs CPU energy.
+    Fig2,
+    /// Fig. 3: the L2-cache benchmark access pattern and knee.
+    Fig3,
+    /// Fig. 4: roofline under frequency and power caps.
+    Fig4,
+    /// Fig. 5: normalized VAI runtime/power/energy per cap ladder.
+    Fig5,
+    /// Fig. 6: membench power/bandwidth/time across working sets.
+    Fig6,
+    /// Fig. 7: Louvain case study across networks and frequencies.
+    Fig7,
+    /// Fig. 8: system-wide power distribution with region masses.
+    Fig8,
+    /// Fig. 9: per-science-domain power distributions.
+    Fig9,
+    /// Fig. 10: domain x job-size energy heatmaps.
+    Fig10,
+    /// Table I: the Frontier system summary.
+    Table1,
+    /// Table II: the three dataset products.
+    Table2,
+    /// Table III: benchmark factors under caps.
+    Table3,
+    /// Table IV: the modal decomposition.
+    Table4,
+    /// Table V: projected system-wide savings.
+    Table5,
+    /// Table VI: selective savings on hot domains.
+    Table6,
+    /// Table VII: the Frontier scheduling policy.
+    Table7,
+    /// Extension: projection vs measured ground truth.
+    Validate,
+    /// Extension: per-domain mixed-cap what-if.
+    Whatif,
+    /// Extension: per-phase DVFS governors vs static caps.
+    Governor,
+    /// Extension: facility peak-demand shaving.
+    PeakPower,
+    /// Ablation: region-boundary sensitivity.
+    Sensitivity,
+}
+
+impl ArtifactId {
+    /// Every artifact, in paper order.
+    pub fn all() -> [ArtifactId; 21] {
+        use ArtifactId::*;
+        [
+            Fig2,
+            Fig3,
+            Fig4,
+            Fig5,
+            Fig6,
+            Fig7,
+            Fig8,
+            Fig9,
+            Fig10,
+            Table1,
+            Table2,
+            Table3,
+            Table4,
+            Table5,
+            Table6,
+            Table7,
+            Validate,
+            Whatif,
+            Governor,
+            PeakPower,
+            Sensitivity,
+        ]
+    }
+
+    /// Canonical CLI name (`fig2` … `table7`, `validate`, …).
+    pub fn name(self) -> &'static str {
+        use ArtifactId::*;
+        match self {
+            Fig2 => "fig2",
+            Fig3 => "fig3",
+            Fig4 => "fig4",
+            Fig5 => "fig5",
+            Fig6 => "fig6",
+            Fig7 => "fig7",
+            Fig8 => "fig8",
+            Fig9 => "fig9",
+            Fig10 => "fig10",
+            Table1 => "table1",
+            Table2 => "table2",
+            Table3 => "table3",
+            Table4 => "table4",
+            Table5 => "table5",
+            Table6 => "table6",
+            Table7 => "table7",
+            Validate => "validate",
+            Whatif => "whatif",
+            Governor => "governor",
+            PeakPower => "peakpower",
+            Sensitivity => "sensitivity",
+        }
+    }
+
+    /// One-line description, shown by `pmss list`.
+    pub fn title(self) -> &'static str {
+        use ArtifactId::*;
+        match self {
+            Fig2 => "telemetry vs ROCm SMI; GPU vs rest-of-node energy",
+            Fig3 => "L2-cache benchmark access pattern and knee",
+            Fig4 => "roofline under frequency and power caps",
+            Fig5 => "normalized VAI runtime/power/energy per cap",
+            Fig6 => "membench across working sets under caps",
+            Fig7 => "Louvain case study across networks",
+            Fig8 => "system-wide GPU power distribution",
+            Fig9 => "per-science-domain power distributions",
+            Fig10 => "domain x job-size energy heatmaps",
+            Table1 => "Frontier system summary",
+            Table2 => "dataset products and storage economics",
+            Table3 => "benchmark factors under caps",
+            Table4 => "modal decomposition of fleet telemetry",
+            Table5 => "projected system-wide energy savings",
+            Table6 => "selective savings on hot domains",
+            Table7 => "Frontier job scheduling policy",
+            Validate => "projection vs measured ground truth",
+            Whatif => "per-domain mixed-cap what-if analysis",
+            Governor => "per-phase DVFS governors vs static caps",
+            PeakPower => "facility peak-demand shaving",
+            Sensitivity => "region-boundary sensitivity ablation",
+        }
+    }
+
+    /// Parses a canonical artifact name.
+    pub fn from_name(name: &str) -> Result<ArtifactId, PmssError> {
+        ArtifactId::all()
+            .into_iter()
+            .find(|id| id.name() == name)
+            .ok_or_else(|| {
+                PmssError::invalid_value(
+                    "artifact",
+                    name,
+                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity",
+                )
+            })
+    }
+}
+
+/// One aligned out-of-band / in-band sample pair (Fig. 2a).
+#[derive(Debug, Clone, Copy)]
+pub struct SensorPairSample {
+    /// Window start, seconds.
+    pub t_s: f64,
+    /// Out-of-band telemetry reading, watts.
+    pub oob_w: f64,
+    /// In-band (SMI) reading, watts.
+    pub smi_w: f64,
+}
+
+/// Fig. 2 data: sensor agreement and the GPU/CPU energy split.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Number of 15 s windows compared.
+    pub windows: usize,
+    /// Mean out-of-band power, watts.
+    pub mean_power_w: f64,
+    /// Mean |telemetry − smi|, watts.
+    pub mean_abs_diff_w: f64,
+    /// First sample pairs shown in the figure.
+    pub pairs: Vec<SensorPairSample>,
+    /// GPU share of node energy, 0..1.
+    pub gpu_share: f64,
+    /// GPU power histogram density.
+    pub gpu_density: Vec<f64>,
+    /// Rest-of-node power histogram density.
+    pub rest_density: Vec<f64>,
+}
+
+/// One membench working-set row (Fig. 3).
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Working-set size, bytes.
+    pub bytes: u64,
+    /// `"L2"` or `"HBM"`.
+    pub served_from: &'static str,
+    /// Achieved bandwidth, GB/s.
+    pub gb_s: f64,
+    /// Busy power, watts.
+    pub power_w: f64,
+}
+
+/// Fig. 3 data: the access pattern and the residency knee.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// `(block, chunk)` pairs for the first blocks against 5 chunks.
+    pub pattern: Vec<(u64, u64)>,
+    /// Size-sweep rows.
+    pub rows: Vec<Fig3Row>,
+}
+
+/// One roofline row (Fig. 4) at a single arithmetic intensity.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Arithmetic intensity, FLOP/byte.
+    pub ai: f64,
+    /// Achieved TFLOP/s.
+    pub tflops: f64,
+    /// Achieved HBM bandwidth, GB/s.
+    pub gb_s: f64,
+    /// Busy power, watts.
+    pub power_w: f64,
+    /// Time relative to uncapped.
+    pub t_rel: f64,
+}
+
+/// All intensities at one cap setting (Fig. 4).
+#[derive(Debug, Clone)]
+pub struct Fig4Section {
+    /// The cap applied.
+    pub setting: CapSetting,
+    /// One row per arithmetic intensity.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// One knob column of Fig. 4 (fixed frequency / power cap).
+#[derive(Debug, Clone)]
+pub struct Fig4Block {
+    /// Column title.
+    pub title: &'static str,
+    /// One section per cap setting.
+    pub sections: Vec<Fig4Section>,
+}
+
+/// Fig. 4 data.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Left and right columns.
+    pub blocks: Vec<Fig4Block>,
+}
+
+/// One VAI intensity's normalized sweep (Fig. 5).
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Arithmetic intensity, FLOP/byte.
+    pub ai: f64,
+    /// Normalized point per ladder setting.
+    pub points: Vec<NormalizedPoint>,
+}
+
+/// One cap-ladder block of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Block {
+    /// Block title.
+    pub title: &'static str,
+    /// The ladder swept.
+    pub settings: Vec<CapSetting>,
+    /// One row per arithmetic intensity.
+    pub rows: Vec<Fig5Row>,
+}
+
+/// Fig. 5 data.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Frequency and power ladder blocks.
+    pub blocks: Vec<Fig5Block>,
+}
+
+/// One membench working-set row under a cap (Fig. 6).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Working-set size, bytes.
+    pub bytes: u64,
+    /// Achieved bandwidth, GB/s.
+    pub gb_s: f64,
+    /// Busy power, watts.
+    pub power_w: f64,
+    /// Time relative to uncapped.
+    pub t_rel: f64,
+    /// Whether the power cap was breached.
+    pub breached: bool,
+}
+
+/// All sizes at one cap setting (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Fig6Section {
+    /// The cap applied.
+    pub setting: CapSetting,
+    /// One row per working-set size.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// One knob column of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Block {
+    /// Column title.
+    pub title: &'static str,
+    /// One section per cap setting.
+    pub sections: Vec<Fig6Section>,
+}
+
+/// Fig. 6 data.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Frequency and power cap columns.
+    pub blocks: Vec<Fig6Block>,
+}
+
+/// One frequency point of the Louvain sweep (Fig. 7).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7SweepRow {
+    /// Knob value (MHz or watts).
+    pub knob: f64,
+    /// Runtime, seconds.
+    pub runtime_s: f64,
+    /// Average power, watts.
+    pub avg_power_w: f64,
+    /// Peak power, watts.
+    pub peak_power_w: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+}
+
+/// One road-network power-cap row (Fig. 7).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7RoadRow {
+    /// Power cap, watts.
+    pub cap_w: f64,
+    /// Runtime relative to uncapped.
+    pub runtime_ratio: f64,
+    /// Energy saving, percent.
+    pub saving_pct: f64,
+    /// Whether the cap was breached.
+    pub breached: bool,
+}
+
+/// One network case of Fig. 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Case {
+    /// Network name.
+    pub name: String,
+    /// Edge count.
+    pub edges: usize,
+    /// Maximum degree.
+    pub d_max: usize,
+    /// Mean degree.
+    pub d_avg: f64,
+    /// Final modularity.
+    pub modularity: f64,
+    /// Louvain level count.
+    pub levels: usize,
+    /// Frequency sweep rows.
+    pub freq_rows: Vec<Fig7SweepRow>,
+    /// Energy saving at 900 MHz, percent.
+    pub saving_900_pct: f64,
+    /// Runtime increase at 900 MHz, percent.
+    pub slowdown_900_pct: f64,
+    /// Power-cap sweep for road networks.
+    pub road_caps: Option<Vec<Fig7RoadRow>>,
+}
+
+/// Fig. 7 data.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// One case per network.
+    pub cases: Vec<Fig7Case>,
+}
+
+/// One region's share of GPU-hours (Fig. 8).
+#[derive(Debug, Clone)]
+pub struct RegionMass {
+    /// Region label.
+    pub label: &'static str,
+    /// Share of samples, percent.
+    pub pct: f64,
+}
+
+/// Fig. 8 data: the system-wide power distribution.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Sample count.
+    pub samples: u64,
+    /// Mean power, watts.
+    pub mean_w: f64,
+    /// Histogram density.
+    pub density: Vec<f64>,
+    /// Per-region sample mass.
+    pub regions: Vec<RegionMass>,
+    /// Distribution peak locations, watts.
+    pub peaks_w: Vec<f64>,
+}
+
+/// One science domain's distribution (Fig. 9).
+#[derive(Debug, Clone)]
+pub struct Fig9Domain {
+    /// Domain code.
+    pub code: String,
+    /// Domain name.
+    pub name: String,
+    /// Mean power, watts.
+    pub mean_w: f64,
+    /// Histogram density.
+    pub density: Vec<f64>,
+}
+
+/// Fig. 9 data.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// One entry per domain with samples.
+    pub domains: Vec<Fig9Domain>,
+}
+
+/// Fig. 10 data: energy used / saved heatmaps.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Domain codes, row order.
+    pub labels: Vec<String>,
+    /// (a) energy used, MWh.
+    pub used: Heatmap,
+    /// (b) energy saved at the 1100 MHz cap, MWh.
+    pub saved: Heatmap,
+    /// Share of savings from job sizes A–C, percent.
+    pub concentration_pct: f64,
+}
+
+/// Table I data: system summary rows.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// `(label, value)` pairs.
+    pub rows: Vec<(&'static str, String)>,
+}
+
+/// One per-node placement shown in Table II(c).
+#[derive(Debug, Clone)]
+pub struct Table2Placement {
+    /// Job id.
+    pub job_id: u64,
+    /// Project id.
+    pub project_id: String,
+    /// Placement start, seconds.
+    pub begin_s: f64,
+    /// Placement end, seconds.
+    pub end_s: f64,
+}
+
+/// Table II data: dataset products.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Raw 2 s telemetry at Frontier scale, terabytes.
+    pub raw_tb: f64,
+    /// Aggregated 15 s product, terabytes.
+    pub agg_tb: f64,
+    /// Job count of the demo schedule.
+    pub jobs: usize,
+    /// First job-log lines.
+    pub log_lines: Vec<String>,
+    /// First placements on node 0.
+    pub placements: Vec<Table2Placement>,
+}
+
+/// Table III artifact: the benchmark factor table.
+#[derive(Debug, Clone)]
+pub struct Table3Artifact {
+    /// The computed factors.
+    pub table: Table3,
+}
+
+/// Table IV data: modal decomposition shares.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// GPU-hour share per region (paper order), percent.
+    pub gpu_hours_pct: [f64; 4],
+}
+
+/// Table V artifact: the savings projection at Frontier scale.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// The projection.
+    pub projection: Projection,
+}
+
+/// Table VI artifact: selective savings on hot domains.
+#[derive(Debug, Clone)]
+pub struct Table6 {
+    /// Selected domain codes.
+    pub hot_codes: Vec<String>,
+    /// The filtered projection.
+    pub projection: Projection,
+}
+
+/// One scheduling-policy row (Table VII).
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Size-class label.
+    pub label: char,
+    /// Minimum node count.
+    pub min_nodes: usize,
+    /// Maximum node count.
+    pub max_nodes: usize,
+    /// Maximum walltime, hours.
+    pub max_walltime_h: f64,
+}
+
+/// Table VII data.
+#[derive(Debug, Clone)]
+pub struct Table7 {
+    /// One row per size class.
+    pub rows: Vec<Table7Row>,
+}
+
+/// One cap's projection-vs-measured comparison (validate extension).
+#[derive(Debug, Clone, Copy)]
+pub struct ValidateRow {
+    /// Frequency cap, MHz.
+    pub cap_mhz: f64,
+    /// Projected savings, percent.
+    pub projected_sav_pct: f64,
+    /// Measured savings, percent.
+    pub measured_sav_pct: f64,
+    /// Projected runtime increase, percent.
+    pub projected_dt_pct: f64,
+    /// Measured runtime increase, percent.
+    pub measured_dt_pct: f64,
+}
+
+/// Validate-extension data.
+#[derive(Debug, Clone)]
+pub struct Validate {
+    /// Number of jobs re-executed.
+    pub jobs: usize,
+    /// One row per cap.
+    pub rows: Vec<ValidateRow>,
+}
+
+/// One slowdown-budget row of the what-if analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatifBudgetRow {
+    /// Per-domain slowdown budget, percent.
+    pub budget_pct: f64,
+    /// Mixed per-domain savings, percent of total.
+    pub mixed_saves_pct: f64,
+    /// Best uniform-cap savings, percent of total.
+    pub uniform_saves_pct: f64,
+    /// The best uniform cap.
+    pub uniform_cap: CapSetting,
+}
+
+/// One domain's cap assignment at the 10 % budget.
+#[derive(Debug, Clone)]
+pub struct WhatifAssignment {
+    /// Domain code.
+    pub code: String,
+    /// `(cap MHz, ΔT %)`, or `None` for uncapped.
+    pub choice: Option<(f64, f64)>,
+}
+
+/// What-if extension data.
+#[derive(Debug, Clone)]
+pub struct Whatif {
+    /// One row per budget.
+    pub budget_rows: Vec<WhatifBudgetRow>,
+    /// Assignment at the 10 % budget.
+    pub assignment: Vec<WhatifAssignment>,
+}
+
+/// One governor policy's outcome on a workload class.
+#[derive(Debug, Clone)]
+pub struct GovernorPolicyRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Energy saved, percent.
+    pub energy_saved_pct: f64,
+    /// Slowdown, percent (negative = speedup).
+    pub slowdown_pct: f64,
+}
+
+/// One workload class of the governor extension.
+#[derive(Debug, Clone)]
+pub struct GovernorClass {
+    /// Workload class name.
+    pub class: String,
+    /// Phase count of the synthesized application.
+    pub phases: usize,
+    /// One row per policy.
+    pub rows: Vec<GovernorPolicyRow>,
+}
+
+/// Governor-extension data.
+#[derive(Debug, Clone)]
+pub struct GovernorArtifact {
+    /// One entry per workload class.
+    pub classes: Vec<GovernorClass>,
+}
+
+/// One frequency cap's fleet power envelope (peak-power extension).
+#[derive(Debug, Clone, Copy)]
+pub struct PeakPowerRow {
+    /// Frequency cap, MHz.
+    pub cap_mhz: f64,
+    /// Extrapolated peak, MW.
+    pub peak_mw: f64,
+    /// Extrapolated mean, MW.
+    pub mean_mw: f64,
+    /// Load factor (mean / peak).
+    pub load_factor: f64,
+    /// Peak shaved vs uncapped, percent.
+    pub shaved_pct: f64,
+}
+
+/// Peak-power extension data.
+#[derive(Debug, Clone)]
+pub struct PeakPower {
+    /// One row per cap.
+    pub rows: Vec<PeakPowerRow>,
+}
+
+/// One perturbed-boundary projection (sensitivity ablation).
+#[derive(Debug, Clone, Copy)]
+pub struct SensitivityVariant {
+    /// Latency/MI boundary, watts.
+    pub latency_mi_w: f64,
+    /// MI/CI boundary, watts.
+    pub mi_ci_w: f64,
+    /// Best no-slowdown savings, percent.
+    pub best_free_pct: f64,
+    /// Best total savings, percent.
+    pub best_total_pct: f64,
+}
+
+/// Sensitivity-ablation data.
+#[derive(Debug, Clone)]
+pub struct SensitivityArtifact {
+    /// Reference no-slowdown headline, percent.
+    pub reference_free_pct: f64,
+    /// Number of perturbation points swept.
+    pub points: usize,
+    /// Spread of the headline across perturbations, percentage points.
+    pub spread_pp: f64,
+    /// Named boundary variants.
+    pub variants: Vec<SensitivityVariant>,
+}
+
+/// One computed artifact value.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Fig. 2.
+    Fig2(Fig2),
+    /// Fig. 3.
+    Fig3(Fig3),
+    /// Fig. 4.
+    Fig4(Fig4),
+    /// Fig. 5.
+    Fig5(Fig5),
+    /// Fig. 6.
+    Fig6(Fig6),
+    /// Fig. 7.
+    Fig7(Fig7),
+    /// Fig. 8.
+    Fig8(Fig8),
+    /// Fig. 9.
+    Fig9(Fig9),
+    /// Fig. 10.
+    Fig10(Fig10),
+    /// Table I.
+    Table1(Table1),
+    /// Table II.
+    Table2(Table2),
+    /// Table III.
+    Table3(Table3Artifact),
+    /// Table IV.
+    Table4(Table4),
+    /// Table V.
+    Table5(Table5),
+    /// Table VI.
+    Table6(Table6),
+    /// Table VII.
+    Table7(Table7),
+    /// Validate extension.
+    Validate(Validate),
+    /// What-if extension.
+    Whatif(Whatif),
+    /// Governor extension.
+    Governor(GovernorArtifact),
+    /// Peak-power extension.
+    PeakPower(PeakPower),
+    /// Sensitivity ablation.
+    Sensitivity(SensitivityArtifact),
+}
+
+impl Artifact {
+    /// The artifact's identity.
+    pub fn id(&self) -> ArtifactId {
+        match self {
+            Artifact::Fig2(_) => ArtifactId::Fig2,
+            Artifact::Fig3(_) => ArtifactId::Fig3,
+            Artifact::Fig4(_) => ArtifactId::Fig4,
+            Artifact::Fig5(_) => ArtifactId::Fig5,
+            Artifact::Fig6(_) => ArtifactId::Fig6,
+            Artifact::Fig7(_) => ArtifactId::Fig7,
+            Artifact::Fig8(_) => ArtifactId::Fig8,
+            Artifact::Fig9(_) => ArtifactId::Fig9,
+            Artifact::Fig10(_) => ArtifactId::Fig10,
+            Artifact::Table1(_) => ArtifactId::Table1,
+            Artifact::Table2(_) => ArtifactId::Table2,
+            Artifact::Table3(_) => ArtifactId::Table3,
+            Artifact::Table4(_) => ArtifactId::Table4,
+            Artifact::Table5(_) => ArtifactId::Table5,
+            Artifact::Table6(_) => ArtifactId::Table6,
+            Artifact::Table7(_) => ArtifactId::Table7,
+            Artifact::Validate(_) => ArtifactId::Validate,
+            Artifact::Whatif(_) => ArtifactId::Whatif,
+            Artifact::Governor(_) => ArtifactId::Governor,
+            Artifact::PeakPower(_) => ArtifactId::PeakPower,
+            Artifact::Sensitivity(_) => ArtifactId::Sensitivity,
+        }
+    }
+
+    /// Renders the artifact to the byte-identical ASCII of the original
+    /// per-artifact binary.
+    pub fn render_ascii(&self) -> String {
+        render::ascii(self)
+    }
+
+    /// Renders the artifact to structured JSON.
+    pub fn to_json(&self) -> Json {
+        render::json(self)
+    }
+}
+
+/// A bundle of computed artifacts for one scenario.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// The scenario that produced the bundle.
+    pub spec: ScenarioSpec,
+    /// The computed artifacts, in request order.
+    pub items: Vec<Artifact>,
+}
+
+impl Artifacts {
+    /// Finds an artifact by id.
+    pub fn get(&self, id: ArtifactId) -> Option<&Artifact> {
+        self.items.iter().find(|a| a.id() == id)
+    }
+
+    /// Serializes the whole bundle (spec + every artifact) to JSON.
+    pub fn to_json(&self) -> Json {
+        let mut arts = Json::obj();
+        for a in &self.items {
+            arts = arts.field(a.id().name(), a.to_json());
+        }
+        Json::obj()
+            .field("spec", self.spec.to_json())
+            .field("artifacts", arts)
+    }
+}
+
+impl Pipeline {
+    /// Computes one artifact, reusing memoized stages.
+    pub fn artifact(&mut self, id: ArtifactId) -> Result<Artifact, PmssError> {
+        Ok(match id {
+            ArtifactId::Fig2 => Artifact::Fig2(fig2(self)?),
+            ArtifactId::Fig3 => Artifact::Fig3(fig3(self)),
+            ArtifactId::Fig4 => Artifact::Fig4(fig4(self)),
+            ArtifactId::Fig5 => Artifact::Fig5(fig5(self)?),
+            ArtifactId::Fig6 => Artifact::Fig6(fig6(self)),
+            ArtifactId::Fig7 => Artifact::Fig7(fig7(self)),
+            ArtifactId::Fig8 => Artifact::Fig8(fig8(self)?),
+            ArtifactId::Fig9 => Artifact::Fig9(fig9(self)?),
+            ArtifactId::Fig10 => Artifact::Fig10(fig10(self)?),
+            ArtifactId::Table1 => Artifact::Table1(table1()),
+            ArtifactId::Table2 => Artifact::Table2(table2()?),
+            ArtifactId::Table3 => Artifact::Table3(Table3Artifact {
+                table: self.table3()?.clone(),
+            }),
+            ArtifactId::Table4 => Artifact::Table4(table4(self)?),
+            ArtifactId::Table5 => Artifact::Table5(Table5 {
+                projection: self.projection()?,
+            }),
+            ArtifactId::Table6 => Artifact::Table6(table6(self)?),
+            ArtifactId::Table7 => Artifact::Table7(table7()),
+            ArtifactId::Validate => Artifact::Validate(validate(self)?),
+            ArtifactId::Whatif => Artifact::Whatif(whatif(self)?),
+            ArtifactId::Governor => Artifact::Governor(governor(self)),
+            ArtifactId::PeakPower => Artifact::PeakPower(peakpower(self)),
+            ArtifactId::Sensitivity => Artifact::Sensitivity(sensitivity(self)?),
+        })
+    }
+
+    /// Computes a bundle of artifacts, sharing every memoized stage.
+    pub fn artifacts(&mut self, ids: &[ArtifactId]) -> Result<Artifacts, PmssError> {
+        let items = ids
+            .iter()
+            .map(|&id| self.artifact(id))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Artifacts {
+            spec: self.spec().clone(),
+            items,
+        })
+    }
+}
+
+fn fig2(p: &mut Pipeline) -> Result<Fig2, PmssError> {
+    // (a) sensor agreement on a 20-minute mixed application.
+    let mut rng = StdRng::seed_from_u64(2);
+    let phases = synthesize_app(AppClass::Mixed, 1200.0, &mut rng);
+    let c = compare_sensors(&phases, GpuSettings::uncapped(), 7);
+    let pairs = c
+        .telemetry
+        .iter()
+        .zip(&c.smi)
+        .take(12)
+        .map(|(t, s)| SensorPairSample {
+            t_s: t.t_s,
+            oob_w: t.power_w,
+            smi_w: s.power_w,
+        })
+        .collect();
+
+    // (b) GPU vs CPU energy on the fleet.
+    p.ensure_fleet()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let split: GpuCpuEnergy = simulate_fleet(&fleet.schedule, &FleetConfig::default());
+    Ok(Fig2 {
+        windows: c.telemetry.len(),
+        mean_power_w: c.mean_power_w,
+        mean_abs_diff_w: c.mean_abs_diff_w,
+        pairs,
+        gpu_share: split.gpu_share(),
+        gpu_density: split.gpu_hist.density(),
+        rest_density: split.rest_hist.density(),
+    })
+}
+
+fn fig3(p: &Pipeline) -> Fig3 {
+    let pattern = (0..12u64).map(|b| (b, chunk_for_block(b, 5))).collect();
+    let rows = membench::size_sweep()
+        .into_iter()
+        .map(|bytes| {
+            let params = MembenchParams::sized_for(bytes, 5.0);
+            let k = membench::kernel(params);
+            let ex = p.engine.execute(&k, GpuSettings::uncapped());
+            Fig3Row {
+                bytes,
+                served_from: if params.l2_hit_fraction() > 0.5 {
+                    "L2"
+                } else {
+                    "HBM"
+                },
+                gb_s: ex.perf.ondie_bw.max(ex.perf.hbm_bw) / 1e9,
+                power_w: ex.busy_power_w,
+            }
+        })
+        .collect();
+    Fig3 { pattern, rows }
+}
+
+fn fig4(p: &Pipeline) -> Fig4 {
+    let freqs: Vec<CapSetting> = [1700.0, 1300.0, 900.0, 700.0]
+        .iter()
+        .map(|&m| CapSetting::FreqMhz(m))
+        .collect();
+    let caps: Vec<CapSetting> = [560.0, 400.0, 300.0, 200.0]
+        .iter()
+        .map(|&w| CapSetting::PowerW(w))
+        .collect();
+    let block = |title: &'static str, settings: &[CapSetting]| -> Fig4Block {
+        let sections = settings
+            .iter()
+            .map(|&setting| {
+                let rows = vai::intensity_sweep()
+                    .into_iter()
+                    .map(|ai| {
+                        let k = vai::kernel(VaiParams::for_intensity(ai, 1 << 28, 4));
+                        let base = p
+                            .engine
+                            .execute(&k, CapSetting::FreqMhz(1700.0).to_settings());
+                        let ex = p.engine.execute(&k, setting.to_settings());
+                        Fig4Row {
+                            ai,
+                            tflops: ex.perf.flops_per_s / 1e12,
+                            gb_s: ex.perf.hbm_bw / 1e9,
+                            power_w: ex.busy_power_w,
+                            t_rel: ex.time_s / base.time_s,
+                        }
+                    })
+                    .collect();
+                Fig4Section { setting, rows }
+            })
+            .collect();
+        Fig4Block { title, sections }
+    };
+    Fig4 {
+        blocks: vec![
+            block("Fig. 4 left: fixed frequency", &freqs),
+            block("Fig. 4 right: power cap", &caps),
+        ],
+    }
+}
+
+fn fig5(p: &mut Pipeline) -> Result<Fig5, PmssError> {
+    let ladders = [
+        ("Fig. 5 left: frequency caps (MHz)", p.freq_ladder()),
+        ("Fig. 5 right: power caps (W)", p.power_ladder()),
+    ];
+    let mut blocks = Vec::new();
+    for (title, settings) in ladders {
+        let rows = vai::intensity_sweep()
+            .into_iter()
+            .map(|ai| {
+                let k = vai::kernel(VaiParams::for_intensity(ai, 1 << 28, 4));
+                let points = normalize(&sweep_kernel(&p.engine, &k, &settings)?)?;
+                Ok(Fig5Row { ai, points })
+            })
+            .collect::<Result<Vec<_>, PmssError>>()?;
+        blocks.push(Fig5Block {
+            title,
+            settings,
+            rows,
+        });
+    }
+    Ok(Fig5 { blocks })
+}
+
+fn fig6(p: &Pipeline) -> Fig6 {
+    let freqs: Vec<CapSetting> = [1700.0, 1300.0, 900.0, 700.0]
+        .iter()
+        .map(|&m| CapSetting::FreqMhz(m))
+        .collect();
+    let caps: Vec<CapSetting> = MEMBENCH_POWER_CAPS_W
+        .iter()
+        .map(|&w| CapSetting::PowerW(w))
+        .collect();
+    let block = |title: &'static str, settings: &[CapSetting]| -> Fig6Block {
+        let sections = settings
+            .iter()
+            .map(|&setting| {
+                let rows = membench::size_sweep()
+                    .into_iter()
+                    .map(|bytes| {
+                        let k = membench::kernel(MembenchParams::sized_for(bytes, 5.0));
+                        let base = p
+                            .engine
+                            .execute(&k, CapSetting::FreqMhz(1700.0).to_settings());
+                        let ex = p.engine.execute(&k, setting.to_settings());
+                        Fig6Row {
+                            bytes,
+                            gb_s: ex.perf.ondie_bw.max(ex.perf.hbm_bw) / 1e9,
+                            power_w: ex.busy_power_w,
+                            t_rel: ex.time_s / base.time_s,
+                            breached: ex.cap_breached,
+                        }
+                    })
+                    .collect();
+                Fig6Section { setting, rows }
+            })
+            .collect();
+        Fig6Block { title, sections }
+    };
+    Fig6 {
+        blocks: vec![
+            block("Fig. 6 left: frequency caps", &freqs),
+            block("Fig. 6 right: power caps", &caps),
+        ],
+    }
+}
+
+fn fig7(p: &Pipeline) -> Fig7 {
+    let cases = networks(p.spec.case_scale(), 77);
+    let cases = cases
+        .iter()
+        .map(|case| {
+            let stats = case.graph.degree_stats();
+            let study = CaseStudy::prepare(case, 3);
+            let freq_rows = study
+                .frequency_sweep()
+                .into_iter()
+                .map(|pt| Fig7SweepRow {
+                    knob: pt.knob,
+                    runtime_s: pt.runtime_s,
+                    avg_power_w: pt.avg_power_w,
+                    peak_power_w: pt.peak_power_w,
+                    energy_j: pt.energy_j,
+                })
+                .collect();
+            let s = study.savings(GpuSettings::freq_capped(900.0));
+            let road_caps = if case.name.starts_with("road") {
+                let base = study.run(GpuSettings::uncapped());
+                Some(
+                    study
+                        .power_cap_sweep()
+                        .into_iter()
+                        .map(|pt| Fig7RoadRow {
+                            cap_w: pt.knob,
+                            runtime_ratio: pt.runtime_s / base.runtime_s,
+                            saving_pct: 100.0 * (1.0 - pt.energy_j / base.energy_j),
+                            breached: pt.cap_breached,
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            Fig7Case {
+                name: case.name.clone(),
+                edges: case.graph.num_edges(),
+                d_max: stats.d_max,
+                d_avg: stats.d_avg,
+                modularity: study.result.modularity,
+                levels: study.result.levels.len(),
+                freq_rows,
+                saving_900_pct: 100.0 * s.energy_saving,
+                slowdown_900_pct: 100.0 * s.runtime_increase,
+                road_caps,
+            }
+        })
+        .collect();
+    Fig7 { cases }
+}
+
+fn fig8(p: &mut Pipeline) -> Result<Fig8, PmssError> {
+    p.ensure_fleet()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let hist = &fleet.system.hist;
+    let regions = Region::all()
+        .iter()
+        .map(|r| {
+            let (lo, hi) = r.range_w();
+            RegionMass {
+                label: r.label(),
+                pct: 100.0 * hist.fraction_between(lo, hi.min(700.0)),
+            }
+        })
+        .collect();
+    Ok(Fig8 {
+        samples: hist.total(),
+        mean_w: hist.mean_w().unwrap_or(0.0),
+        density: hist.density(),
+        regions,
+        peaks_w: hist.peaks_w(2.0, 0.01),
+    })
+}
+
+fn fig9(p: &mut Pipeline) -> Result<Fig9, PmssError> {
+    p.ensure_fleet()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let domains = fleet
+        .domains
+        .iter()
+        .enumerate()
+        .filter_map(|(d, spec)| {
+            fleet.per_domain.domain(d).map(|h| Fig9Domain {
+                code: spec.code.to_string(),
+                name: spec.name.to_string(),
+                mean_w: h.mean_w().unwrap_or(0.0),
+                density: h.density(),
+            })
+        })
+        .collect();
+    Ok(Fig9 { domains })
+}
+
+fn fig10(p: &mut Pipeline) -> Result<Fig10, PmssError> {
+    p.ensure_fleet()?;
+    p.ensure_table3()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let t3 = p.table3.as_ref().expect("benchmark stage ran");
+    let ledger = fleet.ledger.scaled(fleet.frontier_factor);
+    let used = energy_used(&ledger);
+    let row_1100 = t3.freq_row(1100.0).ok_or_else(|| {
+        PmssError::missing("Table III row", "1100 MHz (not in the spec's freq ladder)")
+    })?;
+    let saved = energy_saved(&ledger, row_1100);
+    let concentration_pct =
+        100.0 * saved.rows.iter().map(|r| r[0] + r[1] + r[2]).sum::<f64>() / saved.total();
+    Ok(Fig10 {
+        labels: fleet.domains.iter().map(|d| d.code.to_string()).collect(),
+        used,
+        saved,
+        concentration_pct,
+    })
+}
+
+fn table1() -> Table1 {
+    use pmss_gpu::consts as c;
+    Table1 {
+        rows: vec![
+            ("Compute node", c::FRONTIER_NODES.to_string()),
+            (
+                "Each Compute node",
+                format!("{} AMD MI250X", c::GPUS_PER_NODE),
+            ),
+            ("Each GPU", format!("{} GCD", c::GCDS_PER_GPU)),
+            (
+                "Each GCD",
+                format!("{} GB HBM2E", c::GCD_HBM_BYTES / (1 << 30)),
+            ),
+            ("GCD max power (pkg TDP)", format!("{:.0} W", c::GPU_TDP_W)),
+            ("GCD max frequency", format!("{:.0} MHz", c::F_MAX_MHZ)),
+            (
+                "GCD peak FP64",
+                format!("{:.1} TFLOP/s", c::GCD_PEAK_FLOPS / 1e12),
+            ),
+            (
+                "HBM bandwidth per GCD",
+                format!("{:.1} TB/s", c::GCD_HBM_BW / 1e12),
+            ),
+            ("GPU idle power", format!("{:.0} W", c::GPU_IDLE_W)),
+            ("Firmware sustained limit", format!("{:.0} W", c::GPU_PPT_W)),
+        ],
+    }
+}
+
+fn table2() -> Result<Table2, PmssError> {
+    let cat = catalog();
+    let schedule = generate(
+        TraceParams {
+            nodes: 8,
+            duration_s: 86_400.0,
+            seed: 6,
+            min_job_s: 900.0,
+        },
+        &cat,
+    );
+    let mut buf = Vec::new();
+    log::write_log(&mut buf, &schedule.jobs)?;
+    let text = String::from_utf8(buf)
+        .map_err(|e| PmssError::malformed("job-log", format!("non-UTF-8 output: {e}")))?;
+    let log_lines = text.lines().take(5).map(|l| l.to_string()).collect();
+    let placements = schedule.per_node[0]
+        .iter()
+        .take(4)
+        .map(|pl| {
+            let j = &schedule.jobs[pl.job];
+            Table2Placement {
+                job_id: j.id,
+                project_id: j.project_id.clone(),
+                begin_s: pl.begin_s,
+                end_s: pl.end_s,
+            }
+        })
+        .collect();
+    Ok(Table2 {
+        raw_tb: sample_storage_bytes(9408, 4, 90.0, 2.0, 16.0) / 1e12,
+        agg_tb: sample_storage_bytes(9408, 4, 90.0, 15.0, 16.0) / 1e12,
+        jobs: schedule.jobs.len(),
+        log_lines,
+        placements,
+    })
+}
+
+fn table4(p: &mut Pipeline) -> Result<Table4, PmssError> {
+    let fleet = p.fleet()?;
+    let fractions = fleet.ledger.gpu_hours_fractions();
+    let mut gpu_hours_pct = [0.0; 4];
+    for (out, region) in gpu_hours_pct.iter_mut().zip(Region::all()) {
+        *out = 100.0 * fractions[region.index()];
+    }
+    Ok(Table4 { gpu_hours_pct })
+}
+
+fn table6(p: &mut Pipeline) -> Result<Table6, PmssError> {
+    p.ensure_fleet()?;
+    p.ensure_table3()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let t3 = p.table3.as_ref().expect("benchmark stage ran");
+    let ledger = fleet.ledger.scaled(fleet.frontier_factor);
+    let row_1100 = t3.freq_row(1100.0).ok_or_else(|| {
+        PmssError::missing("Table III row", "1100 MHz (not in the spec's freq ladder)")
+    })?;
+    let saved = energy_saved(&ledger, row_1100);
+    let threshold = 0.35
+        * saved
+            .rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .cloned()
+            .fold(0.0, f64::max);
+    let hot = saved.hot_domains(threshold);
+    let input = ProjectionInput::from_ledger_filtered(&ledger, |d, size| {
+        hot.contains(&d) && size <= JobSizeClass::C
+    });
+    Ok(Table6 {
+        hot_codes: hot
+            .iter()
+            .map(|&d| fleet.domains[d].code.to_string())
+            .collect(),
+        projection: project(input, t3)?,
+    })
+}
+
+fn table7() -> Table7 {
+    Table7 {
+        rows: JobSizeClass::all()
+            .into_iter()
+            .map(|class| {
+                let (lo, hi) = class.node_range();
+                Table7Row {
+                    label: class.label(),
+                    min_nodes: lo,
+                    max_nodes: hi,
+                    max_walltime_h: class.max_walltime_h(),
+                }
+            })
+            .collect(),
+    }
+}
+
+fn validate(p: &mut Pipeline) -> Result<Validate, PmssError> {
+    p.ensure_fleet()?;
+    p.ensure_table3()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let t3 = p.table3.as_ref().expect("benchmark stage ran");
+    let projection = project(ProjectionInput::from_ledger(&fleet.ledger), t3)?;
+    let engine = &p.engine;
+
+    let jobs: Vec<_> = fleet.schedule.jobs.iter().take(400).collect();
+    let rows = [1500.0, 1300.0, 1100.0, 900.0, 700.0]
+        .iter()
+        .map(|&mhz| {
+            let (e_b, e_c, t_b, t_c) = jobs
+                .par_iter()
+                .map(|job| {
+                    let mut rng = StdRng::seed_from_u64(job.seed);
+                    let mut acc = (0.0, 0.0, 0.0, 0.0);
+                    for phase in synthesize_app(job.app_class, job.duration_s(), &mut rng) {
+                        let b = engine.execute(&phase, GpuSettings::uncapped());
+                        let c = engine.execute(&phase, GpuSettings::freq_capped(mhz));
+                        acc.0 += b.energy_j;
+                        acc.1 += c.energy_j;
+                        acc.2 += b.time_s;
+                        acc.3 += c.time_s;
+                    }
+                    acc
+                })
+                .reduce(
+                    || (0.0, 0.0, 0.0, 0.0),
+                    |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+                );
+            let row = projection.freq_row(mhz).ok_or_else(|| {
+                PmssError::missing(
+                    "projection row",
+                    format!("{mhz:.0} MHz (not in the spec's freq ladder)"),
+                )
+            })?;
+            Ok(ValidateRow {
+                cap_mhz: mhz,
+                projected_sav_pct: row.savings_pct,
+                measured_sav_pct: 100.0 * (1.0 - e_c / e_b),
+                projected_dt_pct: row.delta_t_pct,
+                measured_dt_pct: 100.0 * (t_c / t_b - 1.0),
+            })
+        })
+        .collect::<Result<Vec<_>, PmssError>>()?;
+    Ok(Validate {
+        jobs: jobs.len(),
+        rows,
+    })
+}
+
+fn whatif(p: &mut Pipeline) -> Result<Whatif, PmssError> {
+    p.ensure_fleet()?;
+    p.ensure_table3()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let t3 = p.table3.as_ref().expect("benchmark stage ran");
+    let total_j = fleet.ledger.total().joules;
+
+    let budget_rows = [1.0, 2.0, 5.0, 10.0, 20.0, 40.0]
+        .iter()
+        .map(|&budget| {
+            let mixed = optimize_per_domain(&fleet.ledger, t3, budget);
+            let (setting, uniform_j) = best_uniform(&fleet.ledger, t3, budget)?;
+            Ok(WhatifBudgetRow {
+                budget_pct: budget,
+                mixed_saves_pct: 100.0 * mixed.savings_fraction(total_j),
+                uniform_saves_pct: 100.0 * uniform_j / total_j,
+                uniform_cap: setting,
+            })
+        })
+        .collect::<Result<Vec<_>, PmssError>>()?;
+
+    let mixed = optimize_per_domain(&fleet.ledger, t3, 10.0);
+    let assignment = mixed
+        .assignment
+        .iter()
+        .enumerate()
+        .map(|(d, choice)| WhatifAssignment {
+            code: fleet.domains[d].code.to_string(),
+            choice: choice.as_ref().map(|e| (e.setting.value(), e.delta_t_pct)),
+        })
+        .collect();
+    Ok(Whatif {
+        budget_rows,
+        assignment,
+    })
+}
+
+fn governor(p: &Pipeline) -> GovernorArtifact {
+    let ladder = DvfsLadder::default();
+    let policies: Vec<(&'static str, Governor)> = vec![
+        ("static 1100 MHz", Governor::Fixed(1100.0)),
+        ("static 900 MHz", Governor::Fixed(900.0)),
+        ("energy-optimal", Governor::EnergyOptimal),
+        (
+            "5% slowdown budget",
+            Governor::SlowdownBudget { budget: 0.05 },
+        ),
+    ];
+    let classes = AppClass::all()
+        .into_iter()
+        .map(|class| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let phases = synthesize_app(class, 3600.0, &mut rng);
+            let rows = policies
+                .iter()
+                .map(|(name, policy)| {
+                    let t = GovernedTotals::from_governed(
+                        &policy.govern_phases(&p.engine, &phases, &ladder),
+                    );
+                    GovernorPolicyRow {
+                        policy: name,
+                        energy_saved_pct: 100.0 * t.energy_saving(),
+                        slowdown_pct: 100.0 * t.slowdown(),
+                    }
+                })
+                .collect();
+            GovernorClass {
+                class: format!("{class:?}"),
+                phases: phases.len(),
+                rows,
+            }
+        })
+        .collect();
+    GovernorArtifact { classes }
+}
+
+fn peakpower(p: &Pipeline) -> PeakPower {
+    let params = p.spec.trace_params();
+    let schedule = generate(params, &catalog());
+    // Extrapolate fleet power to the full 9408-node system.
+    let node_factor = 9408.0 / params.nodes as f64;
+    let mut rows = Vec::new();
+    let mut base_peak = 0.0;
+    for mhz in [1700.0, 1500.0, 1300.0, 1100.0, 900.0] {
+        let fp: FleetPowerSeries = simulate_fleet(
+            &schedule,
+            &FleetConfig {
+                settings: GpuSettings::freq_capped(mhz),
+                ..Default::default()
+            },
+        );
+        let peak_mw = fp.peak_w() * node_factor / 1e6;
+        let mean_mw = fp.mean_w() * node_factor / 1e6;
+        if mhz == 1700.0 {
+            base_peak = peak_mw;
+        }
+        rows.push(PeakPowerRow {
+            cap_mhz: mhz,
+            peak_mw,
+            mean_mw,
+            load_factor: fp.load_factor(),
+            shaved_pct: 100.0 * (1.0 - peak_mw / base_peak),
+        });
+    }
+    PeakPower { rows }
+}
+
+fn sensitivity(p: &mut Pipeline) -> Result<SensitivityArtifact, PmssError> {
+    p.ensure_fleet()?;
+    p.ensure_table3()?;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let t3 = p.table3.as_ref().expect("benchmark stage ran");
+    let total_j = fleet.ledger.total().joules;
+
+    let report = boundary_sweep(&fleet.system.hist, total_j, t3, 40.0, 8)?;
+    let variants = [
+        Boundaries {
+            latency_mi_w: 160.0,
+            mi_ci_w: 420.0,
+            ci_boost_w: 560.0,
+        },
+        Boundaries {
+            latency_mi_w: 240.0,
+            mi_ci_w: 420.0,
+            ci_boost_w: 560.0,
+        },
+        Boundaries {
+            latency_mi_w: 200.0,
+            mi_ci_w: 380.0,
+            ci_boost_w: 560.0,
+        },
+        Boundaries {
+            latency_mi_w: 200.0,
+            mi_ci_w: 460.0,
+            ci_boost_w: 560.0,
+        },
+    ]
+    .into_iter()
+    .map(|b| {
+        let proj = project(input_from_histogram(&fleet.system.hist, b, total_j)?, t3)?;
+        Ok(SensitivityVariant {
+            latency_mi_w: b.latency_mi_w,
+            mi_ci_w: b.mi_ci_w,
+            best_free_pct: proj.best_free().savings_dt0_pct,
+            best_total_pct: proj.best_total().savings_pct,
+        })
+    })
+    .collect::<Result<Vec<_>, PmssError>>()?;
+    Ok(SensitivityArtifact {
+        reference_free_pct: report.reference.best_free_pct,
+        points: report.points.len(),
+        spread_pp: report.free_savings_spread(),
+        variants,
+    })
+}

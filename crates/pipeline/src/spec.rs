@@ -1,0 +1,376 @@
+//! The typed scenario specification: one value that describes everything a
+//! pipeline run needs.
+//!
+//! A [`ScenarioSpec`] carries the fleet shape (nodes, trace length, seed),
+//! the cap ladders swept by the benchmark stage, and the modal-region
+//! boundaries — validated at construction and round-trippable through
+//! JSON.  The three named presets (`quick`, `medium`, `large`) reproduce
+//! the historical `PMSS_SCALE` environment handling, but parsing is now
+//! explicit: an unrecognized value is a [`PmssError::InvalidValue`], not a
+//! silent fall back to `quick`.
+
+use pmss_core::sensitivity::Boundaries;
+use pmss_error::PmssError;
+use pmss_graph::case_study::CaseScale;
+use pmss_sched::TraceParams;
+use pmss_workloads::sweep::{FREQ_CAPS_MHZ, POWER_CAPS_W};
+
+use crate::json::Json;
+
+/// The environment variable selecting a scale preset.
+pub const SCALE_ENV: &str = "PMSS_SCALE";
+
+/// Named experiment scales (the former `pmss_bench::Scale`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// 16 nodes x 2 days — seconds of runtime.
+    Quick,
+    /// 64 nodes x 7 days.
+    Medium,
+    /// 160 nodes x 14 days.
+    Large,
+}
+
+impl ScalePreset {
+    /// All presets.
+    pub fn all() -> [ScalePreset; 3] {
+        [ScalePreset::Quick, ScalePreset::Medium, ScalePreset::Large]
+    }
+
+    /// The preset's name as accepted by `PMSS_SCALE`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalePreset::Quick => "quick",
+            ScalePreset::Medium => "medium",
+            ScalePreset::Large => "large",
+        }
+    }
+
+    /// Parses a preset name; unrecognized names are an explicit error.
+    pub fn from_name(name: &str) -> Result<ScalePreset, PmssError> {
+        match name {
+            "quick" => Ok(ScalePreset::Quick),
+            "medium" => Ok(ScalePreset::Medium),
+            "large" => Ok(ScalePreset::Large),
+            other => Err(PmssError::invalid_value(
+                SCALE_ENV,
+                other,
+                "quick | medium | large",
+            )),
+        }
+    }
+
+    /// Fleet shape of the preset: `(nodes, days)`.
+    pub fn shape(self) -> (usize, f64) {
+        match self {
+            ScalePreset::Quick => (16, 2.0),
+            ScalePreset::Medium => (64, 7.0),
+            ScalePreset::Large => (160, 14.0),
+        }
+    }
+}
+
+/// A validated, serializable description of one pipeline scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (a preset name, or free-form for custom scenarios).
+    pub name: String,
+    /// Fleet size in nodes.
+    pub nodes: usize,
+    /// Trace length in days.
+    pub days: f64,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// Minimum job duration, seconds.
+    pub min_job_s: f64,
+    /// Frequency-cap ladder, MHz; the first entry is the uncapped baseline.
+    pub freq_caps_mhz: Vec<f64>,
+    /// Power-cap ladder, watts; the first entry is the uncapped baseline.
+    pub power_caps_w: Vec<f64>,
+    /// Modal-decomposition region boundaries.
+    pub boundaries: Boundaries,
+}
+
+impl ScenarioSpec {
+    /// The spec of a named preset, with the paper's cap ladders and
+    /// default boundaries.
+    pub fn preset(preset: ScalePreset) -> ScenarioSpec {
+        let (nodes, days) = preset.shape();
+        ScenarioSpec {
+            name: preset.name().to_string(),
+            nodes,
+            days,
+            seed: 2024,
+            min_job_s: 900.0,
+            freq_caps_mhz: FREQ_CAPS_MHZ.to_vec(),
+            power_caps_w: POWER_CAPS_W.to_vec(),
+            boundaries: Boundaries::default(),
+        }
+    }
+
+    /// Resolves the spec from the `PMSS_SCALE` environment variable.
+    ///
+    /// Unset selects `quick`; a set-but-unrecognized value is an explicit
+    /// [`PmssError::InvalidValue`] (the historical behaviour silently fell
+    /// back to `quick`).
+    pub fn from_env() -> Result<ScenarioSpec, PmssError> {
+        match std::env::var(SCALE_ENV) {
+            Ok(value) => Ok(ScenarioSpec::preset(ScalePreset::from_name(&value)?)),
+            Err(std::env::VarError::NotPresent) => Ok(ScenarioSpec::preset(ScalePreset::Quick)),
+            Err(std::env::VarError::NotUnicode(_)) => Err(PmssError::invalid_value(
+                SCALE_ENV,
+                "<non-unicode>",
+                "quick | medium | large",
+            )),
+        }
+    }
+
+    /// Validates every field; returns the first violation.
+    pub fn validate(&self) -> Result<(), PmssError> {
+        fn ladder(field: &'static str, caps: &[f64]) -> Result<(), PmssError> {
+            if caps.is_empty() {
+                return Err(PmssError::InvalidSpec {
+                    field,
+                    reason: "must contain the uncapped baseline".into(),
+                });
+            }
+            for w in caps.windows(2) {
+                if w[1] >= w[0] || w[1].is_nan() || w[0].is_nan() {
+                    return Err(PmssError::InvalidSpec {
+                        field,
+                        reason: format!("must be strictly decreasing, got {caps:?}"),
+                    });
+                }
+            }
+            if caps.iter().any(|c| !c.is_finite() || *c <= 0.0) {
+                return Err(PmssError::InvalidSpec {
+                    field,
+                    reason: format!("entries must be finite and positive, got {caps:?}"),
+                });
+            }
+            Ok(())
+        }
+        if self.name.is_empty() {
+            return Err(PmssError::InvalidSpec {
+                field: "name",
+                reason: "must not be empty".into(),
+            });
+        }
+        if self.nodes == 0 {
+            return Err(PmssError::InvalidSpec {
+                field: "nodes",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if !(self.days.is_finite() && self.days > 0.0) {
+            return Err(PmssError::InvalidSpec {
+                field: "days",
+                reason: format!("must be finite and positive, got {}", self.days),
+            });
+        }
+        if !(self.min_job_s.is_finite() && self.min_job_s > 0.0) {
+            return Err(PmssError::InvalidSpec {
+                field: "min_job_s",
+                reason: format!("must be finite and positive, got {}", self.min_job_s),
+            });
+        }
+        ladder("freq_caps_mhz", &self.freq_caps_mhz)?;
+        ladder("power_caps_w", &self.power_caps_w)?;
+        self.boundaries.validate()?;
+        Ok(())
+    }
+
+    /// Trace-generation parameters for the fleet stage.
+    pub fn trace_params(&self) -> TraceParams {
+        TraceParams {
+            nodes: self.nodes,
+            duration_s: self.days * 86_400.0,
+            seed: self.seed,
+            min_job_s: self.min_job_s,
+        }
+    }
+
+    /// Multiplier that extrapolates this scenario's energy to the paper's
+    /// three months of the full 9408-node Frontier system.
+    pub fn frontier_factor(&self) -> f64 {
+        let frontier_node_seconds = 9408.0 * 90.0 * 86_400.0;
+        frontier_node_seconds / (self.nodes as f64 * self.days * 86_400.0)
+    }
+
+    /// The Louvain case-study scale matching this scenario's fleet size.
+    pub fn case_scale(&self) -> CaseScale {
+        if self.nodes <= 16 {
+            CaseScale::Small
+        } else if self.nodes <= 64 {
+            CaseScale::Medium
+        } else {
+            CaseScale::Large
+        }
+    }
+
+    /// Serializes the spec to a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("nodes", self.nodes)
+            .field("days", self.days)
+            .field("seed", self.seed)
+            .field("min_job_s", self.min_job_s)
+            .field("freq_caps_mhz", self.freq_caps_mhz.as_slice())
+            .field("power_caps_w", self.power_caps_w.as_slice())
+            .field(
+                "boundaries_w",
+                Json::obj()
+                    .field("latency_mi", self.boundaries.latency_mi_w)
+                    .field("mi_ci", self.boundaries.mi_ci_w)
+                    .field("ci_boost", self.boundaries.ci_boost_w),
+            )
+    }
+
+    /// Deserializes and validates a spec from a JSON value; missing fields
+    /// fall back to the `quick` preset's values.
+    pub fn from_json(v: &Json) -> Result<ScenarioSpec, PmssError> {
+        let base = ScenarioSpec::preset(ScalePreset::Quick);
+        let num = |key: &str, fallback: f64| -> Result<f64, PmssError> {
+            match v.get(key) {
+                None => Ok(fallback),
+                Some(j) => j.as_f64().ok_or_else(|| {
+                    PmssError::malformed("json", format!("spec field `{key}` must be a number"))
+                }),
+            }
+        };
+        let arr = |key: &str, fallback: &[f64]| -> Result<Vec<f64>, PmssError> {
+            match v.get(key) {
+                None => Ok(fallback.to_vec()),
+                Some(j) => j
+                    .as_arr()
+                    .and_then(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<_>>>())
+                    .ok_or_else(|| {
+                        PmssError::malformed(
+                            "json",
+                            format!("spec field `{key}` must be an array of numbers"),
+                        )
+                    }),
+            }
+        };
+        let name = match v.get("name") {
+            None => base.name.clone(),
+            Some(j) => j
+                .as_str()
+                .ok_or_else(|| PmssError::malformed("json", "spec field `name` must be a string"))?
+                .to_string(),
+        };
+        let bounds = v.get("boundaries_w");
+        let bound = |key: &str, fallback: f64| -> Result<f64, PmssError> {
+            match bounds.and_then(|b| b.get(key)) {
+                None => Ok(fallback),
+                Some(j) => j.as_f64().ok_or_else(|| {
+                    PmssError::malformed(
+                        "json",
+                        format!("spec field `boundaries_w.{key}` must be a number"),
+                    )
+                }),
+            }
+        };
+        let spec = ScenarioSpec {
+            name,
+            nodes: num("nodes", base.nodes as f64)? as usize,
+            days: num("days", base.days)?,
+            seed: num("seed", base.seed as f64)? as u64,
+            min_job_s: num("min_job_s", base.min_job_s)?,
+            freq_caps_mhz: arr("freq_caps_mhz", &base.freq_caps_mhz)?,
+            power_caps_w: arr("power_caps_w", &base.power_caps_w)?,
+            boundaries: Boundaries {
+                latency_mi_w: bound("latency_mi", base.boundaries.latency_mi_w)?,
+                mi_ci_w: bound("mi_ci", base.boundaries.mi_ci_w)?,
+                ci_boost_w: bound("ci_boost", base.boundaries.ci_boost_w)?,
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_historical_scales() {
+        let q = ScenarioSpec::preset(ScalePreset::Quick);
+        assert_eq!((q.nodes, q.days), (16, 2.0));
+        assert_eq!(q.trace_params().seed, 2024);
+        assert!((q.frontier_factor() - 9408.0 * 90.0 / (16.0 * 2.0)).abs() < 1e-9);
+        let m = ScenarioSpec::preset(ScalePreset::Medium);
+        assert_eq!((m.nodes, m.days), (64, 7.0));
+        let l = ScenarioSpec::preset(ScalePreset::Large);
+        assert_eq!((l.nodes, l.days), (160, 14.0));
+        for s in [&q, &m, &l] {
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_scale_name_is_an_explicit_error() {
+        let err = ScalePreset::from_name("huge").unwrap_err();
+        assert!(matches!(err, PmssError::InvalidValue { .. }), "{err}");
+        assert!(err.to_string().contains("huge"));
+    }
+
+    #[test]
+    fn case_scale_follows_fleet_size() {
+        assert_eq!(
+            ScenarioSpec::preset(ScalePreset::Quick).case_scale(),
+            CaseScale::Small
+        );
+        assert_eq!(
+            ScenarioSpec::preset(ScalePreset::Medium).case_scale(),
+            CaseScale::Medium
+        );
+        assert_eq!(
+            ScenarioSpec::preset(ScalePreset::Large).case_scale(),
+            CaseScale::Large
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.nodes = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.freq_caps_mhz = vec![900.0, 1100.0];
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            PmssError::InvalidSpec {
+                field: "freq_caps_mhz",
+                ..
+            }
+        ));
+
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.boundaries.latency_mi_w = 500.0;
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            PmssError::InvalidBoundaries { .. }
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_spec() {
+        let mut s = ScenarioSpec::preset(ScalePreset::Medium);
+        s.seed = 7;
+        s.boundaries.mi_ci_w = 430.0;
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_specs() {
+        let j = Json::parse(r#"{"nodes": 0}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+        let j = Json::parse(r#"{"freq_caps_mhz": "high"}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! The staged pipeline: `workloads → fleet → decompose → project`.
+//!
+//! A [`Pipeline`] owns one [`ScenarioSpec`] and computes each stage at most
+//! once: the fleet stage (schedule synthesis + telemetry simulation with
+//! all standard observers) and the benchmark stage (Table III from the
+//! spec's cap ladders) are memoized, so rendering every figure and table
+//! of a scenario costs a single fleet run and a single benchmark sweep.
+
+use pmss_core::project::{project, Projection, ProjectionInput};
+use pmss_core::EnergyLedger;
+use pmss_error::PmssError;
+use pmss_gpu::Engine;
+use pmss_sched::{catalog, generate, DomainSpec, Schedule};
+use pmss_telemetry::{simulate_fleet, DomainHistograms, FleetConfig, Pair, SystemHistogram};
+use pmss_workloads::sweep::CapSetting;
+use pmss_workloads::table3::{self, BenchScale, Table3};
+
+use crate::spec::ScenarioSpec;
+
+/// Everything the fleet-wide experiments need, computed in one pass (the
+/// former `pmss_bench::FleetRun`).
+pub struct FleetArtifacts {
+    /// The synthetic schedule (job log + placements).
+    pub schedule: Schedule,
+    /// The domain catalog used.
+    pub domains: Vec<DomainSpec>,
+    /// Fig. 8: system-wide power distribution.
+    pub system: SystemHistogram,
+    /// Fig. 9: per-domain power distributions.
+    pub per_domain: DomainHistograms,
+    /// Tables IV–VI / Fig. 10: the modal-decomposition ledger.
+    pub ledger: EnergyLedger,
+    /// Extrapolation factor to full-Frontier three-month MWh.
+    pub frontier_factor: f64,
+}
+
+/// A staged scenario run with memoized stage outputs.
+pub struct Pipeline {
+    pub(crate) spec: ScenarioSpec,
+    pub(crate) engine: Engine,
+    pub(crate) fleet: Option<FleetArtifacts>,
+    pub(crate) table3: Option<Table3>,
+}
+
+impl Pipeline {
+    /// Validates `spec` and wraps it in a fresh pipeline (no stage has run
+    /// yet).
+    pub fn new(spec: ScenarioSpec) -> Result<Pipeline, PmssError> {
+        spec.validate()?;
+        Ok(Pipeline {
+            spec,
+            engine: Engine::default(),
+            fleet: None,
+            table3: None,
+        })
+    }
+
+    /// The scenario driving this pipeline.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The shared GPU model engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The spec's frequency ladder as sweep settings.
+    pub fn freq_ladder(&self) -> Vec<CapSetting> {
+        self.spec
+            .freq_caps_mhz
+            .iter()
+            .map(|&m| CapSetting::FreqMhz(m))
+            .collect()
+    }
+
+    /// The spec's power ladder as sweep settings.
+    pub fn power_ladder(&self) -> Vec<CapSetting> {
+        self.spec
+            .power_caps_w
+            .iter()
+            .map(|&w| CapSetting::PowerW(w))
+            .collect()
+    }
+
+    /// Runs (or replays) the fleet stage: workload synthesis, fleet
+    /// telemetry simulation with all standard observers, and the modal
+    /// decomposition ledger.
+    pub fn fleet(&mut self) -> Result<&FleetArtifacts, PmssError> {
+        self.ensure_fleet()?;
+        Ok(self.fleet.as_ref().expect("fleet stage just ran"))
+    }
+
+    /// Runs (or replays) the benchmark stage: Table III computed from the
+    /// spec's own cap ladders.
+    pub fn table3(&mut self) -> Result<&Table3, PmssError> {
+        self.ensure_table3()?;
+        Ok(self.table3.as_ref().expect("benchmark stage just ran"))
+    }
+
+    /// Runs the projection stage (Table V): Table III factors applied to
+    /// the fleet decomposition at full-Frontier scale.
+    pub fn projection(&mut self) -> Result<Projection, PmssError> {
+        self.ensure_fleet()?;
+        self.ensure_table3()?;
+        let fleet = self.fleet.as_ref().expect("fleet stage ran");
+        let t3 = self.table3.as_ref().expect("benchmark stage ran");
+        let ledger = fleet.ledger.scaled(fleet.frontier_factor);
+        project(ProjectionInput::from_ledger(&ledger), t3)
+    }
+
+    pub(crate) fn ensure_fleet(&mut self) -> Result<(), PmssError> {
+        if self.fleet.is_none() {
+            let domains = catalog();
+            let schedule = generate(self.spec.trace_params(), &domains);
+            type Obs = Pair<Pair<SystemHistogram, DomainHistograms>, EnergyLedger>;
+            let obs: Obs = simulate_fleet(&schedule, &FleetConfig::default());
+            self.fleet = Some(FleetArtifacts {
+                schedule,
+                domains,
+                system: obs.a.a,
+                per_domain: obs.a.b,
+                ledger: obs.b,
+                frontier_factor: self.spec.frontier_factor(),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn ensure_table3(&mut self) -> Result<(), PmssError> {
+        if self.table3.is_none() {
+            self.table3 = Some(table3::compute_with_ladders(
+                &self.engine,
+                BenchScale::default(),
+                &self.freq_ladder(),
+                &self.power_ladder(),
+            )?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScalePreset;
+
+    #[test]
+    fn pipeline_rejects_invalid_specs() {
+        let mut spec = ScenarioSpec::preset(ScalePreset::Quick);
+        spec.nodes = 0;
+        assert!(Pipeline::new(spec).is_err());
+    }
+
+    #[test]
+    fn fleet_stage_is_memoized() {
+        let mut p = Pipeline::new(ScenarioSpec::preset(ScalePreset::Quick)).unwrap();
+        let total = p.fleet().unwrap().ledger.total().joules;
+        assert!(total > 0.0);
+        // Second call replays the memoized stage (same object, same totals).
+        let again = p.fleet().unwrap().ledger.total().joules;
+        assert_eq!(total, again);
+    }
+
+    #[test]
+    fn spec_ladders_feed_the_benchmark_stage() {
+        let mut spec = ScenarioSpec::preset(ScalePreset::Quick);
+        spec.freq_caps_mhz = vec![1700.0, 1100.0];
+        let mut p = Pipeline::new(spec).unwrap();
+        let t3 = p.table3().unwrap();
+        assert_eq!(t3.freq_rows.len(), 2);
+        assert!(t3.freq_row(1100.0).is_some());
+        assert!(t3.freq_row(900.0).is_none());
+    }
+
+    #[test]
+    fn projection_matches_paper_shape() {
+        let mut p = Pipeline::new(ScenarioSpec::preset(ScalePreset::Quick)).unwrap();
+        let proj = p.projection().unwrap();
+        assert!(!proj.freq_rows.is_empty());
+        assert!(!proj.power_rows.is_empty());
+        assert!(proj.input.total_mwh() > 0.0);
+    }
+}

@@ -8,6 +8,8 @@
 //! run-length encoding of repeats) with a lossless round trip at the
 //! chosen quantization.
 
+use pmss_error::PmssError;
+
 /// Codec parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct CodecConfig {
@@ -63,8 +65,16 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
 ///
 /// Format: varint sample count, then per distinct value a zigzag-varint
 /// quantized delta followed by a varint run length.
-pub fn encode(samples_w: &[f64], cfg: CodecConfig) -> Vec<u8> {
-    assert!(cfg.quantum_w > 0.0);
+///
+/// A non-positive or non-finite `quantum_w` is a configuration error.
+pub fn encode(samples_w: &[f64], cfg: CodecConfig) -> Result<Vec<u8>, PmssError> {
+    if !(cfg.quantum_w > 0.0 && cfg.quantum_w.is_finite()) {
+        return Err(PmssError::invalid_value(
+            "quantum_w",
+            format!("{}", cfg.quantum_w),
+            "a finite quantization step > 0 W",
+        ));
+    }
     let mut out = Vec::with_capacity(samples_w.len() / 4 + 8);
     push_varint(&mut out, samples_w.len() as u64);
 
@@ -83,36 +93,41 @@ pub fn encode(samples_w: &[f64], cfg: CodecConfig) -> Vec<u8> {
         prev = q;
         i += run as usize;
     }
-    out
+    Ok(out)
 }
 
-/// Decodes a series produced by [`encode`].  Returns `None` on malformed
-/// input.
-pub fn decode(data: &[u8], cfg: CodecConfig) -> Option<Vec<f64>> {
+/// Decodes a series produced by [`encode`].
+///
+/// Malformed input (truncated varints, zero-length runs, or a run total
+/// exceeding the declared count) is a [`PmssError::MalformedData`].
+pub fn decode(data: &[u8], cfg: CodecConfig) -> Result<Vec<f64>, PmssError> {
+    let malformed = |detail: &str| PmssError::malformed("power-codec", detail);
     let mut pos = 0usize;
-    let count = read_varint(data, &mut pos)? as usize;
+    let count = read_varint(data, &mut pos).ok_or_else(|| malformed("truncated count"))? as usize;
     let mut out = Vec::with_capacity(count);
     let mut prev = 0i64;
     while out.len() < count {
-        let delta = unzigzag(read_varint(data, &mut pos)?);
-        let run = read_varint(data, &mut pos)? as usize;
+        let delta =
+            unzigzag(read_varint(data, &mut pos).ok_or_else(|| malformed("truncated delta"))?);
+        let run =
+            read_varint(data, &mut pos).ok_or_else(|| malformed("truncated run length"))? as usize;
         if run == 0 || out.len() + run > count {
-            return None;
+            return Err(malformed("run length inconsistent with sample count"));
         }
         prev += delta;
         let value = prev as f64 * cfg.quantum_w;
         out.extend(std::iter::repeat_n(value, run));
     }
-    Some(out)
+    Ok(out)
 }
 
 /// Compression ratio (raw f64 bytes over encoded bytes) for a series.
-pub fn compression_ratio(samples_w: &[f64], cfg: CodecConfig) -> f64 {
+pub fn compression_ratio(samples_w: &[f64], cfg: CodecConfig) -> Result<f64, PmssError> {
     if samples_w.is_empty() {
-        return 1.0;
+        return Ok(1.0);
     }
-    let encoded = encode(samples_w, cfg).len();
-    (samples_w.len() * 8) as f64 / encoded as f64
+    let encoded = encode(samples_w, cfg)?.len();
+    Ok((samples_w.len() * 8) as f64 / encoded as f64)
 }
 
 #[cfg(test)]
@@ -121,7 +136,7 @@ mod tests {
 
     fn round_trip(samples: &[f64]) {
         let cfg = CodecConfig::default();
-        let encoded = encode(samples, cfg);
+        let encoded = encode(samples, cfg).expect("encode");
         let decoded = decode(&encoded, cfg).expect("decode");
         assert_eq!(decoded.len(), samples.len());
         for (a, b) in samples.iter().zip(&decoded) {
@@ -145,7 +160,7 @@ mod tests {
         for phase_power in [380.0, 150.0, 89.0, 425.0] {
             series.extend(std::iter::repeat_n(phase_power, 2000));
         }
-        let ratio = compression_ratio(&series, CodecConfig::default());
+        let ratio = compression_ratio(&series, CodecConfig::default()).expect("ratio");
         assert!(ratio > 100.0, "ratio {ratio}");
     }
 
@@ -158,7 +173,7 @@ mod tests {
         let series: Vec<f64> = (0..10_000)
             .map(|_| 380.0 + 1.5 * standard_normal(&mut rng))
             .collect();
-        let ratio = compression_ratio(&series, CodecConfig::default());
+        let ratio = compression_ratio(&series, CodecConfig::default()).expect("ratio");
         // Small quantized deltas encode in 2 bytes: >= 4x vs raw f64.
         assert!(ratio > 3.0, "ratio {ratio}");
     }
@@ -166,13 +181,20 @@ mod tests {
     #[test]
     fn malformed_input_is_rejected() {
         let cfg = CodecConfig::default();
-        assert!(decode(&[0x80], cfg).is_none(), "truncated varint");
+        assert!(decode(&[0x80], cfg).is_err(), "truncated varint");
         // Claimed count larger than actual payload.
         let mut bad = Vec::new();
         push_varint(&mut bad, 100);
         push_varint(&mut bad, zigzag(89));
         push_varint(&mut bad, 1);
-        assert!(decode(&bad, cfg).is_none());
+        let err = decode(&bad, cfg).unwrap_err();
+        assert!(err.to_string().contains("power-codec"), "{err}");
+    }
+
+    #[test]
+    fn bad_quantum_is_rejected() {
+        let err = encode(&[1.0], CodecConfig { quantum_w: 0.0 }).unwrap_err();
+        assert!(err.to_string().contains("quantum_w"), "{err}");
     }
 
     #[test]

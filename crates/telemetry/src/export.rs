@@ -6,14 +6,15 @@
 //! CSV with `std` only, and [`sample_storage_bytes`] estimates the footprint
 //! of a Frontier-scale collection campaign.
 
-use std::io::{self, BufRead, Write};
+use std::io::{BufRead, Write};
 
+use pmss_error::PmssError;
 use pmss_gpu::PowerSample;
 
 use crate::hist::PowerHistogram;
 
 /// Writes a power-sample series as `t_s,power_w` CSV.
-pub fn write_samples<W: Write>(mut w: W, samples: &[PowerSample]) -> io::Result<()> {
+pub fn write_samples<W: Write>(mut w: W, samples: &[PowerSample]) -> Result<(), PmssError> {
     writeln!(w, "t_s,power_w")?;
     for s in samples {
         writeln!(w, "{:.3},{:.3}", s.t_s, s.power_w)?;
@@ -22,7 +23,10 @@ pub fn write_samples<W: Write>(mut w: W, samples: &[PowerSample]) -> io::Result<
 }
 
 /// Reads a `t_s,power_w` CSV written by [`write_samples`].
-pub fn read_samples<R: BufRead>(r: R) -> io::Result<Vec<PowerSample>> {
+///
+/// Malformed lines are a [`PmssError::MalformedData`]; underlying reader
+/// failures surface as [`PmssError::Io`].
+pub fn read_samples<R: BufRead>(r: R) -> Result<Vec<PowerSample>, PmssError> {
     let mut out = Vec::new();
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
@@ -33,12 +37,9 @@ pub fn read_samples<R: BufRead>(r: R) -> io::Result<Vec<PowerSample>> {
             continue;
         }
         let mut parts = line.splitn(2, ',');
-        let parse = |s: Option<&str>| -> io::Result<f64> {
+        let parse = |s: Option<&str>| -> Result<f64, PmssError> {
             s.and_then(|v| v.trim().parse().ok()).ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("malformed CSV line {}: {line:?}", lineno + 1),
-                )
+                PmssError::malformed("csv", format!("line {}: {line:?}", lineno + 1))
             })
         };
         let t_s = parse(parts.next())?;
@@ -49,7 +50,7 @@ pub fn read_samples<R: BufRead>(r: R) -> io::Result<Vec<PowerSample>> {
 }
 
 /// Writes a histogram as `bin_center_w,count` CSV.
-pub fn write_histogram<W: Write>(mut w: W, hist: &PowerHistogram) -> io::Result<()> {
+pub fn write_histogram<W: Write>(mut w: W, hist: &PowerHistogram) -> Result<(), PmssError> {
     writeln!(w, "bin_center_w,count")?;
     for (center, &count) in hist.centers().zip(hist.counts()) {
         if count > 0 {

@@ -158,7 +158,7 @@ impl FleetObserver for JobPowerIndex {
         for (id, mut v) in other.series {
             let entry = self.series.entry(id).or_default();
             entry.append(&mut v);
-            entry.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN time"));
+            entry.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         for id in other.watch {
             if !self.watch.contains(&id) {

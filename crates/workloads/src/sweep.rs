@@ -6,6 +6,7 @@
 //! ("values are normalized to 1.0, representing the uncapped case at
 //! 1700 MHz / 560 W").
 
+use pmss_error::PmssError;
 use pmss_gpu::{Engine, Execution, GpuSettings, KernelProfile};
 
 /// The frequency caps swept in the paper, in MHz (Table III a).
@@ -77,17 +78,22 @@ pub struct NormalizedPoint {
 }
 
 /// Runs `kernel` across `settings`, returning one point per setting.
+///
+/// An invalid kernel profile surfaces as [`PmssError::InvalidKernel`]
+/// instead of a panic, so sweeps over user-supplied kernels fail cleanly.
 pub fn sweep_kernel(
     engine: &Engine,
     kernel: &KernelProfile,
     settings: &[CapSetting],
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, PmssError> {
     settings
         .iter()
-        .map(|&s| SweepPoint {
-            setting: s,
-            kernel_name: kernel.name.clone(),
-            execution: engine.execute(kernel, s.to_settings()),
+        .map(|&s| {
+            Ok(SweepPoint {
+                setting: s,
+                kernel_name: kernel.name.clone(),
+                execution: engine.try_execute(kernel, s.to_settings())?,
+            })
         })
         .collect()
 }
@@ -95,18 +101,23 @@ pub fn sweep_kernel(
 /// Normalizes a single-kernel sweep against its own uncapped baseline.
 ///
 /// The baseline is the point whose setting [`CapSetting::is_baseline`];
-/// panics if the sweep lacks one.
-pub fn normalize(points: &[SweepPoint]) -> Vec<NormalizedPoint> {
+/// a sweep without one is a [`PmssError::Missing`].
+pub fn normalize(points: &[SweepPoint]) -> Result<Vec<NormalizedPoint>, PmssError> {
     let base = points
         .iter()
         .find(|p| p.setting.is_baseline())
-        .expect("sweep must include the uncapped baseline setting");
+        .ok_or_else(|| {
+            PmssError::missing(
+                "uncapped baseline",
+                "sweep must include the uncapped baseline setting (1700 MHz / 560 W)",
+            )
+        })?;
     let (t0, p0, e0) = (
         base.execution.time_s,
         base.execution.avg_power_w,
         base.execution.energy_j,
     );
-    points
+    Ok(points
         .iter()
         .map(|p| NormalizedPoint {
             setting: p.setting,
@@ -114,18 +125,31 @@ pub fn normalize(points: &[SweepPoint]) -> Vec<NormalizedPoint> {
             power: p.execution.avg_power_w / p0,
             energy: p.execution.energy_j / e0,
         })
-        .collect()
+        .collect())
 }
 
 /// Mean of normalized points across kernels for each setting — the
 /// "averaged across all arithmetic intensity" aggregation of Table III.
-pub fn average_across_kernels(per_kernel: &[Vec<NormalizedPoint>]) -> Vec<NormalizedPoint> {
-    assert!(!per_kernel.is_empty());
+///
+/// Errors on an empty kernel set ([`PmssError::EmptyInput`]) or ragged
+/// sweeps where kernels saw different setting counts.
+pub fn average_across_kernels(
+    per_kernel: &[Vec<NormalizedPoint>],
+) -> Result<Vec<NormalizedPoint>, PmssError> {
+    if per_kernel.is_empty() {
+        return Err(PmssError::empty("per-kernel sweeps"));
+    }
     let n_settings = per_kernel[0].len();
     for pk in per_kernel {
-        assert_eq!(pk.len(), n_settings, "ragged sweep");
+        if pk.len() != n_settings {
+            return Err(PmssError::invalid_value(
+                "sweep settings",
+                format!("{}", pk.len()),
+                format!("every kernel swept over the same {n_settings} settings"),
+            ));
+        }
     }
-    (0..n_settings)
+    Ok((0..n_settings)
         .map(|i| {
             let m = per_kernel.len() as f64;
             NormalizedPoint {
@@ -135,7 +159,7 @@ pub fn average_across_kernels(per_kernel: &[Vec<NormalizedPoint>]) -> Vec<Normal
                 energy: per_kernel.iter().map(|pk| pk[i].energy).sum::<f64>() / m,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Convenience: all frequency-cap settings.
@@ -169,8 +193,8 @@ mod tests {
 
     #[test]
     fn baseline_normalizes_to_one() {
-        let pts = sweep_kernel(&engine(), &vai_kernel(1.0), &freq_settings());
-        let norm = normalize(&pts);
+        let pts = sweep_kernel(&engine(), &vai_kernel(1.0), &freq_settings()).unwrap();
+        let norm = normalize(&pts).unwrap();
         let base = &norm[0];
         assert!(base.setting.is_baseline());
         assert!((base.runtime - 1.0).abs() < 1e-12);
@@ -180,8 +204,8 @@ mod tests {
 
     #[test]
     fn freq_caps_trade_runtime_for_power() {
-        let pts = sweep_kernel(&engine(), &vai_kernel(64.0), &freq_settings());
-        let norm = normalize(&pts);
+        let pts = sweep_kernel(&engine(), &vai_kernel(64.0), &freq_settings()).unwrap();
+        let norm = normalize(&pts).unwrap();
         for w in norm.windows(2) {
             assert!(
                 w[1].runtime >= w[0].runtime - 1e-9,
@@ -198,8 +222,8 @@ mod tests {
     fn high_power_caps_do_not_affect_sub_cap_kernels() {
         // Paper: "the higher power caps do not impact the application
         // enough to save power" for codes already below the cap.
-        let pts = sweep_kernel(&engine(), &vai_kernel(0.0625), &power_settings());
-        let norm = normalize(&pts);
+        let pts = sweep_kernel(&engine(), &vai_kernel(0.0625), &power_settings()).unwrap();
+        let norm = normalize(&pts).unwrap();
         // 500 W and 400 W sit above the ~380 W streaming draw.
         assert!((norm[1].runtime - 1.0).abs() < 1e-9);
         assert!((norm[2].runtime - 1.0).abs() < 1e-9);
@@ -212,18 +236,30 @@ mod tests {
         let eng = engine();
         let sweeps: Vec<Vec<NormalizedPoint>> = [1.0, 64.0]
             .iter()
-            .map(|&ai| normalize(&sweep_kernel(&eng, &vai_kernel(ai), &freq_settings())))
+            .map(|&ai| {
+                normalize(&sweep_kernel(&eng, &vai_kernel(ai), &freq_settings()).unwrap()).unwrap()
+            })
             .collect();
-        let avg = average_across_kernels(&sweeps);
+        let avg = average_across_kernels(&sweeps).unwrap();
         assert_eq!(avg.len(), FREQ_CAPS_MHZ.len());
         let expect = 0.5 * (sweeps[0][3].runtime + sweeps[1][3].runtime);
         assert!((avg[3].runtime - expect).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "baseline")]
     fn normalize_requires_baseline() {
-        let pts = sweep_kernel(&engine(), &vai_kernel(1.0), &[CapSetting::FreqMhz(900.0)]);
-        let _ = normalize(&pts);
+        let pts = sweep_kernel(&engine(), &vai_kernel(1.0), &[CapSetting::FreqMhz(900.0)]).unwrap();
+        let err = normalize(&pts).unwrap_err();
+        assert!(err.to_string().contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn average_rejects_empty_and_ragged_input() {
+        assert!(average_across_kernels(&[]).is_err());
+        let eng = engine();
+        let full =
+            normalize(&sweep_kernel(&eng, &vai_kernel(1.0), &freq_settings()).unwrap()).unwrap();
+        let short = full[..2].to_vec();
+        assert!(average_across_kernels(&[full, short]).is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! used the energy savings percentage from Table III for estimating energy
 //! savings in Section V(c)").
 
+use pmss_error::PmssError;
 use pmss_gpu::Engine;
 
 use crate::membench::{self, MembenchParams};
@@ -105,16 +106,30 @@ fn averaged_family(
     engine: &Engine,
     kernels: &[pmss_gpu::KernelProfile],
     settings: &[CapSetting],
-) -> Vec<NormalizedPoint> {
+) -> Result<Vec<NormalizedPoint>, PmssError> {
     let sweeps: Vec<Vec<NormalizedPoint>> = kernels
         .iter()
-        .map(|k| normalize(&sweep_kernel(engine, k, settings)))
-        .collect();
+        .map(|k| normalize(&sweep_kernel(engine, k, settings)?))
+        .collect::<Result<_, _>>()?;
     average_across_kernels(&sweeps)
 }
 
 /// Computes Table III by sweeping both benchmark families over both knobs.
-pub fn compute(engine: &Engine, scale: BenchScale) -> Table3 {
+pub fn compute(engine: &Engine, scale: BenchScale) -> Result<Table3, PmssError> {
+    compute_with_ladders(engine, scale, &freq_settings(), &power_settings())
+}
+
+/// Computes Table III over caller-supplied cap ladders (the scenario
+/// pipeline feeds its [`ScenarioSpec`] ladders through here, so one spec
+/// drives both the benchmark table and the fleet projection).
+///
+/// [`ScenarioSpec`]: https://docs.rs/pmss-pipeline
+pub fn compute_with_ladders(
+    engine: &Engine,
+    scale: BenchScale,
+    freq_ladder: &[CapSetting],
+    power_ladder: &[CapSetting],
+) -> Result<Table3, PmssError> {
     let vai_kernels: Vec<_> = vai::intensity_sweep()
         .into_iter()
         .map(|ai| {
@@ -137,10 +152,10 @@ pub fn compute(engine: &Engine, scale: BenchScale) -> Table3 {
         .map(|b| membench::kernel(MembenchParams::sized_for(b, scale.mb_seconds)))
         .collect();
 
-    let build_rows = |settings: &[CapSetting]| -> Vec<Table3Row> {
-        let vai_avg = averaged_family(engine, &vai_kernels, settings);
-        let mb_avg = averaged_family(engine, &mb_kernels, settings);
-        vai_avg
+    let build_rows = |settings: &[CapSetting]| -> Result<Vec<Table3Row>, PmssError> {
+        let vai_avg = averaged_family(engine, &vai_kernels, settings)?;
+        let mb_avg = averaged_family(engine, &mb_kernels, settings)?;
+        Ok(vai_avg
             .into_iter()
             .zip(mb_avg)
             .map(|(v, m)| Table3Row {
@@ -148,18 +163,22 @@ pub fn compute(engine: &Engine, scale: BenchScale) -> Table3 {
                 vai: v.into(),
                 mb: m.into(),
             })
-            .collect()
+            .collect())
     };
 
-    Table3 {
-        freq_rows: build_rows(&freq_settings()),
-        power_rows: build_rows(&power_settings()),
-    }
+    Ok(Table3 {
+        freq_rows: build_rows(freq_ladder)?,
+        power_rows: build_rows(power_ladder)?,
+    })
 }
 
 /// Computes Table III with default engine and scale.
+///
+/// Infallible: the built-in benchmark kernels and paper ladders are valid
+/// by construction.
 pub fn compute_default() -> Table3 {
     compute(&Engine::default(), BenchScale::default())
+        .expect("builtin kernels and paper ladders are valid")
 }
 
 #[cfg(test)]

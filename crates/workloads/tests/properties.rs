@@ -63,7 +63,8 @@ proptest! {
     fn sweep_normalization_invariants(ai_exp in -4i32..10) {
         let ai = 2f64.powi(ai_exp);
         let k = vai::kernel(VaiParams::for_intensity(ai, 1 << 24, 2));
-        let norm = normalize(&sweep_kernel(&Engine::default(), &k, &freq_settings()));
+        let sweep = sweep_kernel(&Engine::default(), &k, &freq_settings()).expect("sweep");
+        let norm = normalize(&sweep).expect("normalize");
         prop_assert!((norm[0].runtime - 1.0).abs() < 1e-12);
         for p in &norm {
             prop_assert!(p.runtime > 0.0 && p.power > 0.0 && p.energy > 0.0);

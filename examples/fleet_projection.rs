@@ -39,7 +39,7 @@ fn main() {
 
     // Project savings from the benchmark factors.
     let t3 = table3::compute_default();
-    let projection = project(ProjectionInput::from_ledger(&ledger), &t3);
+    let projection = project(ProjectionInput::from_ledger(&ledger), &t3).expect("projection");
     println!("{}", render_projection(&projection, true));
 
     // Validate the projection at the job level: re-execute each job's

@@ -64,7 +64,8 @@ fn main() {
     );
     for budget in [2.0, 5.0, 10.0, 25.0] {
         let mixed = optimize_per_domain(&ledger, &t3, budget);
-        let (setting, uniform_j) = best_uniform(&ledger, &t3, budget);
+        let (setting, uniform_j) =
+            best_uniform(&ledger, &t3, budget).expect("paper ladders are non-empty");
         println!(
             "{:>11}% | {:>13.2}% | {:>9.2}% @{:.0} MHz",
             budget,

@@ -29,8 +29,8 @@ fn main() {
     println!("\nAI (F/B)  | TFLOP/s @1700 | power W | best-energy frequency");
     for ai in vai::intensity_sweep() {
         let k = vai::kernel(vai::VaiParams::for_intensity(ai, 1 << 28, 4));
-        let points = sweep_kernel(&engine, &k, &freq_settings());
-        let norm = normalize(&points);
+        let points = sweep_kernel(&engine, &k, &freq_settings()).expect("builtin kernel");
+        let norm = normalize(&points).expect("sweep includes baseline");
         let best = norm
             .iter()
             .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("no NaN"))

@@ -18,7 +18,12 @@
 //! * [`sched`] — domains, queue policy, trace generation (`pmss-sched`);
 //! * [`telemetry`] — sensors, fleet simulation, histograms
 //!   (`pmss-telemetry`);
-//! * [`core`] — modal decomposition and savings projection (`pmss-core`).
+//! * [`core`] — modal decomposition and savings projection (`pmss-core`);
+//! * [`pipeline`] — the unified scenario pipeline (`pmss-pipeline`): a
+//!   typed [`ScenarioSpec`] run through memoized stages to an
+//!   [`Artifacts`] bundle, powering the `pmss` CLI.
+//!
+//! Every fallible seam returns the workspace-wide [`PmssError`].
 //!
 //! ## Quickstart
 //!
@@ -45,6 +50,10 @@
 pub use pmss_core as core;
 pub use pmss_gpu as gpu;
 pub use pmss_graph as graph;
+pub use pmss_pipeline as pipeline;
 pub use pmss_sched as sched;
 pub use pmss_telemetry as telemetry;
 pub use pmss_workloads as workloads;
+
+pub use pmss_error::PmssError;
+pub use pmss_pipeline::{Artifact, ArtifactId, Artifacts, Pipeline, ScalePreset, ScenarioSpec};

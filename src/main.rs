@@ -1,0 +1,19 @@
+//! The `pmss` binary: one CLI for every paper figure, table, and
+//! extension.  All logic lives in `pmss_pipeline::cli`; this shim only
+//! wires argv, stdout, and the exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pmss_pipeline::cli::run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("pmss: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

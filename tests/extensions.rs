@@ -175,7 +175,7 @@ fn sensitivity_spread_is_small_on_fleet_data() {
         .map(|(c, &n)| c * n as f64 * 15.0)
         .sum();
     let t3 = table3::compute_default();
-    let report = boundary_sweep(&sys.hist, total_j, &t3, 30.0, 4);
+    let report = boundary_sweep(&sys.hist, total_j, &t3, 30.0, 4).expect("valid sweep inputs");
     assert!(report.reference.best_free_pct > 3.0);
     assert!(
         report.free_savings_spread() < 0.6 * report.reference.best_free_pct,

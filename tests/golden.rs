@@ -1,0 +1,82 @@
+//! Golden tests: the `pmss` CLI must reproduce the pre-refactor binaries'
+//! ASCII output byte-for-byte, and the `--json` envelope for the seeded
+//! headline artifacts must stay stable.
+//!
+//! The `tests/golden/*.txt` files were captured from the original
+//! `crates/bench/src/bin/*` binaries at the default (quick) scale before
+//! they were collapsed into the pipeline; `tests/golden/*.json` pins the
+//! structured output introduced with it.
+
+use pmss::pipeline::{cli, Artifact, ArtifactId, Pipeline, ScalePreset, ScenarioSpec};
+
+fn quick_pipeline() -> Pipeline {
+    Pipeline::new(ScenarioSpec::preset(ScalePreset::Quick)).expect("quick spec is valid")
+}
+
+fn golden(name: &str, ext: &str) -> String {
+    let path = format!("tests/golden/{name}.{ext}");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Every artifact renders exactly the bytes the dedicated binary printed.
+#[test]
+fn ascii_matches_the_pre_refactor_binaries() {
+    let mut p = quick_pipeline();
+    let mut bad = Vec::new();
+    for id in ArtifactId::all() {
+        let got = p.artifact(id).expect("artifact").render_ascii();
+        let want = golden(id.name(), "txt");
+        if got != want {
+            bad.push(format!(
+                "{}: {} bytes rendered vs {} golden",
+                id.name(),
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    assert!(bad.is_empty(), "ASCII drift:\n{}", bad.join("\n"));
+}
+
+/// The CLI `--json` envelope for the seeded headline artifacts is stable.
+#[test]
+fn json_matches_the_golden_captures() {
+    for name in ["fig2", "table3", "table5", "validate"] {
+        let args: Vec<String> = [name, "--json", "--scale", "quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let got = cli::run(&args).expect("cli run");
+        assert_eq!(got, golden(name, "json"), "JSON drift in {name}");
+    }
+}
+
+/// The default CLI path (no flags) renders the same bytes as the library
+/// API — the shim in `src/main.rs` only prints the returned string.
+#[test]
+fn cli_default_output_equals_library_render() {
+    let via_cli = cli::run(&["table3".to_string()]).expect("cli run");
+    let via_lib = quick_pipeline()
+        .artifact(ArtifactId::Table3)
+        .expect("artifact")
+        .render_ascii();
+    assert_eq!(via_cli, via_lib);
+}
+
+/// Artifacts round-trip through the bundle API: `artifacts()` returns the
+/// same renders as one-at-a-time `artifact()` calls.
+#[test]
+fn artifact_bundle_is_consistent_with_single_lookups() {
+    let mut p = quick_pipeline();
+    let ids = [ArtifactId::Table3, ArtifactId::Table5, ArtifactId::Validate];
+    let bundle = p.artifacts(&ids).expect("bundle");
+    for id in ids {
+        let single: Artifact = quick_pipeline().artifact(id).expect("artifact");
+        let from_bundle = bundle.get(id).expect("present in bundle");
+        assert_eq!(single.render_ascii(), from_bundle.render_ascii());
+        assert_eq!(
+            single.to_json().to_string_pretty(),
+            from_bundle.to_json().to_string_pretty()
+        );
+    }
+}

@@ -77,7 +77,7 @@ fn system_distribution_has_the_fig8_shape() {
 fn projection_reproduces_table_v_headlines() {
     let (_, ledger) = fleet_ledger();
     let t3 = table3::compute_default();
-    let p = project(ProjectionInput::from_ledger(&ledger), &t3);
+    let p = project(ProjectionInput::from_ledger(&ledger), &t3).expect("projection");
 
     // Headline: best no-slowdown savings in the high single digits at
     // 900 MHz (paper: 8.5 %).
@@ -126,7 +126,7 @@ fn selective_capping_keeps_most_of_the_savings() {
     let (_, ledger) = fleet_ledger();
     let t3 = table3::compute_default();
 
-    let full = project(ProjectionInput::from_ledger(&ledger), &t3);
+    let full = project(ProjectionInput::from_ledger(&ledger), &t3).expect("projection");
     let saved = energy_saved(&ledger, t3.freq_row(1100.0).expect("1100 row"));
     let threshold = 0.35
         * saved
@@ -143,7 +143,8 @@ fn selective_capping_keeps_most_of_the_savings() {
             hot.contains(&d) && s <= JobSizeClass::C
         }),
         &t3,
-    );
+    )
+    .expect("projection");
     let full_900 = full.freq_row(900.0).expect("900").ts_mwh;
     let sel_900 = selective.freq_row(900.0).expect("900").ts_mwh;
     assert!(

@@ -150,7 +150,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Length specification for [`vec`]: a fixed size or a range.
+        /// Length specification for [`vec()`](self::vec): a fixed size or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,
