@@ -12,7 +12,8 @@ use pmss_core::EnergyLedger;
 use pmss_gpu::GpuSettings;
 use pmss_sched::{catalog, generate, TraceParams};
 use pmss_telemetry::{
-    simulate_fleet, simulate_fleet_with_cache, FleetCache, FleetConfig, SystemHistogram,
+    simulate_fleet, simulate_fleet_metered, simulate_fleet_with_cache, FleetCache, FleetConfig,
+    SystemHistogram,
 };
 
 fn params(nodes: usize, hours: f64) -> TraceParams {
@@ -81,6 +82,29 @@ fn bench_fleet(c: &mut Criterion) {
                 })
             });
         }
+    }
+
+    // Metering overhead: the metered entry folds a FleetRunStats sink
+    // alongside the observer; the unmetered entry threads the no-op `()`
+    // sink.  Comparable times are the observability acceptance headline —
+    // the sink adds only branch-free integer increments per window.
+    {
+        let schedule = generate(params(64, 2.0), &domains);
+        let cfg = FleetConfig::default();
+        let cache = FleetCache::new();
+        let _warm: EnergyLedger = simulate_fleet_with_cache(&schedule, &cfg, &cache);
+        g.bench_function("metering/64n_unmetered", |b| {
+            b.iter(|| {
+                let l: EnergyLedger = simulate_fleet_with_cache(&schedule, &cfg, &cache);
+                black_box(l)
+            })
+        });
+        g.bench_function("metering/64n_metered", |b| {
+            b.iter(|| {
+                let (l, stats) = simulate_fleet_metered::<EnergyLedger>(&schedule, &cfg, &cache);
+                black_box((l, stats))
+            })
+        });
     }
     g.finish();
 }

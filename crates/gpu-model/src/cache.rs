@@ -93,13 +93,18 @@ impl ExecKey {
     }
 }
 
-/// Hit/miss counters of an [`ExecCache`].
+/// Hit/miss/insert counters of an [`ExecCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to run the engine.
     pub misses: u64,
+    /// Entries actually added.  Equal to `misses` for [`ExecCache`] (a
+    /// miss computes under the shard write lock, so it always inserts);
+    /// caches whose miss path computes outside the lock may lose a race
+    /// and insert fewer entries than they missed.
+    pub inserts: u64,
 }
 
 impl CacheStats {
@@ -167,6 +172,35 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Totals over every engine execution a cache performed on its miss path.
+///
+/// Tallied only when the engine actually runs (the cold path), so the hot
+/// hit path stays two relaxed counter increments; warm runs add nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Engine executions performed (one per cache miss).
+    pub executions: u64,
+    /// Total cap-solver demand evaluations across those executions
+    /// (see [`crate::cap::CapOutcome::iters`]).
+    pub solver_iters: u64,
+    /// Executions whose software power cap was breached even at the
+    /// frequency floor (paper Fig. 6d).
+    pub cap_breaches: u64,
+    /// Executions throttled by the firmware sustained limit rather than
+    /// the software cap.
+    pub ppt_throttled: u64,
+}
+
+/// Miss-path tallies, grouped behind one cache-line pad: they are only
+/// touched when the engine runs, so contention is not a concern.
+#[derive(Debug, Default)]
+struct MissTallies {
+    inserts: AtomicU64,
+    solver_iters: AtomicU64,
+    cap_breaches: AtomicU64,
+    ppt_throttled: AtomicU64,
+}
+
 /// Entries whose keys share a fingerprint: the owned name disambiguates.
 /// Almost always length 1.
 type Bucket = Vec<(String, Arc<Execution>)>;
@@ -187,6 +221,7 @@ pub struct ExecCache {
     shard_bits: u32,
     hits: CachePadded<AtomicU64>,
     misses: CachePadded<AtomicU64>,
+    tallies: CachePadded<MissTallies>,
 }
 
 impl Default for ExecCache {
@@ -216,6 +251,7 @@ impl ExecCache {
             shard_bits: n.trailing_zeros(),
             hits: CachePadded::new(AtomicU64::new(0)),
             misses: CachePadded::new(AtomicU64::new(0)),
+            tallies: CachePadded::new(MissTallies::default()),
         }
     }
 
@@ -256,6 +292,14 @@ impl ExecCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let ex = Arc::new(compute());
+        let t = &*self.tallies;
+        t.inserts.fetch_add(1, Ordering::Relaxed);
+        t.solver_iters
+            .fetch_add(ex.solver_iters as u64, Ordering::Relaxed);
+        t.cap_breaches
+            .fetch_add(ex.cap_breached as u64, Ordering::Relaxed);
+        t.ppt_throttled
+            .fetch_add(ex.ppt_throttled as u64, Ordering::Relaxed);
         bucket.push((kernel.name.clone(), Arc::clone(&ex)));
         ex
     }
@@ -273,11 +317,25 @@ impl ExecCache {
         self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/insert counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.tallies.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Totals over the engine executions this cache performed on misses:
+    /// execution count, cap-solver demand evaluations, cap breaches, and
+    /// firmware throttling events.
+    pub fn engine_stats(&self) -> EngineStats {
+        let t = &*self.tallies;
+        EngineStats {
+            executions: self.misses.load(Ordering::Relaxed),
+            solver_iters: t.solver_iters.load(Ordering::Relaxed),
+            cap_breaches: t.cap_breaches.load(Ordering::Relaxed),
+            ppt_throttled: t.ppt_throttled.load(Ordering::Relaxed),
         }
     }
 
@@ -288,6 +346,11 @@ impl ExecCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        let t = &*self.tallies;
+        t.inserts.store(0, Ordering::Relaxed);
+        t.solver_iters.store(0, Ordering::Relaxed);
+        t.cap_breaches.store(0, Ordering::Relaxed);
+        t.ppt_throttled.store(0, Ordering::Relaxed);
     }
 }
 
@@ -364,6 +427,37 @@ mod tests {
         assert_eq!(stats.lookups(), 6);
         assert!((stats.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn miss_path_tallies_inserts_and_engine_work() {
+        let eng = Engine::default();
+        let cache = ExecCache::new();
+        let k = kernel(1.0);
+        // Uncapped: the solver exits after one probe per phase solve.
+        eng.execute_cached(&cache, &k, GpuSettings::uncapped());
+        // Power-capped: the throughput solve bisects.
+        eng.execute_cached(&cache, &k, GpuSettings::power_capped(300.0));
+        eng.execute_cached(&cache, &k, GpuSettings::power_capped(300.0)); // hit
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, stats.misses, "every exec-cache miss inserts");
+        let eng_stats = cache.engine_stats();
+        assert_eq!(eng_stats.executions, 2);
+        assert!(
+            eng_stats.solver_iters > 2 * 2,
+            "the capped execution bisects: {eng_stats:?}"
+        );
+        // A breaching kernel (HBM power that the clock cannot shed) bumps
+        // the breach tally.
+        let mb = KernelProfile::builder("mb-hbm")
+            .hbm_bytes(64e9)
+            .bw_oversub(3.0)
+            .flops(1.0)
+            .build();
+        eng.execute_cached(&cache, &mb, GpuSettings::power_capped(200.0));
+        assert_eq!(cache.engine_stats().cap_breaches, 1);
+        cache.clear();
+        assert_eq!(cache.engine_stats(), EngineStats::default());
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct CapOutcome {
     /// True when even the frequency floor exceeds the limit (the observed
     /// power breaches the cap).
     pub breached: bool,
+    /// Demand evaluations the solve cost: 1 when the limit never binds,
+    /// 2 on a breach, and the bisection count otherwise.  Purely
+    /// observability — it never feeds back into the result.
+    pub iters: u32,
 }
 
 /// Maximum frequency `f` in `[F_MIN, f_max_allowed]` such that
@@ -42,6 +46,7 @@ pub fn solve_freq_for_cap(
             freq: hi,
             power_w: demand_hi,
             breached: false,
+            iters: 1,
         };
     }
     let demand_lo = demand(lo);
@@ -50,13 +55,16 @@ pub fn solve_freq_for_cap(
             freq: lo,
             power_w: demand_lo,
             breached: true,
+            iters: 2,
         };
     }
 
     // Bisection: invariant demand(lo) <= limit < demand(hi).
+    let mut iters = 2u32;
     let (mut lo_mhz, mut hi_mhz) = (lo.mhz(), hi.mhz());
     for _ in 0..60 {
         let mid = Freq::from_mhz(0.5 * (lo_mhz + hi_mhz));
+        iters += 1;
         if demand(mid) <= limit_w {
             lo_mhz = mid.mhz();
         } else {
@@ -67,10 +75,12 @@ pub fn solve_freq_for_cap(
         }
     }
     let freq = Freq::from_mhz(lo_mhz);
+    iters += 1;
     CapOutcome {
         freq,
         power_w: demand(freq),
         breached: false,
+        iters,
     }
 }
 
@@ -106,6 +116,27 @@ mod tests {
         // 80 + 400*r = 280 -> r = 0.5 -> 850 MHz.
         assert!((out.freq.mhz() - 850.0).abs() < 1.0, "{}", out.freq.mhz());
         assert!(out.power_w <= 280.0 + 1e-6);
+    }
+
+    #[test]
+    fn iteration_counts_reflect_the_solve_shape() {
+        // Limit never binds: one evaluation, no bisection.
+        let hi = solve_freq_for_cap(1000.0, Freq::MAX, linear_demand);
+        assert_eq!(hi.iters, 1);
+        // Breach: both endpoints evaluated, nothing else.
+        let lo = solve_freq_for_cap(100.0, Freq::MAX, linear_demand);
+        assert_eq!(lo.iters, 2);
+        // Interior solve: endpoints + bisection steps + the final probe,
+        // bounded by the 60-iteration budget.
+        let mid = solve_freq_for_cap(280.0, Freq::MAX, linear_demand);
+        assert!(mid.iters > 3 && mid.iters <= 63, "iters {}", mid.iters);
+        // The count mirrors the actual demand() calls.
+        let mut calls = 0u32;
+        let counted = solve_freq_for_cap(280.0, Freq::MAX, |f| {
+            calls += 1;
+            linear_demand(f)
+        });
+        assert_eq!(counted.iters, calls);
     }
 
     #[test]

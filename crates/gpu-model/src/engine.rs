@@ -106,6 +106,9 @@ pub struct Execution {
     /// True when the firmware sustained limit (not the software cap) is what
     /// throttled the kernel — only happens near the roofline ridge.
     pub ppt_throttled: bool,
+    /// Demand evaluations spent by the two cap solves (throughput-bound and
+    /// serial phases) that produced this execution; observability only.
+    pub solver_iters: u32,
 }
 
 impl Execution {
@@ -248,6 +251,7 @@ impl Engine {
             perf: est,
             cap_breached,
             ppt_throttled,
+            solver_iters: roof_outcome.iters + serial_outcome.iters,
         })
     }
 }

@@ -58,7 +58,7 @@ pub mod thermal;
 pub mod trace;
 
 pub use boost::BoostBudget;
-pub use cache::{CacheStats, ExecCache, ExecKey, FxBuildHasher, FxHasher};
+pub use cache::{CacheStats, EngineStats, ExecCache, ExecKey, FxBuildHasher, FxHasher};
 pub use cap::{solve_freq_for_cap, CapOutcome};
 pub use device::{GpuDevice, Node, NodeRestModel};
 pub use engine::{Engine, Execution, GpuSettings};

@@ -14,11 +14,10 @@ use pmss_core::Region;
 use pmss_error::PmssError;
 use pmss_gpu::{DvfsLadder, GovernedTotals, Governor, GpuSettings};
 use pmss_graph::case_study::{networks, CaseStudy};
+use pmss_obs::{edges, Stopwatch};
 use pmss_sched::{catalog, generate, log, JobSizeClass, TraceParams};
 use pmss_telemetry::export::sample_storage_bytes;
-use pmss_telemetry::{
-    compare_sensors, simulate_fleet, FleetConfig, FleetPowerSeries, GpuCpuEnergy,
-};
+use pmss_telemetry::{compare_sensors, FleetConfig, FleetPowerSeries, GpuCpuEnergy};
 use pmss_workloads::membench::{self, chunk_for_block, MembenchParams};
 use pmss_workloads::phases::synthesize_app;
 use pmss_workloads::sweep::{normalize, sweep_kernel, CapSetting, MEMBENCH_POWER_CAPS_W};
@@ -32,7 +31,7 @@ use rayon::prelude::*;
 use crate::json::Json;
 use crate::render;
 use crate::spec::ScenarioSpec;
-use crate::stage::Pipeline;
+use crate::stage::{metered_sim, Pipeline};
 
 /// Identifies one reproducible paper artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -791,7 +790,8 @@ impl Artifacts {
 impl Pipeline {
     /// Computes one artifact, reusing memoized stages.
     pub fn artifact(&mut self, id: ArtifactId) -> Result<Artifact, PmssError> {
-        Ok(match id {
+        let sw = Stopwatch::start();
+        let art = match id {
             ArtifactId::Fig2 => Artifact::Fig2(fig2(self)?),
             ArtifactId::Fig3 => Artifact::Fig3(fig3(self)),
             ArtifactId::Fig4 => Artifact::Fig4(fig4(self)),
@@ -817,7 +817,12 @@ impl Pipeline {
             ArtifactId::Governor => Artifact::Governor(governor(self)),
             ArtifactId::PeakPower => Artifact::PeakPower(peakpower(self)),
             ArtifactId::Sensitivity => Artifact::Sensitivity(sensitivity(self)?),
-        })
+        };
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("artifacts.computed");
+            m.observe("artifact.wall_s", edges::WALL_S, sw.elapsed_s());
+        }
+        Ok(art)
     }
 
     /// Computes a bundle of artifacts, sharing every memoized stage.
@@ -850,10 +855,23 @@ fn fig2(p: &mut Pipeline) -> Result<Fig2, PmssError> {
         })
         .collect();
 
-    // (b) GPU vs CPU energy on the fleet.
+    // (b) GPU vs CPU energy on the fleet.  Disjoint field borrows: the
+    // schedule is read from the memoized stage while the shared cache and
+    // the metrics registry are passed alongside.
     p.ensure_fleet()?;
-    let fleet = p.fleet.as_ref().expect("fleet stage ran");
-    let split: GpuCpuEnergy = simulate_fleet(&fleet.schedule, &FleetConfig::default());
+    let Pipeline {
+        fleet,
+        cache,
+        metrics,
+        ..
+    } = p;
+    let fleet = fleet.as_ref().expect("fleet stage ran");
+    let split: GpuCpuEnergy = metered_sim(
+        &fleet.schedule,
+        &FleetConfig::default(),
+        cache,
+        metrics.as_mut(),
+    );
     Ok(Fig2 {
         windows: c.telemetry.len(),
         mean_power_w: c.mean_power_w,
@@ -1367,20 +1385,23 @@ fn governor(p: &Pipeline) -> GovernorArtifact {
     GovernorArtifact { classes }
 }
 
-fn peakpower(p: &Pipeline) -> PeakPower {
+fn peakpower(p: &mut Pipeline) -> PeakPower {
     let params = p.spec.trace_params();
     let schedule = generate(params, &catalog());
     // Extrapolate fleet power to the full 9408-node system.
     let node_factor = 9408.0 / params.nodes as f64;
     let mut rows = Vec::new();
     let mut base_peak = 0.0;
+    let Pipeline { cache, metrics, .. } = p;
     for mhz in [1700.0, 1500.0, 1300.0, 1100.0, 900.0] {
-        let fp: FleetPowerSeries = simulate_fleet(
+        let fp: FleetPowerSeries = metered_sim(
             &schedule,
             &FleetConfig {
                 settings: GpuSettings::freq_capped(mhz),
                 ..Default::default()
             },
+            cache,
+            metrics.as_mut(),
         );
         let peak_mw = fp.peak_w() * node_factor / 1e6;
         let mean_mw = fp.mean_w() * node_factor / 1e6;

@@ -11,11 +11,13 @@ use std::time::Instant;
 use pmss_core::EnergyLedger;
 use pmss_error::PmssError;
 use pmss_gpu::GpuSettings;
+use pmss_obs::Stopwatch;
 use pmss_sched::{catalog, generate, TraceParams};
 use pmss_telemetry::{simulate_fleet, simulate_fleet_with_cache, FleetCache, FleetConfig};
 
 use crate::artifact::ArtifactId;
 use crate::json::Json;
+use crate::metrics::{manifest, manifest_to_json, metrics_env_enabled, metrics_to_json};
 use crate::spec::{ScalePreset, ScenarioSpec, SCALE_ENV};
 use crate::stage::Pipeline;
 
@@ -25,6 +27,7 @@ use crate::stage::Pipeline;
 /// Errors are [`PmssError`]s; [`PmssError::Usage`] marks bad invocations.
 pub fn run(args: &[String]) -> Result<String, PmssError> {
     let mut json = false;
+    let mut metrics_flag = false;
     let mut scale: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
@@ -33,6 +36,7 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--metrics" => metrics_flag = true,
             "--scale" => scale = Some(flag_value(&mut it, "--scale")?),
             "--spec" => spec_path = Some(flag_value(&mut it, "--spec")?),
             "-h" | "--help" | "help" => return Ok(help_text()),
@@ -61,18 +65,71 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
             render_spec(&spec)
         });
     }
+    if positional[0] == "stats" {
+        if positional.len() > 1 {
+            return Err(PmssError::Usage(format!(
+                "stats takes no arguments, got {:?}",
+                positional[1..].join(" ")
+            )));
+        }
+        return stats(spec, json);
+    }
 
     let id = parse_artifact(&positional)?;
-    let mut pipeline = Pipeline::new(spec)?;
+    // `--metrics` turns on both collection and reporting; `PMSS_METRICS`
+    // turns on collection only, leaving every output byte unchanged (the
+    // golden suite runs with it set to pin that equivalence).
+    let collect = metrics_flag || metrics_env_enabled();
+    let mut pipeline = if collect {
+        Pipeline::with_metrics(spec)?
+    } else {
+        Pipeline::new(spec)?
+    };
+    let sw = Stopwatch::start();
     let artifact = pipeline.artifact(id)?;
+    let report = metrics_flag.then(|| {
+        let man = manifest(&positional.join(" "), pipeline.spec(), sw.elapsed_s());
+        let m = pipeline.metrics_report().expect("metrics enabled");
+        (man, m)
+    });
     Ok(if json {
-        Json::obj()
+        let mut envelope = Json::obj()
             .field("artifact", id.name())
             .field("spec", pipeline.spec().to_json())
-            .field("data", artifact.to_json())
+            .field("data", artifact.to_json());
+        if let Some((man, m)) = &report {
+            envelope = envelope
+                .field("run", manifest_to_json(man))
+                .field("metrics", metrics_to_json(m));
+        }
+        envelope.to_string_pretty()
+    } else {
+        let mut out = artifact.render_ascii();
+        if let Some((man, m)) = &report {
+            out.push('\n');
+            out.push_str(&crate::metrics::render_ascii(man, m));
+        }
+        out
+    })
+}
+
+/// The `stats` subcommand: run the full staged pipeline (fleet, benchmark,
+/// projection) with metering on and report only the manifest + metrics.
+fn stats(spec: ScenarioSpec, json: bool) -> Result<String, PmssError> {
+    let mut p = Pipeline::with_metrics(spec)?;
+    let sw = Stopwatch::start();
+    p.fleet()?;
+    p.table3()?;
+    p.projection()?;
+    let man = manifest("stats", p.spec(), sw.elapsed_s());
+    let m = p.metrics_report().expect("metrics enabled");
+    Ok(if json {
+        Json::obj()
+            .field("run", manifest_to_json(&man))
+            .field("metrics", metrics_to_json(&m))
             .to_string_pretty()
     } else {
-        artifact.render_ascii()
+        crate::metrics::render_ascii(&man, &m)
     })
 }
 
@@ -148,10 +205,13 @@ fn help_text() -> String {
          \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity\n\
          \x20   pmss list                        list every artifact\n\
          \x20   pmss spec [OPTIONS]              print the resolved scenario\n\
+         \x20   pmss stats [OPTIONS]             run the full pipeline, report metrics only\n\
          \x20   pmss bench-fleet [PATH]          fleet-simulation throughput benchmark\n\
          \n\
          OPTIONS:\n\
          \x20   --json           structured JSON output instead of ASCII\n\
+         \x20   --metrics        append the run manifest + metrics report\n\
+         \x20                    (collection alone: PMSS_METRICS=1, output unchanged)\n\
          \x20   --scale <NAME>   scenario preset: quick | medium | large\n\
          \x20                    (default: quick, or the {SCALE_ENV} environment variable)\n\
          \x20   --spec <FILE>    load a full ScenarioSpec from a JSON file\n\

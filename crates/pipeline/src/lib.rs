@@ -18,6 +18,8 @@
 //!   structured JSON;
 //! * [`json`] — the dependency-free JSON value type used for structured
 //!   output (emit + parse);
+//! * [`metrics`] — the `--metrics` observability envelope (run manifest +
+//!   `pmss-obs` registry rendered to JSON/ASCII, `PMSS_METRICS` gating);
 //! * [`cli`] — the `pmss` command-line front end (`pmss fig 2`,
 //!   `pmss table 3 --json`, …) that the thin `pmss` binary calls into.
 //!
@@ -30,6 +32,7 @@
 pub mod artifact;
 pub mod cli;
 pub mod json;
+pub mod metrics;
 pub mod render;
 pub mod spec;
 pub mod stage;

@@ -239,6 +239,22 @@ impl ScenarioSpec {
                 }),
             }
         };
+        // Integer fields must not go through a bare `as` cast: `-1` would
+        // wrap to 18446744073709551615, `1.5` would silently truncate, and
+        // anything past 2^53 was never exactly representable in JSON's f64
+        // to begin with.  Reject all three explicitly.
+        let int = |key: &str, fallback: u64| -> Result<u64, PmssError> {
+            let n = num(key, fallback as f64)?;
+            const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+            if !(n.fract() == 0.0 && (0.0..=MAX_EXACT).contains(&n)) {
+                return Err(PmssError::invalid_value(
+                    format!("spec field `{key}`"),
+                    format!("{n}"),
+                    "a non-negative integer representable exactly in JSON (<= 2^53)",
+                ));
+            }
+            Ok(n as u64)
+        };
         let arr = |key: &str, fallback: &[f64]| -> Result<Vec<f64>, PmssError> {
             match v.get(key) {
                 None => Ok(fallback.to_vec()),
@@ -274,9 +290,9 @@ impl ScenarioSpec {
         };
         let spec = ScenarioSpec {
             name,
-            nodes: num("nodes", base.nodes as f64)? as usize,
+            nodes: int("nodes", base.nodes as u64)? as usize,
             days: num("days", base.days)?,
-            seed: num("seed", base.seed as f64)? as u64,
+            seed: int("seed", base.seed)?,
             min_job_s: num("min_job_s", base.min_job_s)?,
             freq_caps_mhz: arr("freq_caps_mhz", &base.freq_caps_mhz)?,
             power_caps_w: arr("power_caps_w", &base.power_caps_w)?,
@@ -372,5 +388,31 @@ mod tests {
         assert!(ScenarioSpec::from_json(&j).is_err());
         let j = Json::parse(r#"{"freq_caps_mhz": "high"}"#).unwrap();
         assert!(ScenarioSpec::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_non_integer_counts_instead_of_truncating() {
+        // Before the fix, `"nodes": -1` cast through `as usize` into
+        // 18446744073709551615 and `"seed": 1.5` silently became seed 1.
+        for (body, field) in [
+            (r#"{"nodes": -1}"#, "nodes"),
+            (r#"{"nodes": 2.5}"#, "nodes"),
+            (r#"{"nodes": 1e300}"#, "nodes"),
+            (r#"{"seed": -3}"#, "seed"),
+            (r#"{"seed": 1.5}"#, "seed"),
+            (r#"{"seed": 1e300}"#, "seed"),
+        ] {
+            let j = Json::parse(body).unwrap();
+            let err = ScenarioSpec::from_json(&j).unwrap_err();
+            assert!(
+                matches!(err, PmssError::InvalidValue { .. }),
+                "{body}: {err}"
+            );
+            assert!(err.to_string().contains(field), "{body}: {err}");
+        }
+        // Exact integers written with a fractional JSON spelling stay fine.
+        let j = Json::parse(r#"{"nodes": 32.0, "seed": 9007199254740992}"#).unwrap();
+        let s = ScenarioSpec::from_json(&j).unwrap();
+        assert_eq!((s.nodes, s.seed), (32, 1u64 << 53));
     }
 }

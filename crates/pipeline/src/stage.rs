@@ -10,8 +10,12 @@ use pmss_core::project::{project, Projection, ProjectionInput};
 use pmss_core::EnergyLedger;
 use pmss_error::PmssError;
 use pmss_gpu::Engine;
+use pmss_obs::{edges, Metrics, Stopwatch};
 use pmss_sched::{catalog, generate, DomainSpec, Schedule};
-use pmss_telemetry::{simulate_fleet, DomainHistograms, FleetConfig, Pair, SystemHistogram};
+use pmss_telemetry::{
+    simulate_fleet_metered, simulate_fleet_with_cache, DomainHistograms, FleetCache, FleetConfig,
+    FleetObserver, Pair, SystemHistogram,
+};
 use pmss_workloads::sweep::CapSetting;
 use pmss_workloads::table3::{self, BenchScale, Table3};
 
@@ -34,10 +38,57 @@ pub struct FleetArtifacts {
     pub frontier_factor: f64,
 }
 
+/// Routes a fleet simulation through the pipeline's shared [`FleetCache`],
+/// folding the run's [`pmss_telemetry::FleetRunStats`] into `metrics` when
+/// metering is on.  With `metrics` absent this is exactly
+/// [`simulate_fleet_with_cache`] — the metered and unmetered paths produce
+/// bit-identical observers either way (the sink is folded alongside the
+/// observer, never consulted by it).
+pub(crate) fn metered_sim<O>(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    cache: &FleetCache,
+    metrics: Option<&mut Metrics>,
+) -> O
+where
+    O: FleetObserver + Default,
+{
+    let Some(m) = metrics else {
+        return simulate_fleet_with_cache(schedule, cfg, cache);
+    };
+    let sw = Stopwatch::start();
+    let (obs, stats) = simulate_fleet_metered::<O>(schedule, cfg, cache);
+    let wall_s = sw.elapsed_s();
+    m.inc("fleet.runs");
+    m.add("fleet.gpu_samples", stats.gpu_samples);
+    m.add("fleet.attributed_samples", stats.attributed_samples);
+    m.add("fleet.node_samples", stats.node_samples);
+    m.add("boost.engagements", stats.boost_engagements);
+    m.add("boost.denied", stats.boost_denied);
+    m.gauge_add("boost.granted_s", stats.boost_granted_s);
+    m.gauge_add("fleet.wall_s", wall_s);
+    m.gauge_add(
+        "fleet.node_hours",
+        schedule.per_node.len() as f64 * schedule.duration_s / 3600.0,
+    );
+    m.observe("fleet.run_wall_s", edges::WALL_S, wall_s);
+    obs
+}
+
 /// A staged scenario run with memoized stage outputs.
+///
+/// Every fleet simulation a pipeline performs — the fleet stage and any
+/// per-artifact runs (Fig. 2's energy split, the peak-power cap sweep) —
+/// shares one [`FleetCache`], so repeated runs of the same schedule replay
+/// memoized slot templates.  When built [`Pipeline::with_metrics`], the
+/// pipeline additionally accumulates a [`Metrics`] registry (stage wall
+/// times, cache traffic, solver work); metering never changes artifact
+/// bytes.
 pub struct Pipeline {
     pub(crate) spec: ScenarioSpec,
     pub(crate) engine: Engine,
+    pub(crate) cache: FleetCache,
+    pub(crate) metrics: Option<Metrics>,
     pub(crate) fleet: Option<FleetArtifacts>,
     pub(crate) table3: Option<Table3>,
 }
@@ -50,9 +101,69 @@ impl Pipeline {
         Ok(Pipeline {
             spec,
             engine: Engine::default(),
+            cache: FleetCache::new(),
+            metrics: None,
             fleet: None,
             table3: None,
         })
+    }
+
+    /// Like [`Pipeline::new`], but with metrics collection enabled.
+    pub fn with_metrics(spec: ScenarioSpec) -> Result<Pipeline, PmssError> {
+        let mut p = Pipeline::new(spec)?;
+        p.metrics = Some(Metrics::default());
+        Ok(p)
+    }
+
+    /// Whether this pipeline accumulates metrics.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// The fleet-simulation cache shared by every run this pipeline makes.
+    pub fn fleet_cache(&self) -> &FleetCache {
+        &self.cache
+    }
+
+    /// A snapshot of the accumulated metrics, augmented with the current
+    /// cache and engine tallies; `None` unless built
+    /// [`Pipeline::with_metrics`].
+    pub fn metrics_report(&self) -> Option<Metrics> {
+        let mut m = self.metrics.clone()?;
+        let tpl = self.cache.template_stats();
+        m.add("template_cache.hits", tpl.hits);
+        m.add("template_cache.misses", tpl.misses);
+        m.add("template_cache.inserts", tpl.inserts);
+        m.gauge_set("template_cache.entries", self.cache.template_len() as f64);
+        if tpl.hits + tpl.misses > 0 {
+            m.gauge_set(
+                "template_cache.hit_rate",
+                tpl.hits as f64 / (tpl.hits + tpl.misses) as f64,
+            );
+        }
+        let exec = self.cache.exec().stats();
+        m.add("exec_cache.hits", exec.hits);
+        m.add("exec_cache.misses", exec.misses);
+        m.add("exec_cache.inserts", exec.inserts);
+        if exec.hits + exec.misses > 0 {
+            m.gauge_set(
+                "exec_cache.hit_rate",
+                exec.hits as f64 / (exec.hits + exec.misses) as f64,
+            );
+        }
+        let eng = self.cache.exec().engine_stats();
+        m.add("engine.executions", eng.executions);
+        m.add("engine.ppt_throttled", eng.ppt_throttled);
+        m.add("cap_solver.iters", eng.solver_iters);
+        m.add("cap_solver.breaches", eng.cap_breaches);
+        let wall = m.gauge("fleet.wall_s").unwrap_or(0.0);
+        if wall > 0.0 {
+            m.gauge_set(
+                "fleet.node_hours_per_s",
+                m.gauge("fleet.node_hours").unwrap_or(0.0) / wall,
+            );
+        }
+        Some(m)
     }
 
     /// The scenario driving this pipeline.
@@ -103,38 +214,67 @@ impl Pipeline {
     pub fn projection(&mut self) -> Result<Projection, PmssError> {
         self.ensure_fleet()?;
         self.ensure_table3()?;
+        let sw = Stopwatch::start();
         let fleet = self.fleet.as_ref().expect("fleet stage ran");
         let t3 = self.table3.as_ref().expect("benchmark stage ran");
         let ledger = fleet.ledger.scaled(fleet.frontier_factor);
-        project(ProjectionInput::from_ledger(&ledger), t3)
+        let proj = project(ProjectionInput::from_ledger(&ledger), t3);
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("stage.projection.runs");
+            m.gauge_add("stage.projection.wall_s", sw.elapsed_s());
+        }
+        proj
     }
 
     pub(crate) fn ensure_fleet(&mut self) -> Result<(), PmssError> {
-        if self.fleet.is_none() {
-            let domains = catalog();
-            let schedule = generate(self.spec.trace_params(), &domains);
-            type Obs = Pair<Pair<SystemHistogram, DomainHistograms>, EnergyLedger>;
-            let obs: Obs = simulate_fleet(&schedule, &FleetConfig::default());
-            self.fleet = Some(FleetArtifacts {
-                schedule,
-                domains,
-                system: obs.a.a,
-                per_domain: obs.a.b,
-                ledger: obs.b,
-                frontier_factor: self.spec.frontier_factor(),
-            });
+        if self.fleet.is_some() {
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("stage.fleet.reuses");
+            }
+            return Ok(());
+        }
+        let sw = Stopwatch::start();
+        let domains = catalog();
+        let schedule = generate(self.spec.trace_params(), &domains);
+        type Obs = Pair<Pair<SystemHistogram, DomainHistograms>, EnergyLedger>;
+        let obs: Obs = metered_sim(
+            &schedule,
+            &FleetConfig::default(),
+            &self.cache,
+            self.metrics.as_mut(),
+        );
+        self.fleet = Some(FleetArtifacts {
+            schedule,
+            domains,
+            system: obs.a.a,
+            per_domain: obs.a.b,
+            ledger: obs.b,
+            frontier_factor: self.spec.frontier_factor(),
+        });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("stage.fleet.runs");
+            m.gauge_add("stage.fleet.wall_s", sw.elapsed_s());
         }
         Ok(())
     }
 
     pub(crate) fn ensure_table3(&mut self) -> Result<(), PmssError> {
-        if self.table3.is_none() {
-            self.table3 = Some(table3::compute_with_ladders(
-                &self.engine,
-                BenchScale::default(),
-                &self.freq_ladder(),
-                &self.power_ladder(),
-            )?);
+        if self.table3.is_some() {
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("stage.table3.reuses");
+            }
+            return Ok(());
+        }
+        let sw = Stopwatch::start();
+        self.table3 = Some(table3::compute_with_ladders(
+            &self.engine,
+            BenchScale::default(),
+            &self.freq_ladder(),
+            &self.power_ladder(),
+        )?);
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("stage.table3.runs");
+            m.gauge_add("stage.table3.wall_s", sw.elapsed_s());
         }
         Ok(())
     }

@@ -16,13 +16,33 @@ pub struct CodecConfig {
     /// Quantization step, watts.  1 W matches the sensor's own resolution,
     /// making the codec lossless end to end.
     pub quantum_w: f64,
+    /// Upper bound on the sample count [`decode`] accepts.  Run-length
+    /// encoding means an 11-byte input can *legitimately* declare billions
+    /// of samples, so untrusted data must be bounded by policy, not by
+    /// payload size.  The default (2^24 ≈ 16.8 M samples, a 128 MB series)
+    /// is ~32× the longest real per-slot stream — three months at one
+    /// sample per 15 s is ~518 k samples.
+    pub max_samples: usize,
 }
 
 impl Default for CodecConfig {
     fn default() -> Self {
-        CodecConfig { quantum_w: 1.0 }
+        CodecConfig {
+            quantum_w: 1.0,
+            max_samples: 1 << 24,
+        }
     }
 }
+
+/// Largest quantized magnitude the codec accepts: integers above 2^53 are
+/// not exactly representable in the `f64` the decoder reconstructs, so
+/// larger values would break the lossless round-trip guarantee.
+const MAX_QUANTIZED: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Preallocation heuristic for [`decode`]: a conservative samples-per-byte
+/// expansion below which the upfront reservation is trusted.  Real
+/// telemetry compresses around 10–100×; anything hotter grows lazily.
+const PREALLOC_SAMPLES_PER_BYTE: usize = 256;
 
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -67,6 +87,12 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
 /// quantized delta followed by a varint run length.
 ///
 /// A non-positive or non-finite `quantum_w` is a configuration error.
+/// Non-finite samples are rejected: quantizing them would saturate
+/// (NaN→0, +inf→`i64::MAX`) and silently corrupt the "lossless" stream —
+/// the same no-silent-NaN policy as `PowerHistogram::record`, except that
+/// a codec must refuse rather than skip (skipping would change the
+/// count).  So is any finite sample whose quantized magnitude exceeds
+/// 2^53, past which `i64`→`f64` reconstruction stops being exact.
 pub fn encode(samples_w: &[f64], cfg: CodecConfig) -> Result<Vec<u8>, PmssError> {
     if !(cfg.quantum_w > 0.0 && cfg.quantum_w.is_finite()) {
         return Err(PmssError::invalid_value(
@@ -75,17 +101,30 @@ pub fn encode(samples_w: &[f64], cfg: CodecConfig) -> Result<Vec<u8>, PmssError>
             "a finite quantization step > 0 W",
         ));
     }
+    let quantize = |i: usize| -> Result<i64, PmssError> {
+        let x = samples_w[i];
+        let q = (x / cfg.quantum_w).round();
+        if !x.is_finite() || q.abs() > MAX_QUANTIZED {
+            return Err(PmssError::invalid_value(
+                format!("power sample [{i}]"),
+                format!("{x}"),
+                format!(
+                    "a finite wattage within ±2^53 quanta (the codec is \
+                     lossless; this sample would quantize to {q})"
+                ),
+            ));
+        }
+        Ok(q as i64)
+    };
     let mut out = Vec::with_capacity(samples_w.len() / 4 + 8);
     push_varint(&mut out, samples_w.len() as u64);
 
     let mut prev = 0i64;
     let mut i = 0;
     while i < samples_w.len() {
-        let q = (samples_w[i] / cfg.quantum_w).round() as i64;
+        let q = quantize(i)?;
         let mut run = 1u64;
-        while i + (run as usize) < samples_w.len()
-            && (samples_w[i + run as usize] / cfg.quantum_w).round() as i64 == q
-        {
+        while i + (run as usize) < samples_w.len() && quantize(i + run as usize)? == q {
             run += 1;
         }
         push_varint(&mut out, zigzag(q - prev));
@@ -99,20 +138,42 @@ pub fn encode(samples_w: &[f64], cfg: CodecConfig) -> Result<Vec<u8>, PmssError>
 /// Decodes a series produced by [`encode`].
 ///
 /// Malformed input (truncated varints, zero-length runs, or a run total
-/// exceeding the declared count) is a [`PmssError::MalformedData`].
+/// exceeding the declared count) is a [`PmssError::MalformedData`], and a
+/// declared count above [`CodecConfig::max_samples`] is rejected before
+/// anything is allocated — an 11-byte input claiming `u64::MAX` samples
+/// must not attempt a multi-exabyte reservation.
 pub fn decode(data: &[u8], cfg: CodecConfig) -> Result<Vec<f64>, PmssError> {
-    let malformed = |detail: &str| PmssError::malformed("power-codec", detail);
+    let malformed = |detail: String| PmssError::malformed("power-codec", detail);
     let mut pos = 0usize;
-    let count = read_varint(data, &mut pos).ok_or_else(|| malformed("truncated count"))? as usize;
-    let mut out = Vec::with_capacity(count);
+    let count =
+        read_varint(data, &mut pos).ok_or_else(|| malformed("truncated count".into()))? as usize;
+    if count > cfg.max_samples {
+        return Err(malformed(format!(
+            "declared sample count {count} exceeds the configured maximum \
+             {} (max_samples)",
+            cfg.max_samples
+        )));
+    }
+    // Even below the policy bound, preallocate only what the remaining
+    // payload could plausibly describe: each (delta, run) pair costs at
+    // least two bytes, and a legitimate highly-compressed stream that
+    // expands further simply grows the vec as its runs materialize.
+    let plausible = data
+        .len()
+        .saturating_sub(pos)
+        .saturating_mul(PREALLOC_SAMPLES_PER_BYTE);
+    let mut out = Vec::with_capacity(count.min(plausible));
     let mut prev = 0i64;
     while out.len() < count {
-        let delta =
-            unzigzag(read_varint(data, &mut pos).ok_or_else(|| malformed("truncated delta"))?);
-        let run =
-            read_varint(data, &mut pos).ok_or_else(|| malformed("truncated run length"))? as usize;
+        let delta = unzigzag(
+            read_varint(data, &mut pos).ok_or_else(|| malformed("truncated delta".into()))?,
+        );
+        let run = read_varint(data, &mut pos)
+            .ok_or_else(|| malformed("truncated run length".into()))? as usize;
         if run == 0 || out.len() + run > count {
-            return Err(malformed("run length inconsistent with sample count"));
+            return Err(malformed(
+                "run length inconsistent with sample count".into(),
+            ));
         }
         prev += delta;
         let value = prev as f64 * cfg.quantum_w;
@@ -193,8 +254,56 @@ mod tests {
 
     #[test]
     fn bad_quantum_is_rejected() {
-        let err = encode(&[1.0], CodecConfig { quantum_w: 0.0 }).unwrap_err();
+        let cfg = CodecConfig {
+            quantum_w: 0.0,
+            ..Default::default()
+        };
+        let err = encode(&[1.0], cfg).unwrap_err();
         assert!(err.to_string().contains("quantum_w"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_saturated() {
+        let cfg = CodecConfig::default();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = encode(&[380.0, bad, 89.0], cfg).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("power sample [1]"), "{msg}");
+        }
+        // A finite sample past 2^53 quanta would also round-trip lossily.
+        let err = encode(&[2.0f64.powi(60)], cfg).unwrap_err();
+        assert!(err.to_string().contains("power sample [0]"), "{err}");
+    }
+
+    #[test]
+    fn huge_declared_count_is_rejected_before_allocating() {
+        let cfg = CodecConfig::default();
+        // 10-byte varint declaring u64::MAX samples: must be refused by
+        // policy, not attempted as a multi-exabyte reservation.
+        let mut evil = Vec::new();
+        push_varint(&mut evil, u64::MAX);
+        let err = decode(&evil, cfg).unwrap_err();
+        assert!(err.to_string().contains("max_samples"), "{err}");
+
+        // A count within policy but absurd for the remaining payload must
+        // not be trusted for preallocation either; with no payload at all
+        // the decoder fails fast on the first truncated delta.
+        let mut sparse = Vec::new();
+        push_varint(&mut sparse, (1u64 << 24) - 1);
+        let err = decode(&sparse, cfg).unwrap_err();
+        assert!(err.to_string().contains("truncated delta"), "{err}");
+    }
+
+    #[test]
+    fn legitimate_high_ratio_streams_still_decode() {
+        // One (delta, run) pair expanding far past the prealloc heuristic:
+        // the vec must grow lazily rather than reject or truncate.
+        let cfg = CodecConfig::default();
+        let series = vec![380.0; 100_000];
+        let encoded = encode(&series, cfg).expect("encode");
+        assert!(encoded.len() < 16, "RLE should collapse this");
+        let decoded = decode(&encoded, cfg).expect("decode");
+        assert_eq!(decoded, series);
     }
 
     #[test]

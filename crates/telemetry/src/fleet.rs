@@ -93,6 +93,80 @@ pub trait FleetObserver: Send + Sized {
     fn merge(&mut self, other: Self);
 }
 
+/// Per-worker tallies of one fleet-simulation run, following the same
+/// fold/merge discipline as [`FleetObserver`]: each rayon worker
+/// accumulates its own partial and partials are [`FleetRunStats::merge`]d
+/// at reduce time — no locks, no atomics on the hot path.
+///
+/// Produced by [`simulate_fleet_metered`]; the unmetered entry points
+/// thread a zero-sized no-op sink through the same monomorphized code, so
+/// disabling metrics costs literally nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetRunStats {
+    /// GPU window samples emitted.
+    pub gpu_samples: u64,
+    /// GPU samples attributed to a job (vs idle).
+    pub attributed_samples: u64,
+    /// Rest-of-node window samples emitted.
+    pub node_samples: u64,
+    /// Boost-burst engagements: windows where stored headroom was spent.
+    pub boost_engagements: u64,
+    /// Total boosted seconds granted across all engagements.
+    pub boost_granted_s: f64,
+    /// Boostable windows that found insufficient headroom and recharged
+    /// instead.
+    pub boost_denied: u64,
+}
+
+impl FleetRunStats {
+    /// Folds another worker's tallies into this one (the reduce step).
+    pub fn merge(&mut self, other: &FleetRunStats) {
+        self.gpu_samples += other.gpu_samples;
+        self.attributed_samples += other.attributed_samples;
+        self.node_samples += other.node_samples;
+        self.boost_engagements += other.boost_engagements;
+        self.boost_granted_s += other.boost_granted_s;
+        self.boost_denied += other.boost_denied;
+    }
+}
+
+/// Internal metric sink threaded through the simulation.  Monomorphized:
+/// the `()` impl is all empty inlined bodies, so the unmetered build
+/// compiles the recording away entirely — which is what keeps the
+/// "metrics must not perturb output or cost" guarantee trivially true.
+trait FleetSink: Default + Send {
+    fn gpu_sample(&mut self, _attributed: bool) {}
+    fn node_sample(&mut self) {}
+    fn boost_engaged(&mut self, _granted_s: f64) {}
+    fn boost_denied(&mut self) {}
+    fn absorb(&mut self, other: Self);
+}
+
+/// The no-op sink of the unmetered entry points.
+impl FleetSink for () {
+    fn absorb(&mut self, _other: Self) {}
+}
+
+impl FleetSink for FleetRunStats {
+    fn gpu_sample(&mut self, attributed: bool) {
+        self.gpu_samples += 1;
+        self.attributed_samples += attributed as u64;
+    }
+    fn node_sample(&mut self) {
+        self.node_samples += 1;
+    }
+    fn boost_engaged(&mut self, granted_s: f64) {
+        self.boost_engagements += 1;
+        self.boost_granted_s += granted_s;
+    }
+    fn boost_denied(&mut self) {
+        self.boost_denied += 1;
+    }
+    fn absorb(&mut self, other: Self) {
+        self.merge(&other);
+    }
+}
+
 /// Host CPU utilization while a workload class runs (drives the
 /// rest-of-node power for Fig. 2 b).
 fn cpu_util_of(class: AppClass) -> f64 {
@@ -255,8 +329,9 @@ fn slot_segments(
 /// Walks `segments` in `window_s` windows, emitting mean power per window
 /// with boost excursions and sensor noise applied.
 #[allow(clippy::too_many_arguments)]
-fn emit_windows<O: FleetObserver>(
+fn emit_windows<O: FleetObserver, M: FleetSink>(
     observer: &mut O,
+    sink: &mut M,
     schedule: &Schedule,
     segments: &[Segment],
     node: u32,
@@ -305,10 +380,12 @@ fn emit_windows<O: FleetObserver>(
                     const BURST_MIN_S: f64 = 8.0;
                     if boost.stored_s() >= BURST_MIN_S {
                         let granted = boost.spend(overlap.min(10.0));
+                        sink.boost_engaged(granted);
                         let boosted = pmss_gpu::consts::GPU_TDP_W
                             + 0.5 * (pmss_gpu::consts::GPU_BOOST_W - pmss_gpu::consts::GPU_TDP_W);
                         p = (granted * boosted + (overlap - granted) * s.power_w) / overlap;
                     } else {
+                        sink.boost_denied();
                         boost.recharge(overlap);
                     }
                 } else {
@@ -332,12 +409,14 @@ fn emit_windows<O: FleetObserver>(
             job: attributed.map(|j| &schedule.jobs[j]),
         };
         observer.gpu_sample(&ctx, center, mean.max(0.0));
+        sink.gpu_sample(attributed.is_some());
     }
 }
 
 /// Emits the per-window rest-of-node power samples.
-fn emit_node_rest<O: FleetObserver>(
+fn emit_node_rest<O: FleetObserver, M: FleetSink>(
     observer: &mut O,
+    sink: &mut M,
     schedule: &Schedule,
     node: u32,
     cfg: &FleetConfig,
@@ -368,6 +447,7 @@ fn emit_node_rest<O: FleetObserver>(
             .map(|p| cpu_util_of(schedule.jobs[p.job].app_class))
             .unwrap_or(0.03);
         observer.node_sample(node, t, rest.power_w(util));
+        sink.node_sample();
     }
 }
 
@@ -384,9 +464,9 @@ where
 {
     if cfg.use_exec_cache {
         let cache = FleetCache::new();
-        simulate_fleet_impl(schedule, cfg, Some(&cache))
+        simulate_fleet_impl::<O, ()>(schedule, cfg, Some(&cache)).0
     } else {
-        simulate_fleet_impl(schedule, cfg, None)
+        simulate_fleet_impl::<O, ()>(schedule, cfg, None).0
     }
 }
 
@@ -401,12 +481,37 @@ pub fn simulate_fleet_with_cache<O>(schedule: &Schedule, cfg: &FleetConfig, cach
 where
     O: FleetObserver + Default,
 {
-    simulate_fleet_impl(schedule, cfg, Some(cache))
+    simulate_fleet_impl::<O, ()>(schedule, cfg, Some(cache)).0
 }
 
-fn simulate_fleet_impl<O>(schedule: &Schedule, cfg: &FleetConfig, cache: Option<&FleetCache>) -> O
+/// [`simulate_fleet_with_cache`], additionally tallying run statistics
+/// (sample counts, boost engagements) via a per-worker [`FleetRunStats`]
+/// sink merged at reduce time.
+///
+/// The observer output is bit-identical to the unmetered entry points:
+/// the sink only counts, it never touches the simulation state.  Cache
+/// hit/miss/insert counters live on `cache` itself and accumulate across
+/// runs; snapshot [`FleetCache::template_stats`] before and after to
+/// attribute them to one run.
+pub fn simulate_fleet_metered<O>(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    cache: &FleetCache,
+) -> (O, FleetRunStats)
 where
     O: FleetObserver + Default,
+{
+    simulate_fleet_impl::<O, FleetRunStats>(schedule, cfg, Some(cache))
+}
+
+fn simulate_fleet_impl<O, M>(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    cache: Option<&FleetCache>,
+) -> (O, M)
+where
+    O: FleetObserver + Default,
+    M: FleetSink,
 {
     let engine = Engine::default();
     let rest = NodeRestModel::default();
@@ -416,29 +521,38 @@ where
 
     (0..schedule.per_node.len())
         .into_par_iter()
-        .fold(O::default, |mut obs, node| {
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
-            for slot in 0..GPUS_PER_NODE {
-                let segs = slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
-                let mut boost = BoostBudget::default();
-                emit_windows(
-                    &mut obs,
-                    schedule,
-                    &segs,
-                    node as u32,
-                    slot as u8,
-                    cfg,
-                    &mut boost,
-                    &mut rng,
-                );
-            }
-            emit_node_rest(&mut obs, schedule, node as u32, cfg, &rest);
-            obs
-        })
-        .reduce(O::default, |mut a, b| {
-            a.merge(b);
-            a
-        })
+        .fold(
+            || (O::default(), M::default()),
+            |(mut obs, mut sink), node| {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
+                for slot in 0..GPUS_PER_NODE {
+                    let segs =
+                        slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
+                    let mut boost = BoostBudget::default();
+                    emit_windows(
+                        &mut obs,
+                        &mut sink,
+                        schedule,
+                        &segs,
+                        node as u32,
+                        slot as u8,
+                        cfg,
+                        &mut boost,
+                        &mut rng,
+                    );
+                }
+                emit_node_rest(&mut obs, &mut sink, schedule, node as u32, cfg, &rest);
+                (obs, sink)
+            },
+        )
+        .reduce(
+            || (O::default(), M::default()),
+            |(mut a, mut a_sink), (b, b_sink)| {
+                a.merge(b);
+                a_sink.absorb(b_sink);
+                (a, a_sink)
+            },
+        )
 }
 
 #[cfg(test)]
@@ -688,6 +802,47 @@ mod tests {
         assert_eq!(cached.gpu.len(), uncached.gpu.len());
         assert_eq!(cached.gpu, uncached.gpu);
         assert_eq!(cached.node, uncached.node);
+    }
+
+    #[test]
+    fn metered_run_is_bit_identical_and_counts_samples() {
+        let s = tiny_schedule();
+        let cfg = FleetConfig::default();
+        let plain: Collector = simulate_fleet(&s, &cfg);
+        let cache = FleetCache::new();
+        let (metered, stats): (Collector, FleetRunStats) = simulate_fleet_metered(&s, &cfg, &cache);
+        // The sink only counts: observer output matches bit for bit.
+        assert_eq!(plain.gpu, metered.gpu);
+        assert_eq!(plain.node, metered.node);
+        // Tallies agree with what the collector saw.
+        assert_eq!(stats.gpu_samples as usize, metered.gpu.len());
+        assert_eq!(stats.node_samples as usize, metered.node.len());
+        let attributed = metered.gpu.iter().filter(|x| x.4.is_some()).count();
+        assert_eq!(stats.attributed_samples as usize, attributed);
+        assert!(stats.attributed_samples > 0);
+        assert!(stats.attributed_samples < stats.gpu_samples);
+    }
+
+    #[test]
+    fn metered_run_tallies_boost_under_ppt_throttling() {
+        // Compute-heavy work pins devices at the firmware limit, which is
+        // exactly when boost bursts engage; a 4-node, 4-hour schedule has
+        // plenty of such windows.
+        let s = tiny_schedule();
+        let cache = FleetCache::new();
+        let (_ledger, stats): (Collector, FleetRunStats) =
+            simulate_fleet_metered(&s, &FleetConfig::default(), &cache);
+        assert!(stats.boost_engagements > 0, "{stats:?}");
+        assert!(stats.boost_granted_s > 0.0);
+        // Engagements spend at most 10 s each.
+        assert!(stats.boost_granted_s <= 10.0 * stats.boost_engagements as f64);
+
+        // Merge discipline: two halves fold to the whole.
+        let mut a = stats;
+        let before = a.gpu_samples;
+        a.merge(&stats);
+        assert_eq!(a.gpu_samples, 2 * before);
+        assert_eq!(a.boost_engagements, 2 * stats.boost_engagements);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! settings — so the memoized path is bit-identical to recomputing (the
 //! same argument as the [`ExecCache`] key quantization, one level up).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +75,7 @@ pub struct FleetCache {
     shard_bits: u32,
     hits: CachePadded<AtomicU64>,
     misses: CachePadded<AtomicU64>,
+    inserts: CachePadded<AtomicU64>,
 }
 
 impl Default for FleetCache {
@@ -94,6 +96,7 @@ impl FleetCache {
             shard_bits: n.trailing_zeros(),
             hits: CachePadded::new(AtomicU64::new(0)),
             misses: CachePadded::new(AtomicU64::new(0)),
+            inserts: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -102,11 +105,14 @@ impl FleetCache {
         &self.exec
     }
 
-    /// Template hit/miss counters.
+    /// Template hit/miss/insert counters.  Inserts can trail misses: the
+    /// miss path computes outside the shard lock, so a lost race keeps its
+    /// own template and inserts nothing.
     pub fn template_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
         }
     }
 
@@ -122,6 +128,7 @@ impl FleetCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
         self.exec.clear();
     }
 
@@ -180,10 +187,10 @@ impl FleetCache {
             }
         }
         let tmpl: Arc<[PhaseSeg]> = tmpl.into();
-        shard
-            .write()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&tmpl));
+        if let Entry::Vacant(v) = shard.write().entry(key) {
+            v.insert(Arc::clone(&tmpl));
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
         tmpl
     }
 }
@@ -213,6 +220,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
         assert_eq!(cache.template_stats().hits, 1);
         assert_eq!(cache.template_stats().misses, 1);
+        assert_eq!(cache.template_stats().inserts, 1);
         assert_eq!(cache.template_len(), 1);
         assert!(!a.is_empty());
     }

@@ -33,7 +33,10 @@ pub mod observers;
 pub mod sampler;
 pub mod smi;
 
-pub use fleet::{simulate_fleet, simulate_fleet_with_cache, FleetConfig, FleetObserver, SampleCtx};
+pub use fleet::{
+    simulate_fleet, simulate_fleet_metered, simulate_fleet_with_cache, FleetConfig, FleetObserver,
+    FleetRunStats, SampleCtx,
+};
 pub use fleetcache::FleetCache;
 pub use fleetpower::FleetPowerSeries;
 pub use hist::PowerHistogram;

@@ -109,4 +109,47 @@ proptest! {
             prop_assert!((a.power_w - b.power_w).abs() < 1e-3);
         }
     }
+
+    /// Codec round-trip is lossless at the quantization step for any
+    /// finite wattage series.
+    #[test]
+    fn codec_round_trip_is_lossless(samples in prop::collection::vec(0.0..700.0f64, 0..400)) {
+        use pmss_telemetry::compress::{decode, encode, CodecConfig};
+        let cfg = CodecConfig::default();
+        let encoded = encode(&samples, cfg).unwrap();
+        let decoded = decode(&encoded, cfg).unwrap();
+        prop_assert_eq!(decoded.len(), samples.len());
+        for (a, b) in samples.iter().zip(&decoded) {
+            prop_assert!((a - b).abs() <= 0.5 * cfg.quantum_w + 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    /// A single non-finite sample anywhere in the series makes the encoder
+    /// refuse (never saturate) and name the offending index.
+    #[test]
+    fn codec_rejects_non_finite_samples(
+        prefix in prop::collection::vec(0.0..700.0f64, 0..20),
+        which in 0..3usize,
+    ) {
+        use pmss_telemetry::compress::{encode, CodecConfig};
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][which];
+        let mut samples = prefix.clone();
+        samples.push(bad);
+        let err = encode(&samples, CodecConfig::default()).unwrap_err();
+        prop_assert!(matches!(err, pmss_error::PmssError::InvalidValue { .. }), "{}", err);
+        prop_assert!(err.to_string().contains(&format!("[{}]", prefix.len())), "{}", err);
+    }
+
+    /// Arbitrary bytes never panic the decoder and never make it allocate
+    /// past the configured sample bound: every outcome is either a valid
+    /// series within the bound or a typed error.
+    #[test]
+    fn codec_decode_survives_arbitrary_bytes(data in prop::collection::vec(0..=255u8, 0..64)) {
+        use pmss_telemetry::compress::{decode, CodecConfig};
+        let cfg = CodecConfig { max_samples: 4096, ..Default::default() };
+        match decode(&data, cfg) {
+            Ok(series) => prop_assert!(series.len() <= cfg.max_samples),
+            Err(e) => prop_assert!(e.to_string().contains("power-codec"), "{}", e),
+        }
+    }
 }

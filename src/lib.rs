@@ -21,7 +21,9 @@
 //! * [`core`] — modal decomposition and savings projection (`pmss-core`);
 //! * [`pipeline`] — the unified scenario pipeline (`pmss-pipeline`): a
 //!   typed [`ScenarioSpec`] run through memoized stages to an
-//!   [`Artifacts`] bundle, powering the `pmss` CLI.
+//!   [`Artifacts`] bundle, powering the `pmss` CLI;
+//! * [`obs`] — the zero-overhead-when-disabled metrics registry
+//!   (`pmss-obs`) behind `pmss --metrics` and `pmss stats`.
 //!
 //! Every fallible seam returns the workspace-wide [`PmssError`].
 //!
@@ -50,6 +52,7 @@
 pub use pmss_core as core;
 pub use pmss_gpu as gpu;
 pub use pmss_graph as graph;
+pub use pmss_obs as obs;
 pub use pmss_pipeline as pipeline;
 pub use pmss_sched as sched;
 pub use pmss_telemetry as telemetry;

@@ -7,10 +7,18 @@
 //! they were collapsed into the pipeline; `tests/golden/*.json` pins the
 //! structured output introduced with it.
 
-use pmss::pipeline::{cli, Artifact, ArtifactId, Pipeline, ScalePreset, ScenarioSpec};
+use pmss::pipeline::{cli, metrics, Artifact, ArtifactId, Pipeline, ScalePreset, ScenarioSpec};
 
+/// A quick-scale pipeline; with `PMSS_METRICS` set the suite runs fully
+/// metered, pinning that metrics collection never changes artifact bytes
+/// (CI exercises both configurations).
 fn quick_pipeline() -> Pipeline {
-    Pipeline::new(ScenarioSpec::preset(ScalePreset::Quick)).expect("quick spec is valid")
+    let spec = ScenarioSpec::preset(ScalePreset::Quick);
+    if metrics::metrics_env_enabled() {
+        Pipeline::with_metrics(spec).expect("quick spec is valid")
+    } else {
+        Pipeline::new(spec).expect("quick spec is valid")
+    }
 }
 
 fn golden(name: &str, ext: &str) -> String {

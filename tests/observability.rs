@@ -1,0 +1,166 @@
+//! Observability acceptance tests: metering must be invisible in artifact
+//! bytes, and the `--metrics` envelope must carry the run's cache, solver,
+//! and stage tallies.
+
+use pmss::pipeline::json::Json;
+use pmss::pipeline::{cli, ArtifactId, Pipeline, ScalePreset, ScenarioSpec};
+
+fn cli_run(list: &[&str]) -> String {
+    let args: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+    cli::run(&args).expect("cli run")
+}
+
+/// A metered pipeline renders byte-identical artifacts to an unmetered
+/// one — ASCII and JSON — across fleet-, benchmark-, and sweep-backed
+/// artifacts.
+#[test]
+fn metered_artifacts_are_byte_identical() {
+    for id in [ArtifactId::Fig2, ArtifactId::Table5, ArtifactId::PeakPower] {
+        let spec = ScenarioSpec::preset(ScalePreset::Quick);
+        let plain = Pipeline::new(spec.clone())
+            .unwrap()
+            .artifact(id)
+            .expect("plain artifact");
+        let mut metered_p = Pipeline::with_metrics(spec).unwrap();
+        let metered = metered_p.artifact(id).expect("metered artifact");
+        assert_eq!(
+            plain.render_ascii(),
+            metered.render_ascii(),
+            "ASCII drift under metering for {}",
+            id.name()
+        );
+        assert_eq!(
+            plain.to_json().to_string_pretty(),
+            metered.to_json().to_string_pretty(),
+            "JSON drift under metering for {}",
+            id.name()
+        );
+        let m = metered_p.metrics_report().expect("metrics enabled");
+        assert!(m.counter("artifacts.computed") >= 1);
+    }
+}
+
+/// `--metrics --json` adds a parseable `run` + `metrics` envelope whose
+/// cache counters reflect real traffic; without the flag the envelope is
+/// unchanged.
+#[test]
+fn cli_metrics_envelope_reports_cache_traffic() {
+    let text = cli_run(&["fig", "2", "--metrics", "--json", "--scale", "quick"]);
+    let v = Json::parse(&text).expect("envelope parses");
+    assert_eq!(v.get("artifact").and_then(Json::as_str), Some("fig2"));
+    let run = v.get("run").expect("run manifest present");
+    assert_eq!(run.get("command").and_then(Json::as_str), Some("fig 2"));
+    assert_eq!(run.get("nodes").and_then(Json::as_f64), Some(16.0));
+    let counters = v
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("counters present");
+    let counter = |name: &str| counters.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+    // Fig. 2 runs the fleet twice over one schedule (stage + energy
+    // split), so the shared template cache must see hits.
+    assert!(counter("template_cache.hits") > 0.0, "{text}");
+    assert!(counter("template_cache.misses") > 0.0, "{text}");
+    // Synthesized phase kernels are near-unique, so the exec cache mostly
+    // misses — its job here is to prove the engine-side tallies flow.
+    assert!(counter("exec_cache.misses") > 0.0, "{text}");
+    assert!(counter("engine.executions") > 0.0, "{text}");
+    assert!(counter("cap_solver.iters") > 0.0, "{text}");
+    assert!(counter("fleet.runs") >= 2.0, "{text}");
+
+    let plain = cli_run(&["fig", "2", "--json", "--scale", "quick"]);
+    let v = Json::parse(&plain).expect("plain envelope parses");
+    assert!(
+        v.get("run").is_none(),
+        "run manifest leaked without --metrics"
+    );
+    assert!(
+        v.get("metrics").is_none(),
+        "metrics leaked without --metrics"
+    );
+}
+
+/// In ASCII mode `--metrics` appends the report after the unchanged
+/// artifact bytes.
+#[test]
+fn cli_metrics_ascii_appends_after_artifact() {
+    let plain = cli_run(&["table", "5", "--scale", "quick"]);
+    let metered = cli_run(&["table", "5", "--metrics", "--scale", "quick"]);
+    assert!(
+        metered.starts_with(&plain),
+        "artifact bytes changed under --metrics"
+    );
+    let block = &metered[plain.len()..];
+    assert!(block.contains("== metrics =="), "{block}");
+    assert!(block.contains("stage.fleet.runs"), "{block}");
+    assert!(block.contains("stage.table3.runs"), "{block}");
+}
+
+/// `pmss stats` runs the staged pipeline and reports metrics only.
+#[test]
+fn stats_subcommand_reports_the_full_pipeline() {
+    let ascii = cli_run(&["stats", "--scale", "quick"]);
+    assert!(ascii.starts_with("== metrics =="), "{ascii}");
+    assert!(ascii.contains("run: stats"), "{ascii}");
+    assert!(ascii.contains("stage.projection.runs"), "{ascii}");
+
+    let text = cli_run(&["stats", "--json", "--scale", "quick"]);
+    let v = Json::parse(&text).expect("stats envelope parses");
+    assert_eq!(
+        v.get("run")
+            .and_then(|r| r.get("command"))
+            .and_then(Json::as_str),
+        Some("stats")
+    );
+    let counters = v.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    for name in [
+        "stage.fleet.runs",
+        "stage.table3.runs",
+        "stage.projection.runs",
+        "fleet.gpu_samples",
+        "engine.executions",
+    ] {
+        let n = counters.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+        assert!(n >= 1.0, "counter {name} missing or zero in {text}");
+    }
+    // The projection stage reuses both memoized stages.
+    assert!(
+        counters
+            .get("stage.fleet.reuses")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+            >= 1.0,
+        "{text}"
+    );
+    let gauges = v.get("metrics").and_then(|m| m.get("gauges")).unwrap();
+    for name in ["fleet.node_hours", "fleet.node_hours_per_s", "fleet.wall_s"] {
+        assert!(
+            gauges.get(name).and_then(Json::as_f64).unwrap_or(-1.0) > 0.0,
+            "gauge {name} missing in {text}"
+        );
+    }
+}
+
+/// The fleet-level tallies agree with what the observers themselves see:
+/// attributed samples can never exceed total samples, and boost bookkeeping
+/// is self-consistent.
+#[test]
+fn metrics_tallies_are_self_consistent() {
+    let mut p = Pipeline::with_metrics(ScenarioSpec::preset(ScalePreset::Quick)).unwrap();
+    p.fleet().expect("fleet stage");
+    let m = p.metrics_report().expect("metrics enabled");
+    let gpu = m.counter("fleet.gpu_samples");
+    let attributed = m.counter("fleet.attributed_samples");
+    assert!(gpu > 0);
+    assert!(attributed <= gpu, "attributed {attributed} > total {gpu}");
+    let tpl_hits = m.counter("template_cache.hits");
+    let tpl_misses = m.counter("template_cache.misses");
+    assert!(m.counter("template_cache.inserts") <= tpl_misses);
+    assert_eq!(
+        m.gauge("template_cache.hit_rate"),
+        Some(tpl_hits as f64 / (tpl_hits + tpl_misses) as f64)
+    );
+    assert_eq!(
+        m.counter("exec_cache.inserts"),
+        m.counter("exec_cache.misses")
+    );
+}
