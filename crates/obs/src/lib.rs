@@ -193,6 +193,12 @@ impl Metrics {
     }
 
     /// Sets gauge `name` to `value` (non-finite values are skipped).
+    ///
+    /// A *set-style* gauge (a ratio like `exec_cache.hit_rate`, a size
+    /// like `template_cache.entries`) does not survive [`Metrics::merge`],
+    /// which sums gauges.  Only set such gauges *after* the final merge —
+    /// derive ratios at report time from merged counters — or record them
+    /// with [`Metrics::gauge_add`] as additive quantities instead.
     pub fn gauge_set(&mut self, name: &'static str, value: f64) {
         if value.is_finite() {
             self.gauges.insert(name, value);
@@ -243,6 +249,14 @@ impl Metrics {
     /// Folds another registry's state into this one: counters and gauges
     /// add, histograms merge bucket-wise.  This is the reduce step of the
     /// fold/merge discipline.
+    ///
+    /// Gauge merging is **additive**, which is correct for accumulated
+    /// quantities (`fleet.wall_s`, `boost.granted_s`) and wrong for
+    /// set-style gauges (ratios, sizes) — merging two reports would
+    /// double a `*.hit_rate`.  The discipline: worker-side partials carry
+    /// only counters, additive gauges, and histograms; set-style gauges
+    /// are written once on the merged registry at report time (see
+    /// [`Metrics::gauge_set`]).
     pub fn merge(&mut self, other: Metrics) {
         for (k, v) in other.counters {
             *self.counters.entry(k).or_insert(0) += v;

@@ -137,11 +137,14 @@ pub fn encode(samples_w: &[f64], cfg: CodecConfig) -> Result<Vec<u8>, PmssError>
 
 /// Decodes a series produced by [`encode`].
 ///
-/// Malformed input (truncated varints, zero-length runs, or a run total
-/// exceeding the declared count) is a [`PmssError::MalformedData`], and a
-/// declared count above [`CodecConfig::max_samples`] is rejected before
-/// anything is allocated — an 11-byte input claiming `u64::MAX` samples
-/// must not attempt a multi-exabyte reservation.
+/// Malformed input (truncated varints, zero-length runs, a run total
+/// exceeding the declared count, or a delta stream whose accumulated
+/// value overflows `i64` or leaves the encoder's ±2^53 range) is a
+/// [`PmssError::MalformedData`], and a declared count above
+/// [`CodecConfig::max_samples`] is rejected before anything is
+/// allocated — an 11-byte input claiming `u64::MAX` samples must not
+/// attempt a multi-exabyte reservation.  All checks use overflow-safe
+/// arithmetic: no byte string panics the decoder, in debug or release.
 pub fn decode(data: &[u8], cfg: CodecConfig) -> Result<Vec<f64>, PmssError> {
     let malformed = |detail: String| PmssError::malformed("power-codec", detail);
     let mut pos = 0usize;
@@ -170,12 +173,25 @@ pub fn decode(data: &[u8], cfg: CodecConfig) -> Result<Vec<f64>, PmssError> {
         );
         let run = read_varint(data, &mut pos)
             .ok_or_else(|| malformed("truncated run length".into()))? as usize;
-        if run == 0 || out.len() + run > count {
+        // `run` is attacker-controlled, so compare against the remaining
+        // headroom rather than computing `out.len() + run`, which wraps on
+        // a u64::MAX run (`out.len() < count` is the loop invariant, so the
+        // subtraction cannot underflow).
+        if run == 0 || run > count - out.len() {
             return Err(malformed(
                 "run length inconsistent with sample count".into(),
             ));
         }
-        prev += delta;
+        prev = prev
+            .checked_add(delta)
+            .ok_or_else(|| malformed("delta accumulator overflow".into()))?;
+        // Mirror the encoder's ±2^53 bound: valid streams never leave it,
+        // and past it `i64`→`f64` reconstruction stops being exact.
+        if prev.unsigned_abs() > MAX_QUANTIZED as u64 {
+            return Err(malformed(format!(
+                "accumulated value {prev} exceeds ±2^53 quanta"
+            )));
+        }
         let value = prev as f64 * cfg.quantum_w;
         out.extend(std::iter::repeat_n(value, run));
     }
@@ -292,6 +308,49 @@ mod tests {
         push_varint(&mut sparse, (1u64 << 24) - 1);
         let err = decode(&sparse, cfg).unwrap_err();
         assert!(err.to_string().contains("truncated delta"), "{err}");
+    }
+
+    #[test]
+    fn run_length_overflow_is_rejected_not_wrapped() {
+        // With out.len() >= 1, a u64::MAX run made the old additive bound
+        // check (`out.len() + run > count`) wrap to 0 in release builds,
+        // pass, and then panic on a usize::MAX `repeat_n` reservation.
+        let cfg = CodecConfig::default();
+        let mut evil = Vec::new();
+        push_varint(&mut evil, 2); // count
+        push_varint(&mut evil, zigzag(89)); // first value
+        push_varint(&mut evil, 1); // run of 1 -> out.len() == 1
+        push_varint(&mut evil, zigzag(0));
+        push_varint(&mut evil, u64::MAX); // wrapping run
+        let err = decode(&evil, cfg).unwrap_err();
+        assert!(err.to_string().contains("run length"), "{err}");
+    }
+
+    #[test]
+    fn delta_accumulator_overflow_is_rejected_not_wrapped() {
+        // zigzag(i64::MIN) == u64::MAX; two such deltas overflowed the old
+        // unchecked `prev += delta` (debug panic, release silent wrap).
+        // The ±2^53 magnitude bound now rejects the very first one.
+        let cfg = CodecConfig::default();
+        let mut evil = Vec::new();
+        push_varint(&mut evil, 2); // count
+        push_varint(&mut evil, u64::MAX); // delta i64::MIN
+        push_varint(&mut evil, 1);
+        push_varint(&mut evil, u64::MAX); // delta i64::MIN again
+        push_varint(&mut evil, 1);
+        let err = decode(&evil, cfg).unwrap_err();
+        assert!(err.to_string().contains("2^53"), "{err}");
+
+        // Staying within i64 but leaving ±2^53 is rejected the same way,
+        // mirroring the encoder's MAX_QUANTIZED bound.
+        let mut drift = Vec::new();
+        push_varint(&mut drift, 2);
+        push_varint(&mut drift, zigzag((1i64 << 53) + 1));
+        push_varint(&mut drift, 1);
+        push_varint(&mut drift, zigzag(0));
+        push_varint(&mut drift, 1);
+        let err = decode(&drift, cfg).unwrap_err();
+        assert!(err.to_string().contains("2^53"), "{err}");
     }
 
     #[test]

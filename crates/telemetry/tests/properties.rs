@@ -5,6 +5,39 @@ use pmss_telemetry::sampler::{aggregate, trace_energy_j};
 use pmss_telemetry::PowerHistogram;
 use proptest::prelude::*;
 
+/// Varint encoding matching the codec's wire format, for composing
+/// adversarial streams byte-for-byte.
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Varint values weighted toward the extremes that uniform random bytes
+/// essentially never produce: 9-10 byte maximal encodings (`u64::MAX`
+/// counts and runs, `zigzag(i64::MIN)` deltas) that probe for wrapping
+/// arithmetic in the decoder's bound checks and delta accumulator.
+fn extreme_varint() -> impl Strategy<Value = u64> {
+    (0usize..10, 0u64..=u64::MAX).prop_map(|(which, raw)| match which {
+        0 => 0,
+        1 => 1,
+        2 => u64::MAX,
+        3 => u64::MAX - 1,
+        4 => 1u64 << 63,
+        5 => i64::MAX as u64,
+        6 => (1u64 << 53) + 1,
+        7 => (1u64 << 54) + 1, // zigzag(2^53 + 1): just past the bound
+        8 => raw % 4096,
+        _ => raw,
+    })
+}
+
 fn arb_trace() -> impl Strategy<Value = Vec<PowerSample>> {
     prop::collection::vec(80.0..600.0f64, 1..300).prop_map(|values| {
         values
@@ -146,6 +179,33 @@ proptest! {
     #[test]
     fn codec_decode_survives_arbitrary_bytes(data in prop::collection::vec(0..=255u8, 0..64)) {
         use pmss_telemetry::compress::{decode, CodecConfig};
+        let cfg = CodecConfig { max_samples: 4096, ..Default::default() };
+        match decode(&data, cfg) {
+            Ok(series) => prop_assert!(series.len() <= cfg.max_samples),
+            Err(e) => prop_assert!(e.to_string().contains("power-codec"), "{}", e),
+        }
+    }
+
+    /// Structured adversarial streams — a varint count followed by
+    /// (delta, run) varint pairs, all drawn from extreme values — never
+    /// panic the decoder or make it allocate past the sample bound.
+    /// Uniform random bytes (above) almost never produce the 9-10 byte
+    /// maximal varints needed to exercise overflow in the run-bound check
+    /// and delta accumulator; this strategy hits them constantly.
+    #[test]
+    fn codec_decode_survives_adversarial_varint_streams(
+        count in extreme_varint(),
+        pairs in prop::collection::vec((extreme_varint(), extreme_varint()), 0..8),
+        trailing in prop::collection::vec(0..=255u8, 0..4),
+    ) {
+        use pmss_telemetry::compress::{decode, CodecConfig};
+        let mut data = Vec::new();
+        push_varint(&mut data, count);
+        for (delta, run) in pairs {
+            push_varint(&mut data, delta);
+            push_varint(&mut data, run);
+        }
+        data.extend(trailing);
         let cfg = CodecConfig { max_samples: 4096, ..Default::default() };
         match decode(&data, cfg) {
             Ok(series) => prop_assert!(series.len() <= cfg.max_samples),
