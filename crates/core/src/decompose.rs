@@ -7,9 +7,67 @@
 //! region), and the Fig. 10 heatmaps (energy per domain x size).
 
 use pmss_sched::JobSizeClass;
-use pmss_telemetry::{FleetObserver, SampleCtx};
+use pmss_telemetry::{FleetObserver, GapFill, SampleCtx};
 
 use crate::modes::Region;
+
+/// Per-mode accounting of how the ledger's wall-clock time was observed —
+/// the coverage bookkeeping that keeps degraded telemetry honest.  Every
+/// window either arrives as a real sample (`observed_s`), is reconstructed
+/// under a gap policy (`interpolated_s` / `attributed_idle_s`), is excluded
+/// (`excluded_s`), or is discarded as unusable (`discarded_s`, non-finite
+/// sensor readings).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Coverage {
+    /// Seconds covered by real, finite samples.
+    pub observed_s: f64,
+    /// Seconds reconstructed by interpolation (`interpolate` gap policy).
+    pub interpolated_s: f64,
+    /// Seconds billed as unattributed idle (`attribute-idle` gap policy).
+    pub attributed_idle_s: f64,
+    /// Seconds excluded from the decomposition (`exclude` gap policy).
+    pub excluded_s: f64,
+    /// Seconds discarded because the sample was non-finite (NaN glitches).
+    pub discarded_s: f64,
+}
+
+impl Coverage {
+    /// Total accounted seconds across all modes.
+    pub fn total_s(&self) -> f64 {
+        self.observed_s
+            + self.interpolated_s
+            + self.attributed_idle_s
+            + self.excluded_s
+            + self.discarded_s
+    }
+
+    /// Fraction of accounted time backed by real samples, in `[0, 1]`
+    /// (1 when nothing was accounted — a clean, fault-free stream).
+    pub fn fraction(&self) -> f64 {
+        let total = self.total_s();
+        if total == 0.0 {
+            1.0
+        } else {
+            self.observed_s / total
+        }
+    }
+
+    fn merge(&mut self, other: &Coverage) {
+        self.observed_s += other.observed_s;
+        self.interpolated_s += other.interpolated_s;
+        self.attributed_idle_s += other.attributed_idle_s;
+        self.excluded_s += other.excluded_s;
+        self.discarded_s += other.discarded_s;
+    }
+
+    fn scale(&mut self, factor: f64) {
+        self.observed_s *= factor;
+        self.interpolated_s *= factor;
+        self.attributed_idle_s *= factor;
+        self.excluded_s *= factor;
+        self.discarded_s *= factor;
+    }
+}
 
 /// GPU time and energy accumulated in one bucket.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -49,6 +107,8 @@ pub struct EnergyLedger {
     domains: Vec<[[Cell; N_REGIONS]; N_SIZES]>,
     /// Samples outside any job (idle nodes), by region.
     unattributed: [Cell; N_REGIONS],
+    /// Per-mode accounting of observed vs reconstructed vs lost time.
+    coverage: Coverage,
     window_s: f64,
 }
 
@@ -59,8 +119,14 @@ impl EnergyLedger {
         EnergyLedger {
             domains: Vec::new(),
             unattributed: Default::default(),
+            coverage: Coverage::default(),
             window_s,
         }
+    }
+
+    /// Per-mode coverage accounting of the decomposed telemetry.
+    pub fn coverage(&self) -> Coverage {
+        self.coverage
     }
 
     fn window(&self) -> f64 {
@@ -177,25 +243,52 @@ impl EnergyLedger {
             c.seconds *= factor;
             c.joules *= factor;
         }
+        out.coverage.scale(factor);
         out
+    }
+
+    fn record(&mut self, job: Option<&pmss_sched::Job>, power_w: f64, span_s: f64) {
+        let region = Region::of_power(power_w).index();
+        let joules = power_w * span_s;
+        match job {
+            Some(job) => {
+                self.ensure(job.domain);
+                self.domains[job.domain][job.size_class.index()][region].add(span_s, joules);
+            }
+            None => self.unattributed[region].add(span_s, joules),
+        }
     }
 }
 
 impl FleetObserver for EnergyLedger {
     fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
-        let region = Region::of_power(power_w).index();
         let w = self.window();
-        let joules = power_w * w;
-        match ctx.job {
-            Some(job) => {
-                self.ensure(job.domain);
-                self.domains[job.domain][job.size_class.index()][region].add(w, joules);
+        // A non-finite reading cannot be classified into a region without
+        // corrupting a cell forever; discard it but account the lost time.
+        if !power_w.is_finite() {
+            self.coverage.discarded_s += w;
+            return;
+        }
+        self.coverage.observed_s += w;
+        self.record(ctx.job, power_w, w);
+    }
+
+    fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, _t_s: f64, span_s: f64, fill: GapFill) {
+        match fill {
+            GapFill::Excluded => self.coverage.excluded_s += span_s,
+            GapFill::Interpolated(w) => {
+                self.coverage.interpolated_s += span_s;
+                self.record(ctx.job, w, span_s);
             }
-            None => self.unattributed[region].add(w, joules),
+            GapFill::Idle(w) => {
+                self.coverage.attributed_idle_s += span_s;
+                self.record(None, w, span_s);
+            }
         }
     }
 
     fn merge(&mut self, other: Self) {
+        self.coverage.merge(&other.coverage);
         self.ensure(other.domains.len().saturating_sub(1));
         for (i, d) in other.domains.iter().enumerate() {
             self.ensure(i);
@@ -295,6 +388,53 @@ mod tests {
         let s = l.scaled(10.0);
         assert_eq!(s.total().joules, 10.0 * l.total().joules);
         assert_eq!(s.total().seconds, 10.0 * l.total().seconds);
+    }
+
+    #[test]
+    fn non_finite_samples_are_discarded_not_misclassified() {
+        // A NaN sample used to fall through `Region::of_power`'s `<` chain
+        // into the Boosted bucket and poison its joules forever; it must be
+        // discarded with the lost time accounted instead.
+        let mut l = EnergyLedger::new(15.0);
+        let j = fake_job(0, JobSizeClass::A);
+        l.gpu_sample(&ctx(Some(&j)), 0.0, f64::NAN);
+        l.gpu_sample(&ctx(Some(&j)), 15.0, 300.0);
+        assert_eq!(l.total().seconds, 15.0);
+        assert!(l.total().joules.is_finite());
+        assert_eq!(l.coverage().discarded_s, 15.0);
+        assert_eq!(l.coverage().observed_s, 15.0);
+        assert_eq!(l.coverage().fraction(), 0.5);
+    }
+
+    #[test]
+    fn gaps_are_accounted_per_mode() {
+        use pmss_telemetry::GapFill;
+        let mut l = EnergyLedger::new(15.0);
+        let j = fake_job(1, JobSizeClass::B);
+        l.gpu_sample(&ctx(Some(&j)), 0.0, 300.0);
+        l.gpu_gap(&ctx(Some(&j)), 15.0, 15.0, GapFill::Excluded);
+        l.gpu_gap(&ctx(Some(&j)), 30.0, 15.0, GapFill::Interpolated(300.0));
+        l.gpu_gap(&ctx(None), 45.0, 15.0, GapFill::Idle(90.0));
+        let cov = l.coverage();
+        assert_eq!(cov.observed_s, 15.0);
+        assert_eq!(cov.excluded_s, 15.0);
+        assert_eq!(cov.interpolated_s, 15.0);
+        assert_eq!(cov.attributed_idle_s, 15.0);
+        assert_eq!(cov.fraction(), 0.25);
+        // The interpolated fill lands in the job's cell; the idle fill in
+        // the unattributed bucket; the excluded gap nowhere.
+        assert_eq!(
+            l.cell(1, JobSizeClass::B, Region::MemoryIntensive).seconds,
+            30.0
+        );
+        assert_eq!(l.total().seconds, 45.0);
+
+        // Coverage merges and scales with the ledger.
+        let mut other = EnergyLedger::new(15.0);
+        other.gpu_sample(&ctx(None), 0.0, 90.0);
+        l.merge(other);
+        assert_eq!(l.coverage().observed_s, 30.0);
+        assert_eq!(l.scaled(2.0).coverage().excluded_s, 30.0);
     }
 
     #[test]

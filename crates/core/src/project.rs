@@ -92,6 +92,49 @@ pub struct ProjectionRow {
     pub savings_dt0_pct: f64,
 }
 
+/// Coverage-adjusted bounds on a projected savings figure.
+///
+/// When a fraction of the telemetry was lost or reconstructed, the
+/// projection is only grounded on the observed time.  The honest statement
+/// is an interval: the low bound assumes missing time saves nothing (only
+/// the observed fraction of the projection materializes); the high bound
+/// assumes missing time behaves like observed time (the nominal figure).
+/// For negative nominal savings the roles swap so `lo <= hi` always holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SavingsBounds {
+    /// Fraction of time backed by real samples, in `[0, 1]`.
+    pub coverage: f64,
+    /// Pessimistic savings, percent of total fleet GPU energy.
+    pub lo_pct: f64,
+    /// Optimistic savings, percent of total fleet GPU energy.
+    pub hi_pct: f64,
+}
+
+impl SavingsBounds {
+    fn of(nominal_pct: f64, coverage: f64) -> SavingsBounds {
+        let coverage = coverage.clamp(0.0, 1.0);
+        let scaled = nominal_pct * coverage;
+        SavingsBounds {
+            coverage,
+            lo_pct: scaled.min(nominal_pct),
+            hi_pct: scaled.max(nominal_pct),
+        }
+    }
+}
+
+impl ProjectionRow {
+    /// Coverage-adjusted bounds on this row's total savings percentage.
+    pub fn coverage_bounds(&self, coverage: f64) -> SavingsBounds {
+        SavingsBounds::of(self.savings_pct, coverage)
+    }
+
+    /// Coverage-adjusted bounds on this row's no-slowdown (`ΔT = 0`)
+    /// savings percentage.
+    pub fn coverage_bounds_dt0(&self, coverage: f64) -> SavingsBounds {
+        SavingsBounds::of(self.savings_dt0_pct, coverage)
+    }
+}
+
 fn mwh(joules: f64) -> f64 {
     joules / pmss_gpu::consts::JOULES_PER_MWH
 }
@@ -298,6 +341,28 @@ mod tests {
             .map(|r| r.ts_mwh)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(best_freq > best_power, "{best_freq} vs {best_power}");
+    }
+
+    #[test]
+    fn coverage_bounds_bracket_the_nominal_savings() {
+        let p = projection();
+        let r = p.freq_row(900.0).unwrap();
+        // Full coverage: the interval collapses onto the nominal figure.
+        let full = r.coverage_bounds(1.0);
+        assert_eq!(full.lo_pct, r.savings_pct);
+        assert_eq!(full.hi_pct, r.savings_pct);
+        // Partial coverage: missing time saves nothing in the low bound.
+        let part = r.coverage_bounds(0.8);
+        assert_eq!(part.lo_pct, 0.8 * r.savings_pct);
+        assert_eq!(part.hi_pct, r.savings_pct);
+        assert!(part.lo_pct <= part.hi_pct);
+        // Negative savings (700 MHz C.I. regression) keep lo <= hi.
+        let neg = SavingsBounds::of(-3.0, 0.5);
+        assert_eq!(neg.lo_pct, -3.0);
+        assert_eq!(neg.hi_pct, -1.5);
+        // Out-of-range coverage clamps instead of extrapolating.
+        assert_eq!(r.coverage_bounds(1.7).coverage, 1.0);
+        assert_eq!(r.coverage_bounds_dt0(0.9).hi_pct, r.savings_dt0_pct);
     }
 
     #[test]

@@ -10,8 +10,9 @@ use pmss_core::heatmap::{energy_saved, energy_used, Heatmap};
 use pmss_core::project::{project, Projection, ProjectionInput};
 use pmss_core::sensitivity::{boundary_sweep, input_from_histogram, Boundaries};
 use pmss_core::whatif::{best_uniform, optimize_per_domain};
-use pmss_core::Region;
+use pmss_core::{Coverage, EnergyLedger, Region, SavingsBounds};
 use pmss_error::PmssError;
+use pmss_faults::{FaultPlan, GapPolicy, PRESETS};
 use pmss_gpu::{DvfsLadder, GovernedTotals, Governor, GpuSettings};
 use pmss_graph::case_study::{networks, CaseStudy};
 use pmss_obs::{edges, Stopwatch};
@@ -31,7 +32,7 @@ use rayon::prelude::*;
 use crate::json::Json;
 use crate::render;
 use crate::spec::ScenarioSpec;
-use crate::stage::{metered_sim, Pipeline};
+use crate::stage::{metered_sim, metered_sim_stats, Pipeline};
 
 /// Identifies one reproducible paper artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,11 +79,13 @@ pub enum ArtifactId {
     PeakPower,
     /// Ablation: region-boundary sensitivity.
     Sensitivity,
+    /// Ablation: fault-injection sensitivity of the decomposition.
+    Faults,
 }
 
 impl ArtifactId {
     /// Every artifact, in paper order.
-    pub fn all() -> [ArtifactId; 21] {
+    pub fn all() -> [ArtifactId; 22] {
         use ArtifactId::*;
         [
             Fig2,
@@ -106,6 +109,7 @@ impl ArtifactId {
             Governor,
             PeakPower,
             Sensitivity,
+            Faults,
         ]
     }
 
@@ -134,6 +138,7 @@ impl ArtifactId {
             Governor => "governor",
             PeakPower => "peakpower",
             Sensitivity => "sensitivity",
+            Faults => "faults",
         }
     }
 
@@ -162,6 +167,7 @@ impl ArtifactId {
             Governor => "per-phase DVFS governors vs static caps",
             PeakPower => "facility peak-demand shaving",
             Sensitivity => "region-boundary sensitivity ablation",
+            Faults => "telemetry fault-injection sensitivity sweep",
         }
     }
 
@@ -174,7 +180,7 @@ impl ArtifactId {
                 PmssError::invalid_value(
                     "artifact",
                     name,
-                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity",
+                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults",
                 )
             })
     }
@@ -673,6 +679,39 @@ pub struct SensitivityArtifact {
     pub variants: Vec<SensitivityVariant>,
 }
 
+/// One severity x gap-policy row of the fault-sensitivity sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultsRow {
+    /// Severity preset name (`none`, `mild`, …).
+    pub preset: &'static str,
+    /// Gap policy the decomposition ran under.
+    pub policy: GapPolicy,
+    /// GPU samples lost to drops and node dropouts.
+    pub dropped: u64,
+    /// GPU samples delivered twice.
+    pub duplicated: u64,
+    /// GPU samples glitched to NaN or spiked.
+    pub glitched: u64,
+    /// Samples delivered behind a later window.
+    pub reordered: u64,
+    /// Whole-node windows silenced by dropout intervals.
+    pub dropout_windows: u64,
+    /// Per-mode GPU-seconds accounting of the decomposition.
+    pub coverage: Coverage,
+    /// Coverage-adjusted bounds on the best no-slowdown savings.
+    pub bounds: SavingsBounds,
+}
+
+/// Fault-sensitivity artifact: the decomposition and its headline savings
+/// re-derived under every severity preset and gap policy.
+#[derive(Debug, Clone)]
+pub struct FaultsArtifact {
+    /// Best no-slowdown savings of the clean run, percent.
+    pub nominal_free_pct: f64,
+    /// One row per severity preset x gap policy.
+    pub rows: Vec<FaultsRow>,
+}
+
 /// One computed artifact value.
 #[derive(Debug, Clone)]
 pub enum Artifact {
@@ -718,6 +757,8 @@ pub enum Artifact {
     PeakPower(PeakPower),
     /// Sensitivity ablation.
     Sensitivity(SensitivityArtifact),
+    /// Fault-injection sensitivity sweep.
+    Faults(FaultsArtifact),
 }
 
 impl Artifact {
@@ -745,6 +786,7 @@ impl Artifact {
             Artifact::Governor(_) => ArtifactId::Governor,
             Artifact::PeakPower(_) => ArtifactId::PeakPower,
             Artifact::Sensitivity(_) => ArtifactId::Sensitivity,
+            Artifact::Faults(_) => ArtifactId::Faults,
         }
     }
 
@@ -817,6 +859,7 @@ impl Pipeline {
             ArtifactId::Governor => Artifact::Governor(governor(self)),
             ArtifactId::PeakPower => Artifact::PeakPower(peakpower(self)),
             ArtifactId::Sensitivity => Artifact::Sensitivity(sensitivity(self)?),
+            ArtifactId::Faults => Artifact::Faults(faults(self)?),
         };
         if let Some(m) = self.metrics.as_mut() {
             m.inc("artifacts.computed");
@@ -859,6 +902,7 @@ fn fig2(p: &mut Pipeline) -> Result<Fig2, PmssError> {
     // schedule is read from the memoized stage while the shared cache and
     // the metrics registry are passed alongside.
     p.ensure_fleet()?;
+    let cfg = p.fleet_config();
     let Pipeline {
         fleet,
         cache,
@@ -866,12 +910,7 @@ fn fig2(p: &mut Pipeline) -> Result<Fig2, PmssError> {
         ..
     } = p;
     let fleet = fleet.as_ref().expect("fleet stage ran");
-    let split: GpuCpuEnergy = metered_sim(
-        &fleet.schedule,
-        &FleetConfig::default(),
-        cache,
-        metrics.as_mut(),
-    );
+    let split: GpuCpuEnergy = metered_sim(&fleet.schedule, &cfg, cache, metrics.as_mut());
     Ok(Fig2 {
         windows: c.telemetry.len(),
         mean_power_w: c.mean_power_w,
@@ -1392,13 +1431,14 @@ fn peakpower(p: &mut Pipeline) -> PeakPower {
     let node_factor = 9408.0 / params.nodes as f64;
     let mut rows = Vec::new();
     let mut base_peak = 0.0;
+    let base_cfg = p.fleet_config();
     let Pipeline { cache, metrics, .. } = p;
     for mhz in [1700.0, 1500.0, 1300.0, 1100.0, 900.0] {
         let fp: FleetPowerSeries = metered_sim(
             &schedule,
             &FleetConfig {
                 settings: GpuSettings::freq_capped(mhz),
-                ..Default::default()
+                ..base_cfg.clone()
             },
             cache,
             metrics.as_mut(),
@@ -1465,5 +1505,70 @@ fn sensitivity(p: &mut Pipeline) -> Result<SensitivityArtifact, PmssError> {
         points: report.points.len(),
         spread_pp: report.free_savings_spread(),
         variants,
+    })
+}
+
+fn faults(p: &mut Pipeline) -> Result<FaultsArtifact, PmssError> {
+    p.ensure_fleet()?;
+    p.ensure_table3()?;
+    let base_cfg = p.fleet_config();
+    let Pipeline {
+        fleet,
+        table3,
+        cache,
+        metrics,
+        ..
+    } = p;
+    let fleet = fleet.as_ref().expect("fleet stage ran");
+    let t3 = table3.as_ref().expect("benchmark stage ran");
+
+    let mut rows = Vec::new();
+    for preset in PRESETS {
+        let base = FaultPlan::preset(preset)?;
+        // The clean baseline needs no gap policy; every faulted severity is
+        // re-decomposed under all three so their biases can be compared.
+        let policies: Vec<GapPolicy> = if base.is_noop() {
+            vec![base.gap_policy]
+        } else {
+            GapPolicy::all().to_vec()
+        };
+        for policy in policies {
+            let plan = FaultPlan {
+                gap_policy: policy,
+                ..base.clone()
+            };
+            let cfg = FleetConfig {
+                faults: Some(plan),
+                ..base_cfg.clone()
+            };
+            let (ledger, stats): (EnergyLedger, _) =
+                metered_sim_stats(&fleet.schedule, &cfg, cache, metrics.as_mut());
+            let coverage = ledger.coverage();
+            let proj = project(
+                ProjectionInput::from_ledger(&ledger.scaled(fleet.frontier_factor)),
+                t3,
+            )?;
+            rows.push(FaultsRow {
+                preset,
+                policy,
+                dropped: stats.faults_dropped,
+                duplicated: stats.faults_duplicated,
+                glitched: stats.faults_glitched,
+                reordered: stats.faults_reordered,
+                dropout_windows: stats.faults_dropout_windows,
+                coverage,
+                bounds: proj.best_free().coverage_bounds_dt0(coverage.fraction()),
+            });
+        }
+    }
+    // The `none` preset row is bit-identical to a clean run, so its (fully
+    // covered) bound is the nominal headline every other row degrades from.
+    let nominal_free_pct = rows
+        .first()
+        .map(|r| r.bounds.hi_pct)
+        .expect("PRESETS is non-empty");
+    Ok(FaultsArtifact {
+        nominal_free_pct,
+        rows,
     })
 }

@@ -10,6 +10,7 @@ use std::time::Instant;
 
 use pmss_core::EnergyLedger;
 use pmss_error::PmssError;
+use pmss_faults::{FaultPlan, PRESETS};
 use pmss_gpu::GpuSettings;
 use pmss_obs::Stopwatch;
 use pmss_sched::{catalog, generate, TraceParams};
@@ -18,7 +19,8 @@ use pmss_telemetry::{simulate_fleet, simulate_fleet_with_cache, FleetCache, Flee
 use crate::artifact::ArtifactId;
 use crate::json::Json;
 use crate::metrics::{manifest, manifest_to_json, metrics_env_enabled, metrics_to_json};
-use crate::spec::{ScalePreset, ScenarioSpec, SCALE_ENV};
+use crate::render::{bounds_json, coverage_json};
+use crate::spec::{fault_plan_from_json, fault_plan_to_json, ScalePreset, ScenarioSpec, SCALE_ENV};
 use crate::stage::Pipeline;
 
 /// Runs the CLI for `args` (argv without the program name) and returns
@@ -30,6 +32,7 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     let mut metrics_flag = false;
     let mut scale: Option<String> = None;
     let mut spec_path: Option<String> = None;
+    let mut faults_arg: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -39,6 +42,7 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
             "--metrics" => metrics_flag = true,
             "--scale" => scale = Some(flag_value(&mut it, "--scale")?),
             "--spec" => spec_path = Some(flag_value(&mut it, "--spec")?),
+            "--faults" => faults_arg = Some(flag_value(&mut it, "--faults")?),
             "-h" | "--help" | "help" => return Ok(help_text()),
             other if other.starts_with('-') => {
                 return Err(PmssError::Usage(format!(
@@ -57,7 +61,10 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
         _ => {}
     }
 
-    let spec = resolve_spec(scale.as_deref(), spec_path.as_deref())?;
+    let mut spec = resolve_spec(scale.as_deref(), spec_path.as_deref())?;
+    if let Some(value) = faults_arg.as_deref() {
+        spec.faults = Some(resolve_fault_plan(value)?);
+    }
     if positional[0] == "spec" {
         return Ok(if json {
             spec.to_json().to_string_pretty()
@@ -87,6 +94,11 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     };
     let sw = Stopwatch::start();
     let artifact = pipeline.artifact(id)?;
+    let faults_section = if json {
+        faults_envelope(&mut pipeline)?
+    } else {
+        None
+    };
     let report = metrics_flag.then(|| {
         let man = manifest(&positional.join(" "), pipeline.spec(), sw.elapsed_s());
         let m = pipeline.metrics_report().expect("metrics enabled");
@@ -97,6 +109,9 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
             .field("artifact", id.name())
             .field("spec", pipeline.spec().to_json())
             .field("data", artifact.to_json());
+        if let Some(f) = faults_section {
+            envelope = envelope.field("faults", f);
+        }
         if let Some((man, m)) = &report {
             envelope = envelope
                 .field("run", manifest_to_json(man))
@@ -131,6 +146,44 @@ fn stats(spec: ScenarioSpec, json: bool) -> Result<String, PmssError> {
     } else {
         crate::metrics::render_ascii(&man, &m)
     })
+}
+
+/// Resolves a `--faults` value: a severity preset name, or the path of a
+/// JSON file holding a full [`FaultPlan`].
+fn resolve_fault_plan(value: &str) -> Result<FaultPlan, PmssError> {
+    if PRESETS.contains(&value) {
+        return FaultPlan::preset(value);
+    }
+    let text = std::fs::read_to_string(value).map_err(|_| {
+        PmssError::invalid_value(
+            "--faults",
+            value,
+            "none | mild | frontier-typical | harsh | a readable FaultPlan JSON file",
+        )
+    })?;
+    fault_plan_from_json(&Json::parse(&text)?)
+}
+
+/// The JSON envelope's `faults` section: the active plan, the per-mode
+/// coverage of the decomposition, and coverage-adjusted savings bounds.
+/// `None` for clean runs or when the artifact never ran the fleet stage.
+fn faults_envelope(p: &mut Pipeline) -> Result<Option<Json>, PmssError> {
+    let Some(plan) = p.spec().active_faults().cloned() else {
+        return Ok(None);
+    };
+    let Some(cov) = p.fleet.as_ref().map(|f| f.ledger.coverage()) else {
+        return Ok(None);
+    };
+    let bounds = p
+        .projection()?
+        .best_free()
+        .coverage_bounds_dt0(cov.fraction());
+    Ok(Some(
+        Json::obj()
+            .field("plan", fault_plan_to_json(&plan))
+            .field("coverage", coverage_json(&cov))
+            .field("best_free_bounds", bounds_json(&bounds)),
+    ))
 }
 
 fn flag_value<'a>(
@@ -178,7 +231,7 @@ fn render_spec(spec: &ScenarioSpec) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    format!(
+    let mut out = format!(
         "scenario: {}\n  nodes: {}, days: {}, seed: {}, min job: {} s\n  \
          freq caps (MHz): {}\n  power caps (W):  {}\n  \
          boundaries (W):  latency/MI {:.0}, MI/CI {:.0}, CI/boost {:.0}\n",
@@ -192,7 +245,22 @@ fn render_spec(spec: &ScenarioSpec) -> String {
         spec.boundaries.latency_mi_w,
         spec.boundaries.mi_ci_w,
         spec.boundaries.ci_boost_w,
-    )
+    );
+    if let Some(p) = spec.active_faults() {
+        out.push_str(&format!(
+            "  faults: seed {}, drop {:.4}, dup {:.4}, glitch {:.4}, \
+             dropout {:.4}, reorder {}, skew {:.1} s, policy {}\n",
+            p.seed,
+            p.drop_prob,
+            p.dup_prob,
+            p.nan_prob + p.spike_prob,
+            p.dropout_prob,
+            p.reorder_depth,
+            p.clock_skew_max_s,
+            p.gap_policy.name(),
+        ));
+    }
+    out
 }
 
 fn help_text() -> String {
@@ -202,7 +270,7 @@ fn help_text() -> String {
          USAGE:\n\
          \x20   pmss fig <2..10> [OPTIONS]       a paper figure\n\
          \x20   pmss table <1..7> [OPTIONS]      a paper table\n\
-         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity\n\
+         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity | faults\n\
          \x20   pmss list                        list every artifact\n\
          \x20   pmss spec [OPTIONS]              print the resolved scenario\n\
          \x20   pmss stats [OPTIONS]             run the full pipeline, report metrics only\n\
@@ -215,6 +283,9 @@ fn help_text() -> String {
          \x20   --scale <NAME>   scenario preset: quick | medium | large\n\
          \x20                    (default: quick, or the {SCALE_ENV} environment variable)\n\
          \x20   --spec <FILE>    load a full ScenarioSpec from a JSON file\n\
+         \x20   --faults <PLAN>  inject seeded telemetry faults into every fleet run:\n\
+         \x20                    none | mild | frontier-typical | harsh, or a FaultPlan\n\
+         \x20                    JSON file (`none` is bit-identical to omitting the flag)\n\
          \x20   -h, --help       this help\n"
     )
 }

@@ -70,6 +70,7 @@ pub(crate) fn ascii(a: &Artifact) -> String {
         Artifact::Governor(v) => ascii_governor(v),
         Artifact::PeakPower(v) => ascii_peakpower(v),
         Artifact::Sensitivity(v) => ascii_sensitivity(v),
+        Artifact::Faults(v) => ascii_faults(v),
     }
 }
 
@@ -97,6 +98,7 @@ pub(crate) fn json(a: &Artifact) -> Json {
         Artifact::Governor(v) => json_governor(v),
         Artifact::PeakPower(v) => json_peakpower(v),
         Artifact::Sensitivity(v) => json_sensitivity(v),
+        Artifact::Faults(v) => json_faults(v),
     }
 }
 
@@ -743,6 +745,54 @@ fn ascii_sensitivity(a: &SensitivityArtifact) -> String {
     out
 }
 
+fn ascii_faults(a: &FaultsArtifact) -> String {
+    let mut out = String::new();
+    wl!(
+        out,
+        "fault-injection sensitivity (seeded telemetry faults, decomposition re-derived):"
+    );
+    wl!(
+        out,
+        "  nominal no-slowdown headline: {:.2}% of total GPU energy",
+        a.nominal_free_pct
+    );
+    wl!(out);
+    wl!(
+        out,
+        "  {:<16} {:<15} {:>9} {:>8} {:>7} {:>7} {:>8} {:>8}  best-free bounds",
+        "severity",
+        "gap policy",
+        "coverage",
+        "dropped",
+        "dup",
+        "glitch",
+        "reorder",
+        "dropout"
+    );
+    for r in &a.rows {
+        wl!(
+            out,
+            "  {:<16} {:<15} {:>8.2}% {:>8} {:>7} {:>7} {:>8} {:>8}  [{:.2}%, {:.2}%]",
+            r.preset,
+            r.policy.name(),
+            100.0 * r.coverage.fraction(),
+            r.dropped,
+            r.duplicated,
+            r.glitched,
+            r.reordered,
+            r.dropout_windows,
+            r.bounds.lo_pct,
+            r.bounds.hi_pct
+        );
+    }
+    wl!(out);
+    wl!(
+        out,
+        "lo assumes uncovered time saves nothing; hi assumes it mirrors covered time."
+    );
+    out
+}
+
 // ---------------------------------------------------------------------------
 // JSON renderers
 // ---------------------------------------------------------------------------
@@ -1310,6 +1360,50 @@ fn json_sensitivity(a: &SensitivityArtifact) -> Json {
                             .field("mi_ci_w", v.mi_ci_w)
                             .field("best_free_pct", v.best_free_pct)
                             .field("best_total_pct", v.best_total_pct)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Per-mode coverage accounting as JSON (shared with the CLI envelope).
+pub(crate) fn coverage_json(c: &pmss_core::Coverage) -> Json {
+    Json::obj()
+        .field("observed_s", c.observed_s)
+        .field("interpolated_s", c.interpolated_s)
+        .field("attributed_idle_s", c.attributed_idle_s)
+        .field("excluded_s", c.excluded_s)
+        .field("discarded_s", c.discarded_s)
+        .field("fraction", c.fraction())
+}
+
+/// Coverage-adjusted savings bounds as JSON (shared with the CLI envelope).
+pub(crate) fn bounds_json(b: &pmss_core::SavingsBounds) -> Json {
+    Json::obj()
+        .field("coverage", b.coverage)
+        .field("lo_pct", b.lo_pct)
+        .field("hi_pct", b.hi_pct)
+}
+
+fn json_faults(a: &FaultsArtifact) -> Json {
+    Json::obj()
+        .field("nominal_free_pct", a.nominal_free_pct)
+        .field(
+            "rows",
+            Json::Arr(
+                a.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("preset", r.preset)
+                            .field("gap_policy", r.policy.name())
+                            .field("dropped", r.dropped)
+                            .field("duplicated", r.duplicated)
+                            .field("glitched", r.glitched)
+                            .field("reordered", r.reordered)
+                            .field("dropout_windows", r.dropout_windows)
+                            .field("coverage", coverage_json(&r.coverage))
+                            .field("bounds", bounds_json(&r.bounds))
                     })
                     .collect(),
             ),

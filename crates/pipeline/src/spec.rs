@@ -11,6 +11,7 @@
 
 use pmss_core::sensitivity::Boundaries;
 use pmss_error::PmssError;
+use pmss_faults::{FaultPlan, GapPolicy};
 use pmss_graph::case_study::CaseScale;
 use pmss_sched::TraceParams;
 use pmss_workloads::sweep::{FREQ_CAPS_MHZ, POWER_CAPS_W};
@@ -89,6 +90,10 @@ pub struct ScenarioSpec {
     pub power_caps_w: Vec<f64>,
     /// Modal-decomposition region boundaries.
     pub boundaries: Boundaries,
+    /// Deterministic telemetry-degradation plan applied to every fleet
+    /// simulation of the scenario; `None` (the presets' value) leaves the
+    /// stream untouched, bit for bit.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ScenarioSpec {
@@ -105,6 +110,7 @@ impl ScenarioSpec {
             freq_caps_mhz: FREQ_CAPS_MHZ.to_vec(),
             power_caps_w: POWER_CAPS_W.to_vec(),
             boundaries: Boundaries::default(),
+            faults: None,
         }
     }
 
@@ -177,7 +183,15 @@ impl ScenarioSpec {
         ladder("freq_caps_mhz", &self.freq_caps_mhz)?;
         ladder("power_caps_w", &self.power_caps_w)?;
         self.boundaries.validate()?;
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
         Ok(())
+    }
+
+    /// The fault plan in force, when it actually injects something.
+    pub fn active_faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| !p.is_noop())
     }
 
     /// Trace-generation parameters for the fleet stage.
@@ -208,9 +222,11 @@ impl ScenarioSpec {
         }
     }
 
-    /// Serializes the spec to a JSON value.
+    /// Serializes the spec to a JSON value.  The `faults` field is emitted
+    /// only when a plan actually injects something, so fault-free specs
+    /// keep their historical byte-exact JSON shape.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let j = Json::obj()
             .field("name", self.name.as_str())
             .field("nodes", self.nodes)
             .field("days", self.days)
@@ -224,7 +240,11 @@ impl ScenarioSpec {
                     .field("latency_mi", self.boundaries.latency_mi_w)
                     .field("mi_ci", self.boundaries.mi_ci_w)
                     .field("ci_boost", self.boundaries.ci_boost_w),
-            )
+            );
+        match self.active_faults() {
+            Some(plan) => j.field("faults", fault_plan_to_json(plan)),
+            None => j,
+        }
     }
 
     /// Deserializes and validates a spec from a JSON value; missing fields
@@ -288,6 +308,10 @@ impl ScenarioSpec {
                 }),
             }
         };
+        let faults = match v.get("faults") {
+            None => None,
+            Some(j) => Some(fault_plan_from_json(j)?),
+        };
         let spec = ScenarioSpec {
             name,
             nodes: int("nodes", base.nodes as u64)? as usize,
@@ -301,10 +325,82 @@ impl ScenarioSpec {
                 mi_ci_w: bound("mi_ci", base.boundaries.mi_ci_w)?,
                 ci_boost_w: bound("ci_boost", base.boundaries.ci_boost_w)?,
             },
+            faults,
         };
         spec.validate()?;
         Ok(spec)
     }
+}
+
+/// Serializes a fault plan to a JSON value.
+pub fn fault_plan_to_json(plan: &FaultPlan) -> Json {
+    Json::obj()
+        .field("seed", plan.seed)
+        .field("drop_prob", plan.drop_prob)
+        .field("dup_prob", plan.dup_prob)
+        .field("reorder_depth", plan.reorder_depth as u64)
+        .field("nan_prob", plan.nan_prob)
+        .field("spike_prob", plan.spike_prob)
+        .field("spike_w", plan.spike_w)
+        .field("dropout_prob", plan.dropout_prob)
+        .field("dropout_windows", plan.dropout_windows as u64)
+        .field("clock_skew_max_s", plan.clock_skew_max_s)
+        .field("gap_policy", plan.gap_policy.name())
+}
+
+/// Deserializes and validates a fault plan from a JSON value.  Missing
+/// fields fall back to the empty plan's values, so a file may spell out
+/// only the fault channels it wants.
+pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, PmssError> {
+    let base = FaultPlan::none();
+    let num = |key: &str, fallback: f64| -> Result<f64, PmssError> {
+        match v.get(key) {
+            None => Ok(fallback),
+            Some(j) => j.as_f64().ok_or_else(|| {
+                PmssError::malformed("json", format!("faults field `{key}` must be a number"))
+            }),
+        }
+    };
+    let int = |key: &str, fallback: u64| -> Result<u64, PmssError> {
+        let n = num(key, fallback as f64)?;
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        if !(n.fract() == 0.0 && (0.0..=MAX_EXACT).contains(&n)) {
+            return Err(PmssError::invalid_value(
+                format!("faults field `{key}`"),
+                format!("{n}"),
+                "a non-negative integer representable exactly in JSON (<= 2^53)",
+            ));
+        }
+        Ok(n as u64)
+    };
+    let gap_policy = match v.get("gap_policy") {
+        None => base.gap_policy,
+        Some(j) => GapPolicy::from_name(j.as_str().ok_or_else(|| {
+            PmssError::malformed("json", "faults field `gap_policy` must be a string")
+        })?)?,
+    };
+    // Bounded counts must not wrap through an `as u32` cast before
+    // validation sees them.
+    let small = |key: &str, fallback: u32| -> Result<u32, PmssError> {
+        u32::try_from(int(key, fallback as u64)?).map_err(|_| {
+            PmssError::invalid_value(format!("faults field `{key}`"), "overflow", "a u32 count")
+        })
+    };
+    let plan = FaultPlan {
+        seed: int("seed", base.seed)?,
+        drop_prob: num("drop_prob", base.drop_prob)?,
+        dup_prob: num("dup_prob", base.dup_prob)?,
+        reorder_depth: small("reorder_depth", base.reorder_depth)?,
+        nan_prob: num("nan_prob", base.nan_prob)?,
+        spike_prob: num("spike_prob", base.spike_prob)?,
+        spike_w: num("spike_w", base.spike_w)?,
+        dropout_prob: num("dropout_prob", base.dropout_prob)?,
+        dropout_windows: small("dropout_windows", base.dropout_windows)?,
+        clock_skew_max_s: num("clock_skew_max_s", base.clock_skew_max_s)?,
+        gap_policy,
+    };
+    plan.validate()?;
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -388,6 +484,50 @@ mod tests {
         assert!(ScenarioSpec::from_json(&j).is_err());
         let j = Json::parse(r#"{"freq_caps_mhz": "high"}"#).unwrap();
         assert!(ScenarioSpec::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn fault_plan_round_trips_through_spec_json() {
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.faults = Some(FaultPlan::preset("frontier-typical").unwrap());
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // Partial plans fill the remaining channels with zeros.
+        let j =
+            Json::parse(r#"{"faults": {"drop_prob": 0.1, "gap_policy": "interpolate"}}"#).unwrap();
+        let s = ScenarioSpec::from_json(&j).unwrap();
+        let plan = s.faults.unwrap();
+        assert_eq!(plan.drop_prob, 0.1);
+        assert_eq!(plan.gap_policy, GapPolicy::Interpolate);
+        assert_eq!(plan.dup_prob, 0.0);
+    }
+
+    #[test]
+    fn noop_faults_keep_the_historical_spec_json() {
+        let clean = ScenarioSpec::preset(ScalePreset::Quick);
+        let mut noop = clean.clone();
+        noop.faults = Some(FaultPlan::none());
+        assert_eq!(
+            clean.to_json().to_string_pretty(),
+            noop.to_json().to_string_pretty(),
+            "a no-op plan must not change the serialized spec"
+        );
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected() {
+        let j = Json::parse(r#"{"faults": {"drop_prob": 1.5}}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+        let j = Json::parse(r#"{"faults": {"gap_policy": "discard"}}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+        let j = Json::parse(r#"{"faults": {"reorder_depth": 1e12}}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.faults = Some(FaultPlan {
+            nan_prob: -0.5,
+            ..FaultPlan::none()
+        });
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use pmss_obs::{edges, Metrics, Stopwatch};
 use pmss_sched::{catalog, generate, DomainSpec, Schedule};
 use pmss_telemetry::{
     simulate_fleet_metered, simulate_fleet_with_cache, DomainHistograms, FleetCache, FleetConfig,
-    FleetObserver, Pair, SystemHistogram,
+    FleetObserver, FleetRunStats, Pair, SystemHistogram,
 };
 use pmss_workloads::sweep::CapSetting;
 use pmss_workloads::table3::{self, BenchScale, Table3};
@@ -56,23 +56,54 @@ where
     let Some(m) = metrics else {
         return simulate_fleet_with_cache(schedule, cfg, cache);
     };
+    metered_sim_stats(schedule, cfg, cache, Some(m)).0
+}
+
+/// Like [`metered_sim`], but always runs the stats-collecting simulation
+/// and hands the per-run [`FleetRunStats`] back to the caller (the fault
+/// artifact reports injected-fault tallies even with metering off).  The
+/// stats sink never feeds back into the observer, so the observer bytes
+/// match [`metered_sim`] exactly.
+pub(crate) fn metered_sim_stats<O>(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    cache: &FleetCache,
+    metrics: Option<&mut Metrics>,
+) -> (O, FleetRunStats)
+where
+    O: FleetObserver + Default,
+{
     let sw = Stopwatch::start();
     let (obs, stats) = simulate_fleet_metered::<O>(schedule, cfg, cache);
     let wall_s = sw.elapsed_s();
-    m.inc("fleet.runs");
-    m.add("fleet.gpu_samples", stats.gpu_samples);
-    m.add("fleet.attributed_samples", stats.attributed_samples);
-    m.add("fleet.node_samples", stats.node_samples);
-    m.add("boost.engagements", stats.boost_engagements);
-    m.add("boost.denied", stats.boost_denied);
-    m.gauge_add("boost.granted_s", stats.boost_granted_s);
-    m.gauge_add("fleet.wall_s", wall_s);
-    m.gauge_add(
-        "fleet.node_hours",
-        schedule.per_node.len() as f64 * schedule.duration_s / 3600.0,
-    );
-    m.observe("fleet.run_wall_s", edges::WALL_S, wall_s);
-    obs
+    if let Some(m) = metrics {
+        m.inc("fleet.runs");
+        m.add("fleet.gpu_samples", stats.gpu_samples);
+        m.add("fleet.attributed_samples", stats.attributed_samples);
+        m.add("fleet.node_samples", stats.node_samples);
+        m.add("boost.engagements", stats.boost_engagements);
+        m.add("boost.denied", stats.boost_denied);
+        m.gauge_add("boost.granted_s", stats.boost_granted_s);
+        // Fault-injection tallies, recorded only when a plan is active so a
+        // clean run's metrics envelope keeps its historical set of keys.
+        if cfg.faults.as_ref().is_some_and(|p| !p.is_noop()) {
+            m.add("faults.dropped", stats.faults_dropped);
+            m.add("faults.duplicated", stats.faults_duplicated);
+            m.add("faults.glitched", stats.faults_glitched);
+            m.add("faults.reordered", stats.faults_reordered);
+            m.add("faults.dropout_windows", stats.faults_dropout_windows);
+            m.add("faults.gaps_interpolated", stats.gaps_interpolated);
+            m.add("faults.gaps_excluded", stats.gaps_excluded);
+            m.add("faults.gaps_idle", stats.gaps_idle);
+        }
+        m.gauge_add("fleet.wall_s", wall_s);
+        m.gauge_add(
+            "fleet.node_hours",
+            schedule.per_node.len() as f64 * schedule.duration_s / 3600.0,
+        );
+        m.observe("fleet.run_wall_s", edges::WALL_S, wall_s);
+    }
+    (obs, stats)
 }
 
 /// A staged scenario run with memoized stage outputs.
@@ -194,6 +225,16 @@ impl Pipeline {
             .collect()
     }
 
+    /// The fleet configuration every simulation of this pipeline uses:
+    /// defaults plus the spec's fault plan.  All per-artifact fleet runs
+    /// must build on this so `--faults` degrades them consistently.
+    pub(crate) fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            faults: self.spec.faults.clone(),
+            ..FleetConfig::default()
+        }
+    }
+
     /// Runs (or replays) the fleet stage: workload synthesis, fleet
     /// telemetry simulation with all standard observers, and the modal
     /// decomposition ledger.
@@ -237,12 +278,8 @@ impl Pipeline {
         let domains = catalog();
         let schedule = generate(self.spec.trace_params(), &domains);
         type Obs = Pair<Pair<SystemHistogram, DomainHistograms>, EnergyLedger>;
-        let obs: Obs = metered_sim(
-            &schedule,
-            &FleetConfig::default(),
-            &self.cache,
-            self.metrics.as_mut(),
-        );
+        let cfg = self.fleet_config();
+        let obs: Obs = metered_sim(&schedule, &cfg, &self.cache, self.metrics.as_mut());
         self.fleet = Some(FleetArtifacts {
             schedule,
             domains,

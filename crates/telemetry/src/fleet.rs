@@ -11,6 +11,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
+use pmss_faults::{FaultPlan, GapPolicy, Glitch};
+
 use pmss_gpu::consts::GPUS_PER_NODE;
 use pmss_gpu::trace::standard_normal;
 use pmss_gpu::{BoostBudget, Engine, GpuSettings, NodeRestModel};
@@ -44,6 +46,12 @@ pub struct FleetConfig {
     /// iteration; both paths produce bit-identical output, so disabling
     /// only serves equivalence tests and A/B benchmarking.
     pub use_exec_cache: bool,
+    /// Deterministic telemetry degradation applied to the emitted stream
+    /// (see [`pmss_faults::FaultPlan`]).  `None` — or a plan that injects
+    /// nothing — leaves the stream untouched, bit for bit: the clean path
+    /// is the exact pre-fault code path, which is what the differential
+    /// harness pins.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for FleetConfig {
@@ -55,6 +63,7 @@ impl Default for FleetConfig {
             domain_settings: Vec::new(),
             seed: 1,
             use_exec_cache: true,
+            faults: None,
         }
     }
 }
@@ -81,12 +90,37 @@ pub struct SampleCtx<'a> {
     pub job: Option<&'a Job>,
 }
 
+/// How one telemetry window lost to faults is presented to an observer —
+/// the realized [`GapPolicy`] of the active [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GapFill {
+    /// The window is excluded: no power value exists for it.  Observers
+    /// that account coverage should tally the lost seconds.
+    Excluded,
+    /// The gap is filled by holding the last delivered value of the same
+    /// GPU slot (watts); attribution of the original window is preserved.
+    Interpolated(f64),
+    /// The gap is billed as unattributed idle at the given wattage.
+    Idle(f64),
+}
+
 /// Consumer of fleet telemetry.  Implementations accumulate whatever view
 /// they need (histograms, energy ledgers, joined series); `merge` combines
 /// per-node partials after the parallel fold.
 pub trait FleetObserver: Send + Sized {
     /// One GPU power sample (window mean), stamped at the window center.
     fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64);
+    /// One telemetry window lost to injected faults, handled under the
+    /// plan's gap policy.  The default forwards filled values to
+    /// [`FleetObserver::gpu_sample`] and ignores excluded gaps, so
+    /// observers without coverage accounting keep working unchanged;
+    /// coverage-aware observers override this to tally per-mode seconds.
+    fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, t_s: f64, _span_s: f64, fill: GapFill) {
+        match fill {
+            GapFill::Excluded => {}
+            GapFill::Interpolated(w) | GapFill::Idle(w) => self.gpu_sample(ctx, t_s, w),
+        }
+    }
     /// One rest-of-node (CPU package + board) power sample per window.
     fn node_sample(&mut self, _node: u32, _t_s: f64, _rest_w: f64) {}
     /// Folds another observer's state into this one.
@@ -116,6 +150,23 @@ pub struct FleetRunStats {
     /// Boostable windows that found insufficient headroom and recharged
     /// instead.
     pub boost_denied: u64,
+    /// GPU window samples lost to fault injection (individual drops and
+    /// whole-node dropouts alike).
+    pub faults_dropped: u64,
+    /// GPU samples delivered twice by fault injection.
+    pub faults_duplicated: u64,
+    /// Delivered samples glitched to NaN or spiked.
+    pub faults_glitched: u64,
+    /// Samples delivered out of generation order.
+    pub faults_reordered: u64,
+    /// Node-windows suppressed by whole-node dropout intervals.
+    pub faults_dropout_windows: u64,
+    /// Lost windows filled by interpolation (`interpolate` gap policy).
+    pub gaps_interpolated: u64,
+    /// Lost windows excluded from the stream (`exclude` gap policy).
+    pub gaps_excluded: u64,
+    /// Lost windows billed as idle (`attribute-idle` gap policy).
+    pub gaps_idle: u64,
 }
 
 impl FleetRunStats {
@@ -127,7 +178,36 @@ impl FleetRunStats {
         self.boost_engagements += other.boost_engagements;
         self.boost_granted_s += other.boost_granted_s;
         self.boost_denied += other.boost_denied;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_glitched += other.faults_glitched;
+        self.faults_reordered += other.faults_reordered;
+        self.faults_dropout_windows += other.faults_dropout_windows;
+        self.gaps_interpolated += other.gaps_interpolated;
+        self.gaps_excluded += other.gaps_excluded;
+        self.gaps_idle += other.gaps_idle;
     }
+}
+
+/// One fault-injection event, tallied by the metric sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultEvent {
+    /// A GPU window sample was lost (drop or dropout).
+    Dropped,
+    /// A delivered GPU sample arrived twice.
+    Duplicated,
+    /// A delivered sample was glitched (NaN or spike).
+    Glitched,
+    /// A sample was delivered out of generation order.
+    Reordered,
+    /// A whole-node dropout suppressed one node-window.
+    DropoutWindow,
+    /// A lost window was filled by interpolation.
+    GapInterpolated,
+    /// A lost window was excluded from the stream.
+    GapExcluded,
+    /// A lost window was billed as unattributed idle.
+    GapIdle,
 }
 
 /// Internal metric sink threaded through the simulation.  Monomorphized:
@@ -139,6 +219,7 @@ trait FleetSink: Default + Send {
     fn node_sample(&mut self) {}
     fn boost_engaged(&mut self, _granted_s: f64) {}
     fn boost_denied(&mut self) {}
+    fn fault(&mut self, _e: FaultEvent) {}
     fn absorb(&mut self, other: Self);
 }
 
@@ -161,6 +242,18 @@ impl FleetSink for FleetRunStats {
     }
     fn boost_denied(&mut self) {
         self.boost_denied += 1;
+    }
+    fn fault(&mut self, e: FaultEvent) {
+        match e {
+            FaultEvent::Dropped => self.faults_dropped += 1,
+            FaultEvent::Duplicated => self.faults_duplicated += 1,
+            FaultEvent::Glitched => self.faults_glitched += 1,
+            FaultEvent::Reordered => self.faults_reordered += 1,
+            FaultEvent::DropoutWindow => self.faults_dropout_windows += 1,
+            FaultEvent::GapInterpolated => self.gaps_interpolated += 1,
+            FaultEvent::GapExcluded => self.gaps_excluded += 1,
+            FaultEvent::GapIdle => self.gaps_idle += 1,
+        }
     }
     fn absorb(&mut self, other: Self) {
         self.merge(&other);
@@ -326,8 +419,21 @@ fn slot_segments(
     segs
 }
 
+/// One generated (pre-fault) window sample awaiting delivery.
+#[derive(Debug, Clone, Copy)]
+struct RawSample {
+    window: u64,
+    t_s: f64,
+    span_s: f64,
+    power_w: f64,
+    job: Option<usize>,
+}
+
 /// Walks `segments` in `window_s` windows, emitting mean power per window
-/// with boost excursions and sensor noise applied.
+/// with boost excursions and sensor noise applied.  When the config
+/// carries an active [`FaultPlan`], generated samples are staged and
+/// degraded by [`deliver_faulted`] instead of delivered directly; sample
+/// *generation* (including RNG consumption) is identical either way.
 #[allow(clippy::too_many_arguments)]
 fn emit_windows<O: FleetObserver, M: FleetSink>(
     observer: &mut O,
@@ -339,7 +445,10 @@ fn emit_windows<O: FleetObserver, M: FleetSink>(
     cfg: &FleetConfig,
     boost: &mut BoostBudget,
     rng: &mut StdRng,
+    idle_power_w: f64,
 ) {
+    let plan = cfg.faults.as_ref().filter(|p| !p.is_noop());
+    let mut pending: Vec<RawSample> = Vec::new();
     let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
     let mut seg_idx = 0usize;
 
@@ -402,14 +511,120 @@ fn emit_windows<O: FleetObserver, M: FleetSink>(
             i += 1;
         }
 
-        let mean = energy / span + cfg.noise_sd_w * standard_normal(rng);
+        let mean = (energy / span + cfg.noise_sd_w * standard_normal(rng)).max(0.0);
+        match plan {
+            None => {
+                let ctx = SampleCtx {
+                    node,
+                    slot,
+                    job: attributed.map(|j| &schedule.jobs[j]),
+                };
+                observer.gpu_sample(&ctx, center, mean);
+                sink.gpu_sample(attributed.is_some());
+            }
+            Some(_) => pending.push(RawSample {
+                window: w as u64,
+                t_s: center,
+                span_s: span,
+                power_w: mean,
+                job: attributed,
+            }),
+        }
+    }
+
+    if let Some(plan) = plan {
+        deliver_faulted(
+            observer,
+            sink,
+            schedule,
+            pending,
+            node,
+            slot,
+            plan,
+            idle_power_w,
+        );
+    }
+}
+
+/// Degrades and delivers one slot's staged samples under `plan`.
+///
+/// Losses are decided and gap policies applied in *generation* order, so
+/// interpolation always holds the last in-order value — which is what
+/// makes the decomposition invariant under the bounded delivery
+/// reordering applied afterwards.
+#[allow(clippy::too_many_arguments)]
+fn deliver_faulted<O: FleetObserver, M: FleetSink>(
+    observer: &mut O,
+    sink: &mut M,
+    schedule: &Schedule,
+    samples: Vec<RawSample>,
+    node: u32,
+    slot: u8,
+    plan: &FaultPlan,
+    idle_power_w: f64,
+) {
+    let skew = plan.clock_skew_s(node);
+    let mut stream: Vec<(u64, RawSample)> = Vec::with_capacity(samples.len());
+    let mut last_good: Option<f64> = None;
+
+    for mut s in samples {
+        if plan.node_dropout(node, s.window) || plan.drops(node, slot, s.window) {
+            sink.fault(FaultEvent::Dropped);
+            let (fill, event, job) = match plan.gap_policy {
+                GapPolicy::Exclude => (GapFill::Excluded, FaultEvent::GapExcluded, s.job),
+                GapPolicy::Interpolate => (
+                    GapFill::Interpolated(last_good.unwrap_or(idle_power_w)),
+                    FaultEvent::GapInterpolated,
+                    s.job,
+                ),
+                GapPolicy::AttributeIdle => {
+                    (GapFill::Idle(idle_power_w), FaultEvent::GapIdle, None)
+                }
+            };
+            let ctx = SampleCtx {
+                node,
+                slot,
+                job: job.map(|j| &schedule.jobs[j]),
+            };
+            observer.gpu_gap(&ctx, s.t_s + skew, s.span_s, fill);
+            sink.fault(event);
+            continue;
+        }
+        // Interpolation holds the clean generated value: a glitched sensor
+        // reading must not poison later gap fills.
+        last_good = Some(s.power_w);
+        if let Some(glitch) = plan.glitch(node, slot, s.window) {
+            sink.fault(FaultEvent::Glitched);
+            s.power_w = match glitch {
+                Glitch::Nan => f64::NAN,
+                Glitch::Spike(w) => s.power_w + w,
+            };
+        }
+        let rank = plan.delivery_rank(node, slot, s.window);
+        if plan.duplicates(node, slot, s.window) {
+            sink.fault(FaultEvent::Duplicated);
+            stream.push((rank, s));
+        }
+        stream.push((rank, s));
+    }
+
+    // Bounded out-of-order delivery: each sample's rank lags its window by
+    // at most `reorder_depth`, so sorting by (rank, window) permutes
+    // delivery within that bound and is a total, deterministic order.
+    stream.sort_by_key(|&(rank, s)| (rank, s.window));
+    let mut prev_window = 0u64;
+    for (i, &(_, s)) in stream.iter().enumerate() {
+        if i > 0 && s.window < prev_window {
+            sink.fault(FaultEvent::Reordered);
+        }
+        prev_window = s.window;
         let ctx = SampleCtx {
             node,
             slot,
-            job: attributed.map(|j| &schedule.jobs[j]),
+            job: s.job.map(|j| &schedule.jobs[j]),
         };
-        observer.gpu_sample(&ctx, center, mean.max(0.0));
-        sink.gpu_sample(attributed.is_some());
+        observer.gpu_sample(&ctx, s.t_s + skew, s.power_w);
+        sink.gpu_sample(s.job.is_some());
     }
 }
 
@@ -425,6 +640,8 @@ fn emit_node_rest<O: FleetObserver, M: FleetSink>(
     let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
     let placements = &schedule.per_node[node as usize];
     let mut p_idx = 0usize;
+    let plan = cfg.faults.as_ref().filter(|p| !p.is_noop());
+    let skew = plan.map_or(0.0, |p| p.clock_skew_s(node));
 
     // Same window layout as `emit_windows`, including the partial tail.
     for w in 0..=n_full {
@@ -441,12 +658,20 @@ fn emit_node_rest<O: FleetObserver, M: FleetSink>(
         while p_idx < placements.len() && placements[p_idx].end_s <= t {
             p_idx += 1;
         }
+        // A dropped-out node is silent on every channel: the rest-of-node
+        // sample vanishes along with the GPU samples of the interval.
+        if let Some(plan) = plan {
+            if plan.node_dropout(node, w as u64) {
+                sink.fault(FaultEvent::DropoutWindow);
+                continue;
+            }
+        }
         let util = placements
             .get(p_idx)
             .filter(|p| p.begin_s <= t)
             .map(|p| cpu_util_of(schedule.jobs[p.job].app_class))
             .unwrap_or(0.03);
-        observer.node_sample(node, t, rest.power_w(util));
+        observer.node_sample(node, t + skew, rest.power_w(util));
         sink.node_sample();
     }
 }
@@ -539,6 +764,7 @@ where
                         cfg,
                         &mut boost,
                         &mut rng,
+                        idle_power_w,
                     );
                 }
                 emit_node_rest(&mut obs, &mut sink, schedule, node as u32, cfg, &rest);
@@ -872,6 +1098,258 @@ mod tests {
             cold_exec,
             "warm templates never reach the engine"
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use pmss_sched::{catalog, generate, TraceParams};
+
+    /// Collects every delivery, gaps included.
+    #[derive(Default)]
+    struct FaultCollector {
+        gpu: Vec<(u32, u8, f64, f64, Option<u64>)>,
+        gaps: Vec<(u32, u8, f64, f64, GapFill)>,
+        node: Vec<(u32, f64, f64)>,
+    }
+
+    impl FleetObserver for FaultCollector {
+        fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64) {
+            self.gpu
+                .push((ctx.node, ctx.slot, t_s, power_w, ctx.job.map(|j| j.id)));
+        }
+        fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, t_s: f64, span_s: f64, fill: GapFill) {
+            self.gaps.push((ctx.node, ctx.slot, t_s, span_s, fill));
+        }
+        fn node_sample(&mut self, node: u32, t_s: f64, rest_w: f64) {
+            self.node.push((node, t_s, rest_w));
+        }
+        fn merge(&mut self, mut other: Self) {
+            self.gpu.append(&mut other.gpu);
+            self.gaps.append(&mut other.gaps);
+            self.node.append(&mut other.node);
+        }
+    }
+
+    fn schedule() -> pmss_sched::Schedule {
+        generate(
+            TraceParams {
+                nodes: 4,
+                duration_s: 4.0 * 3600.0,
+                seed: 5,
+                min_job_s: 900.0,
+            },
+            &catalog(),
+        )
+    }
+
+    fn with_plan(plan: FaultPlan) -> FleetConfig {
+        FleetConfig {
+            faults: Some(plan),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn noop_plan_is_bit_identical_to_no_plan() {
+        let s = schedule();
+        let clean: FaultCollector = simulate_fleet(&s, &FleetConfig::default());
+        let noop: FaultCollector = simulate_fleet(&s, &with_plan(FaultPlan::none()));
+        assert_eq!(clean.gpu, noop.gpu);
+        assert_eq!(clean.node, noop.node);
+        assert!(noop.gaps.is_empty());
+    }
+
+    #[test]
+    fn drops_under_exclude_remove_samples_and_report_gaps() {
+        let s = schedule();
+        let clean: FaultCollector = simulate_fleet(&s, &FleetConfig::default());
+        let plan = FaultPlan {
+            seed: 9,
+            drop_prob: 0.05,
+            ..FaultPlan::none()
+        };
+        let cache = FleetCache::new();
+        let (faulted, stats): (FaultCollector, FleetRunStats) =
+            simulate_fleet_metered(&s, &with_plan(plan), &cache);
+        assert!(faulted.gpu.len() < clean.gpu.len());
+        assert_eq!(faulted.gpu.len() + faulted.gaps.len(), clean.gpu.len());
+        assert_eq!(stats.faults_dropped as usize, faulted.gaps.len());
+        assert_eq!(stats.gaps_excluded, stats.faults_dropped);
+        assert!(faulted
+            .gaps
+            .iter()
+            .all(|g| g.4 == GapFill::Excluded && g.3 > 0.0));
+        // Roughly 5 % of samples drop.
+        let rate = faulted.gaps.len() as f64 / clean.gpu.len() as f64;
+        assert!((0.03..0.07).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn interpolation_holds_the_previous_delivered_value() {
+        let s = schedule();
+        let clean: FaultCollector = simulate_fleet(&s, &FleetConfig::default());
+        let plan = FaultPlan {
+            seed: 9,
+            drop_prob: 0.05,
+            gap_policy: GapPolicy::Interpolate,
+            ..FaultPlan::none()
+        };
+        let faulted: FaultCollector = simulate_fleet(&s, &with_plan(plan.clone()));
+        assert_eq!(faulted.gpu.len() + faulted.gaps.len(), clean.gpu.len());
+        for &(node, slot, t, _span, fill) in &faulted.gaps {
+            let GapFill::Interpolated(held) = fill else {
+                panic!("wrong fill {fill:?}");
+            };
+            // The held value is the last clean sample of the slot before
+            // the gap (or idle power for a leading gap).
+            let prev = clean.gpu.iter().rfind(|x| {
+                x.0 == node
+                    && x.1 == slot
+                    && x.2 < t
+                    && !plan.drops(node, slot, (x.2 / 15.0) as u64)
+            });
+            if let Some(&(_, _, _, w, _)) = prev {
+                assert_eq!(held, w, "node {node} slot {slot} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_idle_bills_gaps_as_unattributed_idle() {
+        let s = schedule();
+        let plan = FaultPlan {
+            seed: 9,
+            drop_prob: 0.05,
+            gap_policy: GapPolicy::AttributeIdle,
+            ..FaultPlan::none()
+        };
+        let faulted: FaultCollector = simulate_fleet(&s, &with_plan(plan));
+        let idle_w = pmss_gpu::Engine::default()
+            .power_model()
+            .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
+        assert!(!faulted.gaps.is_empty());
+        for &(.., fill) in &faulted.gaps {
+            assert_eq!(fill, GapFill::Idle(idle_w));
+        }
+    }
+
+    #[test]
+    fn duplicates_dedup_back_to_the_clean_stream() {
+        let s = schedule();
+        let clean: FaultCollector = simulate_fleet(&s, &FleetConfig::default());
+        let plan = FaultPlan {
+            seed: 9,
+            dup_prob: 0.05,
+            ..FaultPlan::none()
+        };
+        let faulted: FaultCollector = simulate_fleet(&s, &with_plan(plan));
+        assert!(faulted.gpu.len() > clean.gpu.len());
+        let mut dedup = faulted.gpu.clone();
+        dedup.dedup();
+        let mut sorted_clean = clean.gpu.clone();
+        sorted_clean.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dedup.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(dedup, sorted_clean);
+    }
+
+    #[test]
+    fn reordering_stays_within_the_buffer_bound() {
+        let s = schedule();
+        let clean: FaultCollector = simulate_fleet(&s, &FleetConfig::default());
+        let plan = FaultPlan {
+            seed: 9,
+            reorder_depth: 4,
+            ..FaultPlan::none()
+        };
+        let cache = FleetCache::new();
+        let (faulted, stats): (FaultCollector, FleetRunStats) =
+            simulate_fleet_metered(&s, &with_plan(plan), &cache);
+        assert_eq!(faulted.gpu.len(), clean.gpu.len());
+        assert!(stats.faults_reordered > 0, "{stats:?}");
+        // Same multiset of samples: sorting both recovers equality.
+        let mut a = faulted.gpu.clone();
+        let mut b = clean.gpu.clone();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_dropout_silences_gpu_and_node_channels_together() {
+        let s = schedule();
+        let clean: FaultCollector = simulate_fleet(&s, &FleetConfig::default());
+        let plan = FaultPlan {
+            seed: 9,
+            dropout_prob: 0.05,
+            dropout_windows: 8,
+            ..FaultPlan::none()
+        };
+        let cache = FleetCache::new();
+        let (faulted, stats): (FaultCollector, FleetRunStats) =
+            simulate_fleet_metered(&s, &with_plan(plan.clone()), &cache);
+        assert!(stats.faults_dropout_windows > 0, "{stats:?}");
+        assert_eq!(
+            faulted.node.len() as u64 + stats.faults_dropout_windows,
+            clean.node.len() as u64
+        );
+        // Every dropped-out window loses all four GPU slots.
+        assert_eq!(
+            stats.faults_dropped,
+            stats.faults_dropout_windows * GPUS_PER_NODE as u64
+        );
+    }
+
+    #[test]
+    fn clock_skew_shifts_whole_nodes_by_a_bounded_offset() {
+        let s = schedule();
+        let clean: FaultCollector = simulate_fleet(&s, &FleetConfig::default());
+        let plan = FaultPlan {
+            seed: 9,
+            clock_skew_max_s: 3.0,
+            ..FaultPlan::none()
+        };
+        let faulted: FaultCollector = simulate_fleet(&s, &with_plan(plan.clone()));
+        assert_eq!(faulted.gpu.len(), clean.gpu.len());
+        for (f, c) in faulted.gpu.iter().zip(&clean.gpu) {
+            let skew = plan.clock_skew_s(c.0);
+            assert!(skew.abs() <= 3.0);
+            assert_eq!(f.2, c.2 + skew, "node {}", c.0);
+            assert_eq!(f.3, c.3);
+        }
+    }
+
+    #[test]
+    fn glitches_inject_nans_and_spikes() {
+        let s = schedule();
+        let plan = FaultPlan {
+            seed: 9,
+            nan_prob: 0.01,
+            spike_prob: 0.01,
+            spike_w: 300.0,
+            ..FaultPlan::none()
+        };
+        let cache = FleetCache::new();
+        let (faulted, stats): (FaultCollector, FleetRunStats) =
+            simulate_fleet_metered(&s, &with_plan(plan), &cache);
+        let nans = faulted.gpu.iter().filter(|x| x.3.is_nan()).count();
+        let spikes = faulted.gpu.iter().filter(|x| x.3 > 700.0).count();
+        assert!(nans > 0, "no NaN glitches");
+        assert!(spikes > 0, "no spikes");
+        assert!(stats.faults_glitched as usize >= nans + spikes);
+    }
+
+    #[test]
+    fn frontier_typical_preset_runs_end_to_end() {
+        let s = schedule();
+        let plan = FaultPlan::preset("frontier-typical").unwrap();
+        let cache = FleetCache::new();
+        let (faulted, stats): (FaultCollector, FleetRunStats) =
+            simulate_fleet_metered(&s, &with_plan(plan), &cache);
+        assert!(!faulted.gpu.is_empty());
+        assert!(stats.faults_dropped > 0);
+        assert!(stats.gpu_samples > 0);
     }
 }
 

@@ -88,11 +88,17 @@ impl FleetPowerSeries {
 
 impl FleetObserver for FleetPowerSeries {
     fn gpu_sample(&mut self, _ctx: &SampleCtx<'_>, t_s: f64, power_w: f64) {
-        *self.slot(t_s) += power_w;
+        // One non-finite reading would poison the whole window's total (and
+        // everything derived from it); skip glitched samples.
+        if power_w.is_finite() {
+            *self.slot(t_s) += power_w;
+        }
     }
 
     fn node_sample(&mut self, _node: u32, t_s: f64, rest_w: f64) {
-        *self.slot(t_s) += rest_w;
+        if rest_w.is_finite() {
+            *self.slot(t_s) += rest_w;
+        }
     }
 
     fn merge(&mut self, other: Self) {

@@ -141,6 +141,11 @@ impl FleetObserver for JobPowerIndex {
         } else {
             15.0
         };
+        // Glitched (non-finite) sensor readings would poison the Welford
+        // accumulators for good; skip them.
+        if !power_w.is_finite() {
+            return;
+        }
         if let Some(job) = ctx.job {
             let stats = self.stats.entry(job.id).or_default();
             stats.domain = job.domain;

@@ -35,7 +35,7 @@ pub mod smi;
 
 pub use fleet::{
     simulate_fleet, simulate_fleet_metered, simulate_fleet_with_cache, FleetConfig, FleetObserver,
-    FleetRunStats, SampleCtx,
+    FleetRunStats, GapFill, SampleCtx,
 };
 pub use fleetcache::FleetCache;
 pub use fleetpower::FleetPowerSeries;

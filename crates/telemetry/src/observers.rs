@@ -2,7 +2,7 @@
 //! per-science-domain distributions (Fig. 9), and the GPU-vs-CPU energy
 //! split (Fig. 2 b).
 
-use crate::fleet::{FleetObserver, SampleCtx};
+use crate::fleet::{FleetObserver, GapFill, SampleCtx};
 use crate::hist::PowerHistogram;
 
 /// System-wide GPU power distribution — the paper's Fig. 8.
@@ -118,11 +118,17 @@ impl GpuCpuEnergy {
 
 impl FleetObserver for GpuCpuEnergy {
     fn gpu_sample(&mut self, _ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
-        self.gpu_energy_j += power_w * self.window_s;
+        // A glitched (non-finite) sensor reading must not poison the energy
+        // integral; the histogram already drops non-finite values.
+        if power_w.is_finite() {
+            self.gpu_energy_j += power_w * self.window_s;
+        }
         self.gpu_hist.record(power_w);
     }
     fn node_sample(&mut self, _node: u32, _t_s: f64, rest_w: f64) {
-        self.rest_energy_j += rest_w * self.window_s;
+        if rest_w.is_finite() {
+            self.rest_energy_j += rest_w * self.window_s;
+        }
         self.rest_hist.record(rest_w);
     }
     fn merge(&mut self, other: Self) {
@@ -146,6 +152,13 @@ impl<A: FleetObserver, B: FleetObserver> FleetObserver for Pair<A, B> {
     fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64) {
         self.a.gpu_sample(ctx, t_s, power_w);
         self.b.gpu_sample(ctx, t_s, power_w);
+    }
+    fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, t_s: f64, span_s: f64, fill: GapFill) {
+        // Forwarded explicitly so members that override `gpu_gap` (e.g. a
+        // coverage-accounting ledger) see the gap, not the default
+        // fill-as-sample translation.
+        self.a.gpu_gap(ctx, t_s, span_s, fill);
+        self.b.gpu_gap(ctx, t_s, span_s, fill);
     }
     fn node_sample(&mut self, node: u32, t_s: f64, rest_w: f64) {
         self.a.node_sample(node, t_s, rest_w);

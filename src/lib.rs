@@ -18,6 +18,9 @@
 //! * [`sched`] — domains, queue policy, trace generation (`pmss-sched`);
 //! * [`telemetry`] — sensors, fleet simulation, histograms
 //!   (`pmss-telemetry`);
+//! * [`faults`] — deterministic fault injection for fleet telemetry
+//!   (`pmss-faults`): seeded [`faults::FaultPlan`]s drive drops,
+//!   duplicates, reordering, glitches, dropouts, and clock skew;
 //! * [`core`] — modal decomposition and savings projection (`pmss-core`);
 //! * [`pipeline`] — the unified scenario pipeline (`pmss-pipeline`): a
 //!   typed [`ScenarioSpec`] run through memoized stages to an
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub use pmss_core as core;
+pub use pmss_faults as faults;
 pub use pmss_gpu as gpu;
 pub use pmss_graph as graph;
 pub use pmss_obs as obs;

@@ -59,6 +59,48 @@ fn json_matches_the_golden_captures() {
     }
 }
 
+/// `pmss faults` and a faulted preset run are pinned byte-for-byte in
+/// both renderings.  Like the rest of the suite this runs under
+/// `PMSS_METRICS` both off and on in CI, so it also pins that fault
+/// metering never changes output bytes.
+#[test]
+fn faulted_runs_match_the_golden_captures() {
+    let cases: [(&[&str], &str, &str); 4] = [
+        (&["faults", "--scale", "quick"], "faults", "txt"),
+        (&["faults", "--scale", "quick", "--json"], "faults", "json"),
+        (
+            &[
+                "table",
+                "4",
+                "--scale",
+                "quick",
+                "--faults",
+                "frontier-typical",
+            ],
+            "table4-frontier-typical",
+            "txt",
+        ),
+        (
+            &[
+                "table",
+                "4",
+                "--scale",
+                "quick",
+                "--faults",
+                "frontier-typical",
+                "--json",
+            ],
+            "table4-frontier-typical",
+            "json",
+        ),
+    ];
+    for (argv, name, ext) in cases {
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let got = cli::run(&args).expect("cli run");
+        assert_eq!(got, golden(name, ext), "golden drift in {name}.{ext}");
+    }
+}
+
 /// The default CLI path (no flags) renders the same bytes as the library
 /// API — the shim in `src/main.rs` only prints the returned string.
 #[test]
