@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Coverage ratchet gate: per-crate line coverage must not drop below the
+# floors in ci/coverage-ratchet.txt.
+#
+# Runs the whole workspace test suite once under cargo-llvm-cov, then
+# aggregates the per-file line counts for each gated crate's source
+# directory.  Requires cargo-llvm-cov and the llvm-tools-preview
+# component (CI installs both; locally: `cargo install cargo-llvm-cov`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+report=$(mktemp)
+trap 'rm -f "$report"' EXIT
+cargo llvm-cov --workspace --json --summary-only >"$report"
+
+python3 - "$report" ci/coverage-ratchet.txt <<'PY'
+import json
+import sys
+
+report_path, ratchet_path = sys.argv[1], sys.argv[2]
+with open(report_path) as f:
+    files = json.load(f)["data"][0]["files"]
+
+failed = False
+with open(ratchet_path) as f:
+    for line in f:
+        line = line.split("#")[0].strip()
+        if not line:
+            continue
+        crate_dir, floor = line.split()
+        floor = float(floor)
+        needle = crate_dir.rstrip("/") + "/src/"
+        count = covered = 0
+        for entry in files:
+            if needle in entry["filename"].replace("\\", "/"):
+                lines = entry["summary"]["lines"]
+                count += lines["count"]
+                covered += lines["covered"]
+        if count == 0:
+            print(f"error: no coverage data for {crate_dir}")
+            failed = True
+            continue
+        pct = 100.0 * covered / count
+        status = "ok" if pct >= floor else "BELOW FLOOR"
+        print(f"{crate_dir}: {pct:.2f}% line coverage (floor {floor:.0f}%) {status}")
+        if pct < floor:
+            failed = True
+
+sys.exit(1 if failed else 0)
+PY

@@ -1,0 +1,127 @@
+//! Streaming-ingest benches: batch `simulate_fleet` against the
+//! incremental `pmss-stream` engine on the same trace.
+//!
+//! `stream/` entries measure window-events per wall-second for the batch
+//! replay, in-order streaming, and streaming under the frontier-typical
+//! fault plan's reordering, plus the cost of a mid-stream snapshot.  At
+//! start-up the harness also prints the peak RSS of one batch run vs one
+//! streamed run (the engine holds O(channels x horizon), not the trace) —
+//! the numbers recorded in `EXPERIMENTS.md`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmss_core::EnergyLedger;
+use pmss_faults::FaultPlan;
+use pmss_sched::{catalog, generate, Schedule, TraceParams};
+use pmss_stream::{StreamConfig, StreamEngine};
+use pmss_telemetry::{fleet_window_events, simulate_fleet, FleetConfig};
+
+fn schedule(nodes: usize, hours: f64) -> Schedule {
+    generate(
+        TraceParams {
+            nodes,
+            duration_s: hours * 3600.0,
+            seed: 9,
+            min_job_s: 900.0,
+        },
+        &catalog(),
+    )
+}
+
+/// Peak RSS of this process so far, in kilobytes (Linux; 0 elsewhere).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Streams every window event of one run through a fresh engine.
+fn stream_once(schedule: &Schedule, cfg: &FleetConfig, stream_cfg: StreamConfig) -> EnergyLedger {
+    let mut eng: StreamEngine<'_, EnergyLedger> =
+        StreamEngine::new(schedule, stream_cfg).expect("valid config");
+    fleet_window_events(schedule, cfg, |ev| {
+        eng.ingest(ev).expect("arrival order is within horizon");
+    });
+    eng.finish().0
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let sched = schedule(16, 12.0);
+    let clean = FleetConfig::default();
+    let faulted = FleetConfig {
+        faults: Some(FaultPlan::preset("frontier-typical").expect("known preset")),
+        ..FleetConfig::default()
+    };
+    let mut events = 0u64;
+    fleet_window_events(&sched, &clean, |_| events += 1);
+
+    // One-shot peak-RSS comparison (batch first so the streamed figure
+    // includes the same baseline allocations).
+    let before = peak_rss_kb();
+    let l: EnergyLedger = simulate_fleet(&sched, &clean);
+    black_box(l);
+    let after_batch = peak_rss_kb();
+    let s = stream_once(&sched, &clean, StreamConfig::for_plan(None));
+    black_box(s);
+    let after_stream = peak_rss_kb();
+    eprintln!(
+        "stream bench: {events} events/run; peak RSS baseline {before} kB, \
+         after batch {after_batch} kB, after streamed {after_stream} kB"
+    );
+
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10);
+
+    g.bench_function("batch/simulate_fleet_16n_12h", |b| {
+        b.iter(|| {
+            let l: EnergyLedger = simulate_fleet(&sched, &clean);
+            black_box(l)
+        })
+    });
+    g.bench_function("ingest/in_order_16n_12h", |b| {
+        b.iter(|| black_box(stream_once(&sched, &clean, StreamConfig::for_plan(None))))
+    });
+    g.bench_function("ingest/frontier_typical_reordered_16n_12h", |b| {
+        b.iter(|| {
+            black_box(stream_once(
+                &sched,
+                &faulted,
+                StreamConfig::for_plan(faulted.faults.as_ref()),
+            ))
+        })
+    });
+    g.bench_function("ingest/sharded_4x_16n_12h", |b| {
+        b.iter(|| {
+            black_box(stream_once(
+                &sched,
+                &clean,
+                StreamConfig::for_plan(None).with_shards(4),
+            ))
+        })
+    });
+
+    // Snapshot cost mid-stream: ingest half the trace once, then time
+    // repeated snapshots against that state.
+    let mut eng: StreamEngine<'_, EnergyLedger> =
+        StreamEngine::new(&sched, StreamConfig::for_plan(None)).expect("valid config");
+    let mut seen = 0u64;
+    fleet_window_events(&sched, &clean, |ev| {
+        if seen < events / 2 {
+            eng.ingest(ev).expect("arrival order is within horizon");
+        }
+        seen += 1;
+    });
+    g.bench_function("snapshot/mid_stream_16n_12h", |b| {
+        b.iter(|| black_box(eng.snapshot()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

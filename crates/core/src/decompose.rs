@@ -6,6 +6,7 @@
 //! (GPU-hours per region), the Table V/VI projection inputs (energy per
 //! region), and the Fig. 10 heatmaps (energy per domain x size).
 
+use pmss_error::PmssError;
 use pmss_sched::JobSizeClass;
 use pmss_telemetry::{FleetObserver, GapFill, SampleCtx};
 
@@ -101,7 +102,7 @@ const N_SIZES: usize = 5;
 /// The modal-decomposition ledger: a [`FleetObserver`] accumulating GPU
 /// seconds and joules per (domain, size class, region), plus an
 /// unattributed bucket for samples outside any job.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyLedger {
     /// Per-domain cells `[size][region]`, indexed by catalog order.
     domains: Vec<[[Cell; N_REGIONS]; N_SIZES]>,
@@ -229,7 +230,18 @@ impl EnergyLedger {
     /// Scales all quantities by `factor` — used to extrapolate a scaled
     /// fleet simulation to the full Frontier system (energy and hours are
     /// linear in node-count and duration).
-    pub fn scaled(&self, factor: f64) -> EnergyLedger {
+    ///
+    /// A non-finite or negative factor is a typed error: it would
+    /// silently poison every cell (and everything projected from them)
+    /// with NaN or negative energy.
+    pub fn scaled(&self, factor: f64) -> Result<EnergyLedger, PmssError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(PmssError::invalid_value(
+                "ledger scale factor",
+                format!("{factor}"),
+                "a finite, non-negative multiplier",
+            ));
+        }
         let mut out = self.clone();
         for d in &mut out.domains {
             for size in d.iter_mut() {
@@ -244,7 +256,7 @@ impl EnergyLedger {
             c.joules *= factor;
         }
         out.coverage.scale(factor);
-        out
+        Ok(out)
     }
 
     fn record(&mut self, job: Option<&pmss_sched::Job>, power_w: f64, span_s: f64) {
@@ -261,6 +273,11 @@ impl EnergyLedger {
 }
 
 impl FleetObserver for EnergyLedger {
+    // The ledger is the observer the streaming ingest engine reproduces
+    // bit-for-bit, so the batch simulation accumulates it per channel —
+    // the only grouping a bounded-memory stream can replay exactly.
+    const CHANNEL_GROUPED: bool = true;
+
     fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, _t_s: f64, power_w: f64) {
         let w = self.window();
         // A non-finite reading cannot be classified into a region without
@@ -385,9 +402,69 @@ mod tests {
         let mut l = EnergyLedger::new(15.0);
         let j = fake_job(0, JobSizeClass::A);
         l.gpu_sample(&ctx(Some(&j)), 0.0, 400.0);
-        let s = l.scaled(10.0);
+        let s = l.scaled(10.0).unwrap();
         assert_eq!(s.total().joules, 10.0 * l.total().joules);
         assert_eq!(s.total().seconds, 10.0 * l.total().seconds);
+    }
+
+    #[test]
+    fn non_finite_or_negative_scale_factors_are_typed_errors() {
+        // Scaling by NaN/infinity used to silently poison every cell (and
+        // everything projected downstream); negative factors fabricated
+        // negative energy.  All three are rejected up front now.
+        let mut l = EnergyLedger::new(15.0);
+        let j = fake_job(0, JobSizeClass::A);
+        l.gpu_sample(&ctx(Some(&j)), 0.0, 400.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert!(
+                matches!(l.scaled(bad), Err(PmssError::InvalidValue { .. })),
+                "factor {bad} must be rejected"
+            );
+        }
+        // Zero is a legitimate (if degenerate) factor: an empty fleet.
+        assert_eq!(l.scaled(0.0).unwrap().total().joules, 0.0);
+    }
+
+    #[test]
+    fn fraction_is_zero_with_no_observed_time_and_one_when_empty() {
+        // All accounted time lost: fraction must be 0, not NaN.
+        let cov = Coverage {
+            observed_s: 0.0,
+            excluded_s: 45.0,
+            ..Coverage::default()
+        };
+        assert_eq!(cov.fraction(), 0.0);
+        // Nothing accounted at all (a clean stream before any telemetry):
+        // fully covered by definition, again not NaN.
+        assert_eq!(Coverage::default().fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_ledgers_scale_and_filter_without_panicking() {
+        let empty = EnergyLedger::default();
+        let s = empty.scaled(123.4).unwrap();
+        assert_eq!(s.num_domains(), 0);
+        assert_eq!(s.total(), Cell::default());
+        let totals = empty.region_totals_filtered(|_, _| true);
+        assert_eq!(totals, [Cell::default(); 4]);
+        assert_eq!(empty.gpu_hours_fractions(), [0.0; 4]);
+        assert_eq!(empty.energy_matrix_j().len(), 0);
+    }
+
+    #[test]
+    fn mwh_is_exact_on_sub_window_cells() {
+        // Cells smaller than one telemetry window (a job's final partial
+        // window) must convert without losing the energy to rounding.
+        let mut l = EnergyLedger::new(15.0);
+        let j = fake_job(0, JobSizeClass::A);
+        l.gpu_sample(&ctx(Some(&j)), 0.0, 400.0);
+        let sub = Cell {
+            seconds: 0.25,
+            joules: 400.0 * 0.25,
+        };
+        assert_eq!(sub.mwh(), 100.0 / pmss_gpu::consts::JOULES_PER_MWH);
+        assert!(sub.mwh() > 0.0);
+        assert_eq!(Cell::default().mwh(), 0.0);
     }
 
     #[test]
@@ -434,7 +511,7 @@ mod tests {
         other.gpu_sample(&ctx(None), 0.0, 90.0);
         l.merge(other);
         assert_eq!(l.coverage().observed_s, 30.0);
-        assert_eq!(l.scaled(2.0).coverage().excluded_s, 30.0);
+        assert_eq!(l.scaled(2.0).unwrap().coverage().excluded_s, 30.0);
     }
 
     #[test]

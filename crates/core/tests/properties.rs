@@ -85,7 +85,8 @@ proptest! {
         prop_assume!(l.total().joules > 0.0);
         let t3 = table3::compute_default();
         let p1 = project(ProjectionInput::from_ledger(&l), &t3).expect("projection");
-        let p2 = project(ProjectionInput::from_ledger(&l.scaled(factor)), &t3).expect("projection");
+        let p2 = project(ProjectionInput::from_ledger(&l.scaled(factor).expect("finite factor")), &t3)
+            .expect("projection");
         for (a, b) in p1.freq_rows.iter().zip(&p2.freq_rows) {
             prop_assert!((b.ts_mwh - factor * a.ts_mwh).abs() < 1e-6 * b.ts_mwh.abs().max(1e-9));
             prop_assert!((b.savings_pct - a.savings_pct).abs() < 1e-9);

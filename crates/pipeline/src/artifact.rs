@@ -17,8 +17,11 @@ use pmss_gpu::{DvfsLadder, GovernedTotals, Governor, GpuSettings};
 use pmss_graph::case_study::{networks, CaseStudy};
 use pmss_obs::{edges, Stopwatch};
 use pmss_sched::{catalog, generate, log, JobSizeClass, TraceParams};
+use pmss_stream::{StreamConfig, StreamEngine, StreamState};
 use pmss_telemetry::export::sample_storage_bytes;
-use pmss_telemetry::{compare_sensors, FleetConfig, FleetPowerSeries, GpuCpuEnergy};
+use pmss_telemetry::{
+    compare_sensors, fleet_window_events, FleetConfig, FleetPowerSeries, GpuCpuEnergy,
+};
 use pmss_workloads::membench::{self, chunk_for_block, MembenchParams};
 use pmss_workloads::phases::synthesize_app;
 use pmss_workloads::sweep::{normalize, sweep_kernel, CapSetting, MEMBENCH_POWER_CAPS_W};
@@ -81,11 +84,14 @@ pub enum ArtifactId {
     Sensitivity,
     /// Ablation: fault-injection sensitivity of the decomposition.
     Faults,
+    /// Extension: the trace replayed as a timed stream through the
+    /// incremental ingest engine, with periodic snapshots.
+    Stream,
 }
 
 impl ArtifactId {
     /// Every artifact, in paper order.
-    pub fn all() -> [ArtifactId; 22] {
+    pub fn all() -> [ArtifactId; 23] {
         use ArtifactId::*;
         [
             Fig2,
@@ -110,6 +116,7 @@ impl ArtifactId {
             PeakPower,
             Sensitivity,
             Faults,
+            Stream,
         ]
     }
 
@@ -139,6 +146,7 @@ impl ArtifactId {
             PeakPower => "peakpower",
             Sensitivity => "sensitivity",
             Faults => "faults",
+            Stream => "stream",
         }
     }
 
@@ -168,6 +176,7 @@ impl ArtifactId {
             PeakPower => "facility peak-demand shaving",
             Sensitivity => "region-boundary sensitivity ablation",
             Faults => "telemetry fault-injection sensitivity sweep",
+            Stream => "streaming ingest replay with periodic snapshots",
         }
     }
 
@@ -180,7 +189,7 @@ impl ArtifactId {
                 PmssError::invalid_value(
                     "artifact",
                     name,
-                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults",
+                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults | stream",
                 )
             })
     }
@@ -712,6 +721,58 @@ pub struct FaultsArtifact {
     pub rows: Vec<FaultsRow>,
 }
 
+/// One periodic snapshot row of the streaming replay.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamRow {
+    /// Stream clock at the snapshot: end of the last delivered window's
+    /// delivery slot, seconds.
+    pub t_s: f64,
+    /// Events ingested so far.
+    pub events: u64,
+    /// Windows released to channel partials so far.
+    pub released: u64,
+    /// Windows parked in reorder buffers at the snapshot.
+    pub buffered: usize,
+    /// Coverage fraction of the snapshot ledger (0..1).
+    pub coverage: f64,
+    /// Frontier-scaled total energy ingested so far, MWh.
+    pub total_mwh: f64,
+    /// Coverage-adjusted bounds on the best no-slowdown savings; `None`
+    /// until enough energy has accumulated to project.
+    pub bounds: Option<SavingsBounds>,
+}
+
+/// Streaming-ingest artifact: the scenario's telemetry replayed in
+/// delivery order through the incremental `pmss-stream` engine, with
+/// periodic snapshots and a final self-check against the batch ledger.
+#[derive(Debug, Clone)]
+pub struct StreamArtifact {
+    /// Ingest shards the replay ran with.
+    pub shards: usize,
+    /// Reorder horizon, windows (derived from the active fault plan).
+    pub reorder_horizon: u64,
+    /// Declared reorder-buffer bound, windows (channels x horizon).
+    pub buffer_bound: usize,
+    /// Periodic snapshots, ending with the flushed final state.
+    pub rows: Vec<StreamRow>,
+    /// Total events ingested.
+    pub events: u64,
+    /// GPU power samples among them.
+    pub samples: u64,
+    /// Explicit gap windows among them.
+    pub gaps: u64,
+    /// Rest-of-node windows among them.
+    pub rest_samples: u64,
+    /// Events rejected for arriving beyond the horizon.
+    pub late_rejects: u64,
+    /// Peak windows parked across all reorder buffers.
+    pub peak_buffered_windows: usize,
+    /// Peak windows parked in any single channel's buffer.
+    pub peak_channel_windows: usize,
+    /// Whether the flushed stream ledger equals the batch-path ledger.
+    pub batch_identical: bool,
+}
+
 /// One computed artifact value.
 #[derive(Debug, Clone)]
 pub enum Artifact {
@@ -759,6 +820,8 @@ pub enum Artifact {
     Sensitivity(SensitivityArtifact),
     /// Fault-injection sensitivity sweep.
     Faults(FaultsArtifact),
+    /// Streaming ingest replay.
+    Stream(StreamArtifact),
 }
 
 impl Artifact {
@@ -787,6 +850,7 @@ impl Artifact {
             Artifact::PeakPower(_) => ArtifactId::PeakPower,
             Artifact::Sensitivity(_) => ArtifactId::Sensitivity,
             Artifact::Faults(_) => ArtifactId::Faults,
+            Artifact::Stream(_) => ArtifactId::Stream,
         }
     }
 
@@ -860,6 +924,7 @@ impl Pipeline {
             ArtifactId::PeakPower => Artifact::PeakPower(peakpower(self)),
             ArtifactId::Sensitivity => Artifact::Sensitivity(sensitivity(self)?),
             ArtifactId::Faults => Artifact::Faults(faults(self)?),
+            ArtifactId::Stream => Artifact::Stream(stream(self)?),
         };
         if let Some(m) = self.metrics.as_mut() {
             m.inc("artifacts.computed");
@@ -1155,7 +1220,7 @@ fn fig10(p: &mut Pipeline) -> Result<Fig10, PmssError> {
     p.ensure_table3()?;
     let fleet = p.fleet.as_ref().expect("fleet stage ran");
     let t3 = p.table3.as_ref().expect("benchmark stage ran");
-    let ledger = fleet.ledger.scaled(fleet.frontier_factor);
+    let ledger = fleet.ledger.scaled(fleet.frontier_factor)?;
     let used = energy_used(&ledger);
     let row_1100 = t3.freq_row(1100.0).ok_or_else(|| {
         PmssError::missing("Table III row", "1100 MHz (not in the spec's freq ladder)")
@@ -1254,7 +1319,7 @@ fn table6(p: &mut Pipeline) -> Result<Table6, PmssError> {
     p.ensure_table3()?;
     let fleet = p.fleet.as_ref().expect("fleet stage ran");
     let t3 = p.table3.as_ref().expect("benchmark stage ran");
-    let ledger = fleet.ledger.scaled(fleet.frontier_factor);
+    let ledger = fleet.ledger.scaled(fleet.frontier_factor)?;
     let row_1100 = t3.freq_row(1100.0).ok_or_else(|| {
         PmssError::missing("Table III row", "1100 MHz (not in the spec's freq ladder)")
     })?;
@@ -1545,7 +1610,7 @@ fn faults(p: &mut Pipeline) -> Result<FaultsArtifact, PmssError> {
                 metered_sim_stats(&fleet.schedule, &cfg, cache, metrics.as_mut());
             let coverage = ledger.coverage();
             let proj = project(
-                ProjectionInput::from_ledger(&ledger.scaled(fleet.frontier_factor)),
+                ProjectionInput::from_ledger(&ledger.scaled(fleet.frontier_factor)?),
                 t3,
             )?;
             rows.push(FaultsRow {
@@ -1570,5 +1635,101 @@ fn faults(p: &mut Pipeline) -> Result<FaultsArtifact, PmssError> {
     Ok(FaultsArtifact {
         nominal_free_pct,
         rows,
+    })
+}
+
+/// How many periodic snapshots the stream replay takes before the final
+/// flushed one.
+const STREAM_SNAPSHOTS: usize = 4;
+
+fn stream(p: &mut Pipeline) -> Result<StreamArtifact, PmssError> {
+    p.ensure_fleet()?;
+    p.ensure_table3()?;
+    let cfg = p.fleet_config();
+    let Pipeline {
+        fleet,
+        table3,
+        metrics,
+        ..
+    } = p;
+    let fleet = fleet.as_ref().expect("fleet stage ran");
+    let t3 = table3.as_ref().expect("benchmark stage ran");
+    let window_s = cfg.window_s;
+
+    // Replay the trace as a timed stream: the generator emits each channel
+    // contiguously, so the replay driver materializes and interleaves all
+    // channels by delivery rank — the order a collection fabric would hand
+    // windows to an ingest tier.  (Only the driver holds the trace; the
+    // engine itself stays O(channels x horizon).)
+    let mut events = Vec::new();
+    fleet_window_events(&fleet.schedule, &cfg, |ev| events.push(ev));
+    events.sort_unstable_by(|a, b| {
+        (a.rank, a.node, a.slot, a.window).cmp(&(b.rank, b.node, b.slot, b.window))
+    });
+
+    let stream_cfg = StreamConfig::for_plan(cfg.faults.as_ref()).with_shards(4);
+    let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(&fleet.schedule, stream_cfg)?;
+    let sw = Stopwatch::start();
+
+    // Snapshot row from the engine's current (possibly mid-stream) state.
+    let capture = |eng: &StreamEngine<'_, EnergyLedger>,
+                   t_s: f64|
+     -> Result<StreamRow, PmssError> {
+        let state = StreamState::capture(eng, fleet.frontier_factor);
+        let stats = eng.stats();
+        Ok(StreamRow {
+            t_s,
+            events: stats.events,
+            released: stats.released_windows,
+            buffered: stats.buffered_windows,
+            coverage: state.coverage().fraction(),
+            total_mwh: ProjectionInput::from_ledger(&state.ledger().scaled(fleet.frontier_factor)?)
+                .total_mwh(),
+            bounds: state.coverage_bounds(t3).ok(),
+        })
+    };
+
+    // Deterministic snapshot cadence: evenly spaced cuts of the delivery
+    // sequence, then the flushed final state.  Simulated time only — no
+    // wall clock reaches the pinned bytes.
+    let mut rows = Vec::new();
+    let n = events.len();
+    let mut next_cut = 1;
+    for (i, ev) in events.iter().enumerate() {
+        eng.ingest(*ev)?;
+        if next_cut <= STREAM_SNAPSHOTS && (i + 1) == n * next_cut / (STREAM_SNAPSHOTS + 1) {
+            rows.push(capture(&eng, (ev.rank + 1) as f64 * window_s)?);
+            next_cut += 1;
+        }
+    }
+    eng.flush();
+    let last_rank = events.iter().map(|ev| ev.rank).max().unwrap_or(0);
+    rows.push(capture(&eng, (last_rank + 1) as f64 * window_s)?);
+
+    if let Some(m) = metrics.as_mut() {
+        eng.publish_metrics(m);
+        let wall = sw.elapsed_s();
+        if wall > 0.0 {
+            m.gauge_set(
+                "stream.windows_per_s",
+                eng.stats().released_windows as f64 / wall,
+            );
+        }
+    }
+    let buffer_bound = eng.buffer_bound();
+    let (ledger, stats) = eng.finish();
+    Ok(StreamArtifact {
+        shards: stream_cfg.shards,
+        reorder_horizon: stream_cfg.reorder_horizon,
+        buffer_bound,
+        rows,
+        events: stats.events,
+        samples: stats.samples,
+        gaps: stats.gaps,
+        rest_samples: stats.rest_samples,
+        late_rejects: stats.late_rejects,
+        peak_buffered_windows: stats.peak_buffered_windows,
+        peak_channel_windows: stats.peak_channel_windows,
+        batch_identical: ledger == fleet.ledger,
     })
 }

@@ -71,6 +71,7 @@ pub(crate) fn ascii(a: &Artifact) -> String {
         Artifact::PeakPower(v) => ascii_peakpower(v),
         Artifact::Sensitivity(v) => ascii_sensitivity(v),
         Artifact::Faults(v) => ascii_faults(v),
+        Artifact::Stream(v) => ascii_stream(v),
     }
 }
 
@@ -99,6 +100,7 @@ pub(crate) fn json(a: &Artifact) -> Json {
         Artifact::PeakPower(v) => json_peakpower(v),
         Artifact::Sensitivity(v) => json_sensitivity(v),
         Artifact::Faults(v) => json_faults(v),
+        Artifact::Stream(v) => json_stream(v),
     }
 }
 
@@ -793,6 +795,75 @@ fn ascii_faults(a: &FaultsArtifact) -> String {
     out
 }
 
+fn ascii_stream(a: &StreamArtifact) -> String {
+    let mut out = String::new();
+    wl!(
+        out,
+        "streaming ingest replay (delivery-ordered windows, incremental decomposition):"
+    );
+    wl!(
+        out,
+        "  shards {}, reorder horizon {} window(s), buffer bound {} windows",
+        a.shards,
+        a.reorder_horizon,
+        a.buffer_bound
+    );
+    wl!(out);
+    wl!(
+        out,
+        "  {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}  best-free bounds",
+        "t (s)",
+        "events",
+        "released",
+        "buffered",
+        "coverage",
+        "total MWh"
+    );
+    for r in &a.rows {
+        let bounds = match &r.bounds {
+            Some(b) => format!("[{:.2}%, {:.2}%]", b.lo_pct, b.hi_pct),
+            None => "pending".to_string(),
+        };
+        wl!(
+            out,
+            "  {:>9.0} {:>9} {:>9} {:>9} {:>8.2}% {:>11.3}  {}",
+            r.t_s,
+            r.events,
+            r.released,
+            r.buffered,
+            100.0 * r.coverage,
+            r.total_mwh,
+            bounds
+        );
+    }
+    wl!(out);
+    wl!(
+        out,
+        "  ingested {} events ({} samples, {} gaps, {} rest windows), {} late rejects",
+        a.events,
+        a.samples,
+        a.gaps,
+        a.rest_samples,
+        a.late_rejects
+    );
+    wl!(
+        out,
+        "  peak reorder buffer {} windows total, {} in one channel",
+        a.peak_buffered_windows,
+        a.peak_channel_windows
+    );
+    wl!(
+        out,
+        "  final ledger vs batch decomposition: {}",
+        if a.batch_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    out
+}
+
 // ---------------------------------------------------------------------------
 // JSON renderers
 // ---------------------------------------------------------------------------
@@ -1404,6 +1475,42 @@ fn json_faults(a: &FaultsArtifact) -> Json {
                             .field("dropout_windows", r.dropout_windows)
                             .field("coverage", coverage_json(&r.coverage))
                             .field("bounds", bounds_json(&r.bounds))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+fn json_stream(a: &StreamArtifact) -> Json {
+    Json::obj()
+        .field("shards", a.shards)
+        .field("reorder_horizon", a.reorder_horizon)
+        .field("buffer_bound", a.buffer_bound)
+        .field("events", a.events)
+        .field("samples", a.samples)
+        .field("gaps", a.gaps)
+        .field("rest_samples", a.rest_samples)
+        .field("late_rejects", a.late_rejects)
+        .field("peak_buffered_windows", a.peak_buffered_windows)
+        .field("peak_channel_windows", a.peak_channel_windows)
+        .field("batch_identical", a.batch_identical)
+        .field(
+            "snapshots",
+            Json::Arr(
+                a.rows
+                    .iter()
+                    .map(|r| {
+                        let mut o = Json::obj()
+                            .field("t_s", r.t_s)
+                            .field("events", r.events)
+                            .field("released", r.released)
+                            .field("buffered", r.buffered)
+                            .field("coverage", r.coverage)
+                            .field("total_mwh", r.total_mwh);
+                        if let Some(b) = &r.bounds {
+                            o = o.field("best_free_bounds", bounds_json(b));
+                        }
+                        o
                     })
                     .collect(),
             ),

@@ -258,7 +258,7 @@ impl Pipeline {
         let sw = Stopwatch::start();
         let fleet = self.fleet.as_ref().expect("fleet stage ran");
         let t3 = self.table3.as_ref().expect("benchmark stage ran");
-        let ledger = fleet.ledger.scaled(fleet.frontier_factor);
+        let ledger = fleet.ledger.scaled(fleet.frontier_factor)?;
         let proj = project(ProjectionInput::from_ledger(&ledger), t3);
         if let Some(m) = self.metrics.as_mut() {
             m.inc("stage.projection.runs");

@@ -1,0 +1,556 @@
+//! The streaming ingest engine: reorder-buffered, sharded, bounded-memory.
+//!
+//! Telemetry windows arrive as [`WindowEvent`]s, possibly out of order
+//! within a bounded reorder horizon (a collection fabric's delivery jitter,
+//! modeled by `pmss-faults`' bounded-buffer reordering).  The engine holds
+//! one partial observer per telemetry channel plus a small per-channel
+//! reorder buffer, releases windows into the partial once they can no
+//! longer be preceded by a late sibling, and snapshots by merging the
+//! partials in the batch simulation's canonical channel order — which is
+//! what makes a snapshot bit-identical to [`simulate_fleet`] over the same
+//! windows (see [`FleetObserver::CHANNEL_GROUPED`]).
+//!
+//! Memory is O(live channels × horizon) buffered windows, never O(trace).
+//!
+//! [`simulate_fleet`]: pmss_telemetry::simulate_fleet
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pmss_error::PmssError;
+use pmss_faults::FaultPlan;
+use pmss_obs::Metrics;
+use pmss_sched::Schedule;
+use pmss_telemetry::{apply_event, FleetObserver, WindowEvent, WindowKind};
+
+/// Shape of a streaming ingest: how many shards partition the fleet and
+/// how much delivery reordering the engine must absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Number of ingest shards; channels are assigned by `node % shards`.
+    pub shards: usize,
+    /// Reorder horizon in windows: a window is buffered until a sibling
+    /// `horizon` windows ahead has been seen, after which no earlier
+    /// window can still arrive.  Must exceed the delivery lag bound
+    /// (`FaultPlan::reorder_depth`); see [`StreamConfig::for_plan`].
+    pub reorder_horizon: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 1,
+            reorder_horizon: 1,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The minimal safe configuration for telemetry degraded by `plan`:
+    /// a horizon one past the plan's delivery-lag bound (`reorder_depth`),
+    /// which is exactly enough to make every buffered window final before
+    /// release.  A clean stream (no plan) gets horizon 1: each window is
+    /// released as soon as its successor arrives.
+    pub fn for_plan(plan: Option<&FaultPlan>) -> StreamConfig {
+        let depth = plan
+            .filter(|p| !p.is_noop())
+            .map_or(0, |p| p.reorder_depth as u64);
+        StreamConfig {
+            shards: 1,
+            reorder_horizon: depth + 1,
+        }
+    }
+
+    /// Returns `self` with a different shard count (builder-style).
+    pub fn with_shards(mut self, shards: usize) -> StreamConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), PmssError> {
+        if self.shards == 0 {
+            return Err(PmssError::invalid_value(
+                "stream shards",
+                "0",
+                "at least one ingest shard",
+            ));
+        }
+        if self.reorder_horizon == 0 {
+            return Err(PmssError::invalid_value(
+                "stream reorder horizon",
+                "0",
+                "at least one window of lateness tolerance",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why the engine refused an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The event's window is behind its channel's release floor: an event
+    /// at least `reorder_horizon` windows ahead was already seen, so this
+    /// window was finalized and its telemetry can no longer be amended.
+    LateArrival {
+        /// Node of the offending event.
+        node: u32,
+        /// Channel slot of the offending event.
+        slot: u8,
+        /// The event's window.
+        window: u64,
+        /// The channel's release floor (first still-accepted window).
+        floor: u64,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::LateArrival {
+                node,
+                slot,
+                window,
+                floor,
+            } => write!(
+                f,
+                "late arrival on channel ({node}, {slot}): window {window} is \
+                 behind the release floor {floor} (delivery lag exceeded the \
+                 configured reorder horizon)"
+            ),
+        }
+    }
+}
+
+impl From<StreamError> for PmssError {
+    fn from(e: StreamError) -> PmssError {
+        PmssError::invalid_value(
+            "stream event",
+            e.to_string(),
+            "delivery lag within the configured reorder horizon",
+        )
+    }
+}
+
+/// Ingest tallies, cheap enough to read after every event.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamStats {
+    /// Events accepted (samples + gaps + rest-of-node).
+    pub events: u64,
+    /// GPU power samples accepted.
+    pub samples: u64,
+    /// Gap (lost-window) events accepted.
+    pub gaps: u64,
+    /// Rest-of-node samples accepted.
+    pub rest_samples: u64,
+    /// Windows released from reorder buffers into channel partials.
+    pub released_windows: u64,
+    /// Events rejected as [`StreamError::LateArrival`].
+    pub late_rejects: u64,
+    /// Windows currently buffered across all channels.
+    pub buffered_windows: usize,
+    /// High-water mark of `buffered_windows` (measured at release
+    /// steady-state, so it respects the declared per-channel bound).
+    pub peak_buffered_windows: usize,
+    /// High-water mark of any single channel's buffered windows; bounded
+    /// by the configured reorder horizon.
+    pub peak_channel_windows: usize,
+}
+
+/// One telemetry channel's ingest state.
+#[derive(Debug, Clone)]
+struct Channel<O> {
+    /// Windows below the floor, applied in ascending order.
+    partial: O,
+    /// Buffered in-horizon windows, keyed by window index; duplicate
+    /// deliveries of one window keep their arrival order in the `Vec`.
+    buffer: BTreeMap<u64, Vec<WindowEvent>>,
+    /// Highest window seen on this channel.
+    max_seen: u64,
+    /// First window still accepted; everything below is final.
+    floor: u64,
+}
+
+impl<O: FleetObserver + Default> Default for Channel<O> {
+    fn default() -> Self {
+        Channel {
+            partial: O::default(),
+            buffer: BTreeMap::new(),
+            max_seen: 0,
+            floor: 0,
+        }
+    }
+}
+
+/// One ingest shard: the channels of every node with `node % shards ==
+/// shard index`, plus a delivered-event tally for imbalance accounting.
+#[derive(Debug, Clone)]
+struct Shard<O> {
+    channels: BTreeMap<(u32, u8), Channel<O>>,
+    events: u64,
+}
+
+impl<O> Default for Shard<O> {
+    fn default() -> Self {
+        Shard {
+            channels: BTreeMap::new(),
+            events: 0,
+        }
+    }
+}
+
+/// The streaming ingest engine, generic over the observer it maintains.
+///
+/// Snapshots are bit-identical to the batch path only for observers the
+/// batch simulation accumulates per channel
+/// ([`FleetObserver::CHANNEL_GROUPED`], i.e. the energy ledger); for other
+/// observers a snapshot is the same telemetry under a different — equally
+/// valid — floating-point association.
+pub struct StreamEngine<'a, O: FleetObserver + Default + Clone> {
+    schedule: &'a Schedule,
+    cfg: StreamConfig,
+    shards: Vec<Shard<O>>,
+    stats: StreamStats,
+}
+
+impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
+    /// Creates an engine over `schedule`'s job log (needed to attribute
+    /// sample events to jobs).
+    pub fn new(schedule: &'a Schedule, cfg: StreamConfig) -> Result<Self, PmssError> {
+        cfg.validate()?;
+        Ok(StreamEngine {
+            schedule,
+            cfg,
+            shards: (0..cfg.shards).map(|_| Shard::default()).collect(),
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.cfg
+    }
+
+    /// Current ingest tallies.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// The declared buffered-window bound: every live channel holds at
+    /// most `reorder_horizon` windows, so total buffered memory is
+    /// O(channels × horizon) — independent of trace length.
+    pub fn buffer_bound(&self) -> usize {
+        let channels: usize = self.shards.iter().map(|s| s.channels.len()).sum();
+        channels.saturating_mul(self.cfg.reorder_horizon as usize)
+    }
+
+    /// Ingests one event, buffering it until its window is final.
+    ///
+    /// Events whose window fell behind the channel's release floor (their
+    /// delivery lag exceeded the configured horizon) are counted and
+    /// rejected with [`StreamError::LateArrival`]; the engine's state is
+    /// unchanged and later ingests proceed normally.
+    pub fn ingest(&mut self, ev: WindowEvent) -> Result<(), StreamError> {
+        let horizon = self.cfg.reorder_horizon;
+        let shard = &mut self.shards[ev.node as usize % self.cfg.shards];
+        let ch = shard.channels.entry(ev.channel()).or_default();
+        if ev.window < ch.floor {
+            self.stats.late_rejects += 1;
+            return Err(StreamError::LateArrival {
+                node: ev.node,
+                slot: ev.slot,
+                window: ev.window,
+                floor: ch.floor,
+            });
+        }
+        shard.events += 1;
+        self.stats.events += 1;
+        match ev.kind {
+            WindowKind::Sample { .. } => self.stats.samples += 1,
+            WindowKind::Gap { .. } => self.stats.gaps += 1,
+            WindowKind::NodeRest { .. } => self.stats.rest_samples += 1,
+        }
+        ch.max_seen = ch.max_seen.max(ev.window);
+        let fresh = match ch.buffer.entry(ev.window) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(vec![ev]);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().push(ev);
+                false
+            }
+        };
+        if fresh {
+            self.stats.buffered_windows += 1;
+        }
+        // Release every window that can no longer be preceded: delivery
+        // rank is window + lag with lag < horizon, and ranks arrive
+        // non-decreasing, so once a window `max_seen` is delivered no
+        // window at or below `max_seen - horizon` can still appear.
+        let max_seen = ch.max_seen;
+        while let Some((&w, _)) = ch.buffer.iter().next() {
+            if w.saturating_add(horizon) > max_seen {
+                break;
+            }
+            let evs = ch.buffer.remove(&w).expect("first key exists");
+            for e in &evs {
+                apply_event(&mut ch.partial, self.schedule, e);
+            }
+            ch.floor = w + 1;
+            self.stats.buffered_windows -= 1;
+            self.stats.released_windows += 1;
+        }
+        self.stats.peak_channel_windows = self.stats.peak_channel_windows.max(ch.buffer.len());
+        self.stats.peak_buffered_windows = self
+            .stats
+            .peak_buffered_windows
+            .max(self.stats.buffered_windows);
+        Ok(())
+    }
+
+    /// Ingests a sequence of events, stopping at the first rejection.
+    pub fn ingest_all(
+        &mut self,
+        events: impl IntoIterator<Item = WindowEvent>,
+    ) -> Result<(), StreamError> {
+        for ev in events {
+            self.ingest(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Drains every reorder buffer into its channel partial — the
+    /// end-of-stream signal, after which a snapshot covers every ingested
+    /// window.
+    pub fn flush(&mut self) {
+        for shard in &mut self.shards {
+            for ch in shard.channels.values_mut() {
+                while let Some((w, evs)) = ch.buffer.pop_first() {
+                    for e in &evs {
+                        apply_event(&mut ch.partial, self.schedule, e);
+                    }
+                    ch.floor = w + 1;
+                    self.stats.buffered_windows -= 1;
+                    self.stats.released_windows += 1;
+                }
+            }
+        }
+    }
+
+    /// The merged observer over every window ingested so far — released
+    /// *and* still-buffered ones, so a mid-stream snapshot equals the
+    /// batch result over exactly the ingested window set.
+    ///
+    /// Channels merge in the batch simulation's canonical order (nodes
+    /// ascending; GPU slots `0..4`, then rest-of-node), which makes the
+    /// result independent of the shard count and, for channel-grouped
+    /// observers, bit-identical to [`pmss_telemetry::simulate_fleet`].
+    pub fn snapshot(&self) -> O {
+        let mut keys: Vec<(usize, (u32, u8))> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            keys.extend(shard.channels.keys().map(|&k| (i, k)));
+        }
+        keys.sort_unstable_by_key(|&(_, k)| k);
+        let mut out = O::default();
+        for (i, key) in keys {
+            let ch = &self.shards[i].channels[&key];
+            let mut part = ch.partial.clone();
+            for evs in ch.buffer.values() {
+                for e in evs {
+                    apply_event(&mut part, self.schedule, e);
+                }
+            }
+            out.merge(part);
+        }
+        out
+    }
+
+    /// Flushes and returns the final observer with the ingest tallies.
+    pub fn finish(mut self) -> (O, StreamStats) {
+        self.flush();
+        (self.snapshot(), self.stats)
+    }
+
+    /// Publishes ingest tallies into a metrics registry under `stream.*`:
+    /// event/sample/gap counters, reorder-buffer occupancy (current and
+    /// peak, against the declared bound), and shard imbalance (most-loaded
+    /// shard's event share over a perfectly balanced share).
+    pub fn publish_metrics(&self, m: &mut Metrics) {
+        m.add("stream.events", self.stats.events);
+        m.add("stream.samples", self.stats.samples);
+        m.add("stream.gaps", self.stats.gaps);
+        m.add("stream.rest_samples", self.stats.rest_samples);
+        m.add("stream.released_windows", self.stats.released_windows);
+        m.add("stream.late_rejects", self.stats.late_rejects);
+        m.gauge_set("stream.shards", self.cfg.shards as f64);
+        m.gauge_set("stream.reorder_horizon", self.cfg.reorder_horizon as f64);
+        m.gauge_set(
+            "stream.buffered_windows",
+            self.stats.buffered_windows as f64,
+        );
+        m.gauge_set(
+            "stream.peak_buffered_windows",
+            self.stats.peak_buffered_windows as f64,
+        );
+        m.gauge_set(
+            "stream.peak_channel_windows",
+            self.stats.peak_channel_windows as f64,
+        );
+        m.gauge_set("stream.buffer_bound", self.buffer_bound() as f64);
+        let max = self.shards.iter().map(|s| s.events).max().unwrap_or(0);
+        if self.stats.events > 0 {
+            let balanced = self.stats.events as f64 / self.cfg.shards as f64;
+            m.gauge_set("stream.shard_imbalance", max as f64 / balanced);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmss_core::EnergyLedger;
+    use pmss_sched::{catalog, generate, TraceParams};
+    use pmss_telemetry::{fleet_window_events, simulate_fleet, FleetConfig};
+
+    fn schedule() -> Schedule {
+        generate(
+            TraceParams {
+                nodes: 4,
+                duration_s: 4.0 * 3600.0,
+                seed: 7,
+                ..TraceParams::default()
+            },
+            &catalog(),
+        )
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_shapes() {
+        assert!(StreamConfig {
+            shards: 0,
+            reorder_horizon: 1
+        }
+        .validate()
+        .is_err());
+        assert!(StreamConfig {
+            shards: 1,
+            reorder_horizon: 0
+        }
+        .validate()
+        .is_err());
+        assert!(StreamConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn for_plan_covers_the_plans_reorder_depth() {
+        assert_eq!(StreamConfig::for_plan(None).reorder_horizon, 1);
+        let plan = pmss_faults::FaultPlan::preset("frontier-typical").unwrap();
+        let cfg = StreamConfig::for_plan(Some(&plan));
+        assert!(cfg.reorder_horizon > plan.reorder_depth as u64);
+    }
+
+    #[test]
+    fn clean_in_order_stream_matches_batch_bit_for_bit() {
+        let sched = schedule();
+        let cfg = FleetConfig::default();
+        let batch: EnergyLedger = simulate_fleet(&sched, &cfg);
+        let mut eng: StreamEngine<'_, EnergyLedger> =
+            StreamEngine::new(&sched, StreamConfig::default()).unwrap();
+        fleet_window_events(&sched, &cfg, |ev| {
+            eng.ingest(ev).unwrap();
+        });
+        let (ledger, stats) = eng.finish();
+        assert_eq!(ledger, batch);
+        assert!(stats.events > 0);
+        assert_eq!(stats.late_rejects, 0);
+    }
+
+    #[test]
+    fn snapshot_is_shard_count_invariant() {
+        let sched = schedule();
+        let cfg = FleetConfig::default();
+        let mut ledgers = Vec::new();
+        for shards in [1, 3] {
+            let mut eng: StreamEngine<'_, EnergyLedger> =
+                StreamEngine::new(&sched, StreamConfig::default().with_shards(shards)).unwrap();
+            fleet_window_events(&sched, &cfg, |ev| {
+                eng.ingest(ev).unwrap();
+            });
+            ledgers.push(eng.finish().0);
+        }
+        assert_eq!(ledgers[0], ledgers[1]);
+    }
+
+    #[test]
+    fn late_arrival_is_rejected_without_corrupting_state() {
+        let sched = schedule();
+        let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(
+            &sched,
+            StreamConfig {
+                shards: 1,
+                reorder_horizon: 2,
+            },
+        )
+        .unwrap();
+        let mk = |window: u64| WindowEvent {
+            node: 0,
+            slot: 0,
+            window,
+            rank: window,
+            t_s: window as f64 * 15.0,
+            span_s: 15.0,
+            kind: WindowKind::Sample {
+                power_w: 300.0,
+                job: None,
+            },
+        };
+        eng.ingest(mk(0)).unwrap();
+        eng.ingest(mk(5)).unwrap(); // finalizes window 0, floor -> 1
+        let err = eng.ingest(mk(0)).unwrap_err();
+        assert!(matches!(err, StreamError::LateArrival { window: 0, .. }));
+        assert_eq!(eng.stats().late_rejects, 1);
+        // A never-released in-horizon window is still welcome out of order.
+        eng.ingest(mk(4)).unwrap();
+        let (ledger, stats) = eng.finish();
+        assert_eq!(stats.samples, 3);
+        assert_eq!(ledger.coverage().observed_s, 3.0 * 15.0);
+    }
+
+    #[test]
+    fn buffered_windows_respect_the_declared_bound() {
+        let sched = schedule();
+        let horizon = 4u64;
+        let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(
+            &sched,
+            StreamConfig {
+                shards: 2,
+                reorder_horizon: horizon,
+            },
+        )
+        .unwrap();
+        let cfg = FleetConfig::default();
+        fleet_window_events(&sched, &cfg, |ev| {
+            eng.ingest(ev).unwrap();
+            assert!(eng.stats().buffered_windows <= eng.buffer_bound());
+        });
+        assert!(eng.stats().peak_channel_windows <= horizon as usize);
+    }
+
+    #[test]
+    fn metrics_report_the_ingest_shape() {
+        let sched = schedule();
+        let cfg = FleetConfig::default();
+        let mut eng: StreamEngine<'_, EnergyLedger> =
+            StreamEngine::new(&sched, StreamConfig::default().with_shards(2)).unwrap();
+        fleet_window_events(&sched, &cfg, |ev| {
+            eng.ingest(ev).unwrap();
+        });
+        let mut m = Metrics::default();
+        eng.publish_metrics(&mut m);
+        assert_eq!(m.counter("stream.events"), eng.stats().events);
+        assert!(m.gauge("stream.shard_imbalance").unwrap() >= 1.0);
+        assert_eq!(m.gauge("stream.shards"), Some(2.0));
+    }
+}

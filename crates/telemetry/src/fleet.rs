@@ -20,6 +20,7 @@ use pmss_sched::{Job, Schedule};
 use pmss_workloads::phases::synthesize_app;
 use pmss_workloads::AppClass;
 
+use crate::events::{apply_event, WindowEvent, WindowKind, REST_SLOT};
 use crate::fleetcache::FleetCache;
 
 /// Fleet-simulation parameters.
@@ -108,6 +109,22 @@ pub enum GapFill {
 /// they need (histograms, energy ledgers, joined series); `merge` combines
 /// per-node partials after the parallel fold.
 pub trait FleetObserver: Send + Sized {
+    /// Whether the simulation accumulates this observer one fresh partial
+    /// per telemetry channel, merged in canonical order (nodes ascending;
+    /// GPU slots `0..4`, then rest-of-node), instead of applying every
+    /// sample to one running accumulator.
+    ///
+    /// Per-channel grouping is the accumulation shape a bounded-memory
+    /// streaming ingest (`pmss-stream`) can reproduce *bit for bit*: the
+    /// engine holds one partial observer per channel and snapshots by
+    /// merging them in the same canonical order.  Because floating-point
+    /// addition is not associative, the two shapes differ in low-order
+    /// bits, so observers pinned to historical byte-exact output keep the
+    /// default (`false`) and only observers that participate in streaming
+    /// equivalence (the energy ledger) opt in.  For observers whose state
+    /// merges exactly (integer counts), the shapes coincide.
+    const CHANNEL_GROUPED: bool = false;
+
     /// One GPU power sample (window mean), stamped at the window center.
     fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64);
     /// One telemetry window lost to injected faults, handled under the
@@ -419,24 +436,15 @@ fn slot_segments(
     segs
 }
 
-/// One generated (pre-fault) window sample awaiting delivery.
-#[derive(Debug, Clone, Copy)]
-struct RawSample {
-    window: u64,
-    t_s: f64,
-    span_s: f64,
-    power_w: f64,
-    job: Option<usize>,
-}
-
-/// Walks `segments` in `window_s` windows, emitting mean power per window
-/// with boost excursions and sensor noise applied.  When the config
-/// carries an active [`FaultPlan`], generated samples are staged and
-/// degraded by [`deliver_faulted`] instead of delivered directly; sample
-/// *generation* (including RNG consumption) is identical either way.
+/// Walks `segments` in `window_s` windows, emitting one [`WindowEvent`]
+/// per window — mean power with boost excursions and sensor noise applied,
+/// degraded in place when the config carries an active [`FaultPlan`] —
+/// to `emit` in canonical channel order: ascending window, duplicate
+/// deliveries adjacent.  Sample *generation* (including RNG consumption)
+/// is identical with and without a plan; faults only change what is
+/// emitted for each generated window.
 #[allow(clippy::too_many_arguments)]
-fn emit_windows<O: FleetObserver, M: FleetSink>(
-    observer: &mut O,
+fn slot_window_events<M: FleetSink>(
     sink: &mut M,
     schedule: &Schedule,
     segments: &[Segment],
@@ -446,9 +454,15 @@ fn emit_windows<O: FleetObserver, M: FleetSink>(
     boost: &mut BoostBudget,
     rng: &mut StdRng,
     idle_power_w: f64,
+    emit: &mut impl FnMut(WindowEvent),
 ) {
     let plan = cfg.faults.as_ref().filter(|p| !p.is_noop());
-    let mut pending: Vec<RawSample> = Vec::new();
+    let skew = plan.map_or(0.0, |p| p.clock_skew_s(node));
+    // Interpolation holds the last *clean generated* value: a glitched
+    // sensor reading must not poison later gap fills.
+    let mut last_good: Option<f64> = None;
+    // Delivery ranks of every delivered copy, for the reorder tally.
+    let mut ranks: Vec<(u64, u64)> = Vec::new();
     let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
     let mut seg_idx = 0usize;
 
@@ -512,130 +526,111 @@ fn emit_windows<O: FleetObserver, M: FleetSink>(
         }
 
         let mean = (energy / span + cfg.noise_sd_w * standard_normal(rng)).max(0.0);
-        match plan {
-            None => {
-                let ctx = SampleCtx {
-                    node,
-                    slot,
-                    job: attributed.map(|j| &schedule.jobs[j]),
-                };
-                observer.gpu_sample(&ctx, center, mean);
-                sink.gpu_sample(attributed.is_some());
-            }
-            Some(_) => pending.push(RawSample {
-                window: w as u64,
+        let window = w as u64;
+        let Some(plan) = plan else {
+            sink.gpu_sample(attributed.is_some());
+            emit(WindowEvent {
+                node,
+                slot,
+                window,
+                rank: window,
                 t_s: center,
                 span_s: span,
-                power_w: mean,
-                job: attributed,
-            }),
-        }
-    }
+                kind: WindowKind::Sample {
+                    power_w: mean,
+                    job: attributed,
+                },
+            });
+            continue;
+        };
 
-    if let Some(plan) = plan {
-        deliver_faulted(
-            observer,
-            sink,
-            schedule,
-            pending,
-            node,
-            slot,
-            plan,
-            idle_power_w,
-        );
-    }
-}
-
-/// Degrades and delivers one slot's staged samples under `plan`.
-///
-/// Losses are decided and gap policies applied in *generation* order, so
-/// interpolation always holds the last in-order value — which is what
-/// makes the decomposition invariant under the bounded delivery
-/// reordering applied afterwards.
-#[allow(clippy::too_many_arguments)]
-fn deliver_faulted<O: FleetObserver, M: FleetSink>(
-    observer: &mut O,
-    sink: &mut M,
-    schedule: &Schedule,
-    samples: Vec<RawSample>,
-    node: u32,
-    slot: u8,
-    plan: &FaultPlan,
-    idle_power_w: f64,
-) {
-    let skew = plan.clock_skew_s(node);
-    let mut stream: Vec<(u64, RawSample)> = Vec::with_capacity(samples.len());
-    let mut last_good: Option<f64> = None;
-
-    for mut s in samples {
-        if plan.node_dropout(node, s.window) || plan.drops(node, slot, s.window) {
+        if plan.node_dropout(node, window) || plan.drops(node, slot, window) {
             sink.fault(FaultEvent::Dropped);
             let (fill, event, job) = match plan.gap_policy {
-                GapPolicy::Exclude => (GapFill::Excluded, FaultEvent::GapExcluded, s.job),
+                GapPolicy::Exclude => (GapFill::Excluded, FaultEvent::GapExcluded, attributed),
                 GapPolicy::Interpolate => (
                     GapFill::Interpolated(last_good.unwrap_or(idle_power_w)),
                     FaultEvent::GapInterpolated,
-                    s.job,
+                    attributed,
                 ),
                 GapPolicy::AttributeIdle => {
                     (GapFill::Idle(idle_power_w), FaultEvent::GapIdle, None)
                 }
             };
-            let ctx = SampleCtx {
+            sink.fault(event);
+            emit(WindowEvent {
                 node,
                 slot,
-                job: job.map(|j| &schedule.jobs[j]),
-            };
-            observer.gpu_gap(&ctx, s.t_s + skew, s.span_s, fill);
-            sink.fault(event);
+                window,
+                rank: window,
+                t_s: center + skew,
+                span_s: span,
+                kind: WindowKind::Gap { fill, job },
+            });
             continue;
         }
-        // Interpolation holds the clean generated value: a glitched sensor
-        // reading must not poison later gap fills.
-        last_good = Some(s.power_w);
-        if let Some(glitch) = plan.glitch(node, slot, s.window) {
+        last_good = Some(mean);
+        let mut power_w = mean;
+        if let Some(glitch) = plan.glitch(node, slot, window) {
             sink.fault(FaultEvent::Glitched);
-            s.power_w = match glitch {
+            power_w = match glitch {
                 Glitch::Nan => f64::NAN,
-                Glitch::Spike(w) => s.power_w + w,
+                Glitch::Spike(w) => power_w + w,
             };
         }
-        let rank = plan.delivery_rank(node, slot, s.window);
-        if plan.duplicates(node, slot, s.window) {
-            sink.fault(FaultEvent::Duplicated);
-            stream.push((rank, s));
-        }
-        stream.push((rank, s));
-    }
-
-    // Bounded out-of-order delivery: each sample's rank lags its window by
-    // at most `reorder_depth`, so sorting by (rank, window) permutes
-    // delivery within that bound and is a total, deterministic order.
-    stream.sort_by_key(|&(rank, s)| (rank, s.window));
-    let mut prev_window = 0u64;
-    for (i, &(_, s)) in stream.iter().enumerate() {
-        if i > 0 && s.window < prev_window {
-            sink.fault(FaultEvent::Reordered);
-        }
-        prev_window = s.window;
-        let ctx = SampleCtx {
+        let rank = plan.delivery_rank(node, slot, window);
+        let ev = WindowEvent {
             node,
             slot,
-            job: s.job.map(|j| &schedule.jobs[j]),
+            window,
+            rank,
+            t_s: center + skew,
+            span_s: span,
+            kind: WindowKind::Sample {
+                power_w,
+                job: attributed,
+            },
         };
-        observer.gpu_sample(&ctx, s.t_s + skew, s.power_w);
-        sink.gpu_sample(s.job.is_some());
+        if plan.duplicates(node, slot, window) {
+            sink.fault(FaultEvent::Duplicated);
+            sink.gpu_sample(attributed.is_some());
+            if plan.reorder_depth > 0 {
+                ranks.push((rank, window));
+            }
+            emit(ev);
+        }
+        sink.gpu_sample(attributed.is_some());
+        if plan.reorder_depth > 0 {
+            ranks.push((rank, window));
+        }
+        emit(ev);
+    }
+
+    // Reorder tally: under the plan's bounded reorder buffer the channel's
+    // *arrival* order is its delivered copies sorted by (rank, window); a
+    // sample is counted out-of-order when it arrives after a later window,
+    // exactly as a downstream consumer of the arrival stream would see it.
+    // (With depth 0 every rank equals its window and nothing reorders.)
+    ranks.sort_unstable();
+    let mut prev_window = 0u64;
+    for (i, &(_, w)) in ranks.iter().enumerate() {
+        if i > 0 && w < prev_window {
+            sink.fault(FaultEvent::Reordered);
+        }
+        prev_window = w;
     }
 }
 
-/// Emits the per-window rest-of-node power samples.
-fn emit_node_rest<O: FleetObserver, M: FleetSink>(
-    observer: &mut O,
+/// Emits the per-window rest-of-node power samples as [`WindowEvent`]s on
+/// the node's [`REST_SLOT`] channel.  Dropped-out windows emit nothing at
+/// all (a silent node is a hole in the stream, not a gap record).
+fn node_rest_events<M: FleetSink>(
     sink: &mut M,
     schedule: &Schedule,
     node: u32,
     cfg: &FleetConfig,
     rest: &NodeRestModel,
+    emit: &mut impl FnMut(WindowEvent),
 ) {
     let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
     let placements = &schedule.per_node[node as usize];
@@ -671,8 +666,18 @@ fn emit_node_rest<O: FleetObserver, M: FleetSink>(
             .filter(|p| p.begin_s <= t)
             .map(|p| cpu_util_of(schedule.jobs[p.job].app_class))
             .unwrap_or(0.03);
-        observer.node_sample(node, t + skew, rest.power_w(util));
         sink.node_sample();
+        emit(WindowEvent {
+            node,
+            slot: REST_SLOT,
+            window: w as u64,
+            rank: w as u64,
+            t_s: t + skew,
+            span_s: w_end - w_start,
+            kind: WindowKind::NodeRest {
+                rest_w: rest.power_w(util),
+            },
+        });
     }
 }
 
@@ -750,24 +755,57 @@ where
             || (O::default(), M::default()),
             |(mut obs, mut sink), node| {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
+                // Channel-grouped observers accumulate each channel into a
+                // fresh partial, merged in canonical order (GPU slots 0..4,
+                // then rest-of-node) — the shape `pmss-stream` reproduces
+                // bit for bit (see [`FleetObserver::CHANNEL_GROUPED`]).
+                // Everything else applies events straight to the running
+                // accumulator, preserving historical low-order bits.
                 for slot in 0..GPUS_PER_NODE {
                     let segs =
                         slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
                     let mut boost = BoostBudget::default();
-                    emit_windows(
-                        &mut obs,
-                        &mut sink,
-                        schedule,
-                        &segs,
-                        node as u32,
-                        slot as u8,
-                        cfg,
-                        &mut boost,
-                        &mut rng,
-                        idle_power_w,
-                    );
+                    if O::CHANNEL_GROUPED {
+                        let mut chan = O::default();
+                        slot_window_events(
+                            &mut sink,
+                            schedule,
+                            &segs,
+                            node as u32,
+                            slot as u8,
+                            cfg,
+                            &mut boost,
+                            &mut rng,
+                            idle_power_w,
+                            &mut |ev| apply_event(&mut chan, schedule, &ev),
+                        );
+                        obs.merge(chan);
+                    } else {
+                        slot_window_events(
+                            &mut sink,
+                            schedule,
+                            &segs,
+                            node as u32,
+                            slot as u8,
+                            cfg,
+                            &mut boost,
+                            &mut rng,
+                            idle_power_w,
+                            &mut |ev| apply_event(&mut obs, schedule, &ev),
+                        );
+                    }
                 }
-                emit_node_rest(&mut obs, &mut sink, schedule, node as u32, cfg, &rest);
+                if O::CHANNEL_GROUPED {
+                    let mut chan = O::default();
+                    node_rest_events(&mut sink, schedule, node as u32, cfg, &rest, &mut |ev| {
+                        apply_event(&mut chan, schedule, &ev)
+                    });
+                    obs.merge(chan);
+                } else {
+                    node_rest_events(&mut sink, schedule, node as u32, cfg, &rest, &mut |ev| {
+                        apply_event(&mut obs, schedule, &ev)
+                    });
+                }
                 (obs, sink)
             },
         )
@@ -779,6 +817,94 @@ where
                 (a, a_sink)
             },
         )
+}
+
+/// Streams every telemetry event of a fleet run to `emit` in *arrival*
+/// order — the order a collection fabric would deliver them: channel by
+/// channel (nodes ascending; GPU slots `0..4`, then rest-of-node), each
+/// channel's events sorted by `(rank, window)` so an active fault plan's
+/// bounded reordering is realized in the stream itself.
+///
+/// Event *generation* (power modeling, RNG consumption, fault decisions)
+/// is bit-identical to [`simulate_fleet`]; only the emission order
+/// differs.  Feeding these events through `pmss-stream`'s reorder-buffered
+/// ingest reproduces the batch observer exactly.
+pub fn fleet_window_events(schedule: &Schedule, cfg: &FleetConfig, emit: impl FnMut(WindowEvent)) {
+    if cfg.use_exec_cache {
+        let cache = FleetCache::new();
+        fleet_window_events_impl(schedule, cfg, Some(&cache), emit);
+    } else {
+        fleet_window_events_impl(schedule, cfg, None, emit);
+    }
+}
+
+/// [`fleet_window_events`] with a caller-owned cache (same contract as
+/// [`simulate_fleet_with_cache`]).
+pub fn fleet_window_events_with_cache(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    cache: &FleetCache,
+    emit: impl FnMut(WindowEvent),
+) {
+    fleet_window_events_impl(schedule, cfg, Some(cache), emit);
+}
+
+fn fleet_window_events_impl(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    cache: Option<&FleetCache>,
+    mut emit: impl FnMut(WindowEvent),
+) {
+    let engine = Engine::default();
+    let rest = NodeRestModel::default();
+    let idle_power_w = engine
+        .power_model()
+        .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
+    let reordering = cfg
+        .faults
+        .as_ref()
+        .is_some_and(|p| !p.is_noop() && p.reorder_depth > 0);
+
+    for node in 0..schedule.per_node.len() {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
+        for slot in 0..GPUS_PER_NODE {
+            let segs = slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
+            let mut boost = BoostBudget::default();
+            if reordering {
+                // Arrival order: stable-sort the channel by (rank, window),
+                // keeping duplicate copies (equal keys) adjacent.
+                let mut events = Vec::new();
+                slot_window_events(
+                    &mut (),
+                    schedule,
+                    &segs,
+                    node as u32,
+                    slot as u8,
+                    cfg,
+                    &mut boost,
+                    &mut rng,
+                    idle_power_w,
+                    &mut |ev| events.push(ev),
+                );
+                events.sort_by_key(|ev| (ev.rank, ev.window));
+                events.into_iter().for_each(&mut emit);
+            } else {
+                slot_window_events(
+                    &mut (),
+                    schedule,
+                    &segs,
+                    node as u32,
+                    slot as u8,
+                    cfg,
+                    &mut boost,
+                    &mut rng,
+                    idle_power_w,
+                    &mut emit,
+                );
+            }
+        }
+        node_rest_events(&mut (), schedule, node as u32, cfg, &rest, &mut emit);
+    }
 }
 
 #[cfg(test)]

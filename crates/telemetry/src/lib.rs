@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod compress;
+pub mod events;
 pub mod export;
 pub mod fleet;
 pub mod fleetcache;
@@ -33,9 +34,10 @@ pub mod observers;
 pub mod sampler;
 pub mod smi;
 
+pub use events::{apply_event, WindowEvent, WindowKind, REST_SLOT};
 pub use fleet::{
-    simulate_fleet, simulate_fleet_metered, simulate_fleet_with_cache, FleetConfig, FleetObserver,
-    FleetRunStats, GapFill, SampleCtx,
+    fleet_window_events, fleet_window_events_with_cache, simulate_fleet, simulate_fleet_metered,
+    simulate_fleet_with_cache, FleetConfig, FleetObserver, FleetRunStats, GapFill, SampleCtx,
 };
 pub use fleetcache::FleetCache;
 pub use fleetpower::FleetPowerSeries;

@@ -49,7 +49,7 @@ fn ascii_matches_the_pre_refactor_binaries() {
 /// The CLI `--json` envelope for the seeded headline artifacts is stable.
 #[test]
 fn json_matches_the_golden_captures() {
-    for name in ["fig2", "table3", "table5", "validate"] {
+    for name in ["fig2", "table3", "table5", "validate", "stream"] {
         let args: Vec<String> = [name, "--json", "--scale", "quick"]
             .iter()
             .map(|s| s.to_string())
@@ -65,9 +65,26 @@ fn json_matches_the_golden_captures() {
 /// metering never changes output bytes.
 #[test]
 fn faulted_runs_match_the_golden_captures() {
-    let cases: [(&[&str], &str, &str); 4] = [
+    let cases: [(&[&str], &str, &str); 6] = [
         (&["faults", "--scale", "quick"], "faults", "txt"),
         (&["faults", "--scale", "quick", "--json"], "faults", "json"),
+        (
+            &["stream", "--scale", "quick", "--faults", "frontier-typical"],
+            "stream-frontier-typical",
+            "txt",
+        ),
+        (
+            &[
+                "stream",
+                "--scale",
+                "quick",
+                "--faults",
+                "frontier-typical",
+                "--json",
+            ],
+            "stream-frontier-typical",
+            "json",
+        ),
         (
             &[
                 "table",
@@ -98,6 +115,26 @@ fn faulted_runs_match_the_golden_captures() {
         let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         let got = cli::run(&args).expect("cli run");
         assert_eq!(got, golden(name, ext), "golden drift in {name}.{ext}");
+    }
+}
+
+/// Running the streaming replay leaves the batch path untouched: every
+/// batch artifact computed after a `stream` run in the same pipeline
+/// renders the same bytes as in a pipeline that never streamed.
+#[test]
+fn stream_replay_does_not_perturb_batch_artifacts() {
+    let mut streamed = quick_pipeline();
+    streamed
+        .artifact(ArtifactId::Stream)
+        .expect("stream artifact");
+    for id in [ArtifactId::Table4, ArtifactId::Table5, ArtifactId::Fig8] {
+        let after_stream = streamed.artifact(id).expect("artifact").render_ascii();
+        assert_eq!(
+            after_stream,
+            golden(id.name(), "txt"),
+            "batch artifact {} drifted after a stream replay",
+            id.name()
+        );
     }
 }
 

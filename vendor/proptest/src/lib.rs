@@ -7,10 +7,20 @@
 //! deterministic case generation (seeded per test name) instead of
 //! upstream's shrinking engine.  Failures therefore reproduce exactly on
 //! re-run; set `PROPTEST_CASES` to change the case count (default 64).
+//!
+//! ## Failure persistence
+//!
+//! Like upstream, a failing case's seed is persisted so regressions stay
+//! pinned: when a property panics, its case seed is appended to
+//! `tests/proptest-regressions/<source_stem>.txt` under the owning
+//! package (lines `xs <test_name> <seed_hex>`; `#` comments ignored), and
+//! every later run replays the file's seeds for that test before drawing
+//! fresh cases.  Check the file in to keep the regression in CI.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,15 +36,131 @@ pub fn cases() -> u32 {
         .unwrap_or(64)
 }
 
-/// Deterministic per-(test, case) RNG.
-pub fn case_rng(module: &str, test: &str, case: u32) -> TestRng {
+/// Deterministic per-(test, case) seed.
+pub fn case_seed(module: &str, test: &str, case: u32) -> u64 {
     // FNV-1a over the fully qualified test name, mixed with the case index.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in module.bytes().chain(test.bytes()) {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// The RNG for one persisted or derived seed.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Deterministic per-(test, case) RNG.
+pub fn case_rng(module: &str, test: &str, case: u32) -> TestRng {
+    rng_from_seed(case_seed(module, test, case))
+}
+
+/// The regression file for a source file: `proptest-regressions/<stem>.txt`
+/// next to the source's parent directory, resolved against the owning
+/// package's manifest dir when `file!()` paths are workspace-relative.
+fn regression_file(source: &str) -> Option<PathBuf> {
+    let src = PathBuf::from(source);
+    let stem = src.file_stem()?.to_owned();
+    let dir = src.parent()?;
+    let mut path = PathBuf::new();
+    if !dir.is_dir() {
+        // `file!()` is workspace-relative but tests run from the package
+        // root; re-anchor at the manifest dir and keep only the last
+        // directory component (`tests`, `src`, …).
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        path.push(manifest);
+        path.push(dir.file_name()?);
+    } else {
+        path.push(dir);
+    }
+    path.push("proptest-regressions");
+    path.push(stem);
+    path.set_extension("txt");
+    Some(path)
+}
+
+/// Seeds persisted for `test` in `source`'s regression file, oldest first.
+pub fn persisted_seeds(source: &str, test: &str) -> Vec<u64> {
+    let Some(path) = regression_file(source) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let mut it = line.split_whitespace();
+            (it.next() == Some("xs") && it.next() == Some(test))
+                .then(|| it.next())
+                .flatten()
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        })
+        .collect()
+}
+
+/// Appends a failing seed to the regression file (deduplicated).
+pub fn persist_seed(source: &str, test: &str, seed: u64) {
+    let Some(path) = regression_file(source) else {
+        return;
+    };
+    let line = format!("xs {test} {seed:016x}");
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    if existing.lines().any(|l| l.trim() == line) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut text = existing;
+    if text.is_empty() {
+        text.push_str(
+            "# Seeds for failing proptest cases, replayed before fresh cases on every run.\n\
+             # Format: xs <test_name> <seed_hex>.  Check this file in; see vendor/proptest.\n",
+        );
+    }
+    text.push_str(&line);
+    text.push('\n');
+    let _ = std::fs::write(&path, text);
+}
+
+/// Writes the failing case's seed to the regression file if the property
+/// body panics (armed on construction, disarmed when the case passes).
+pub struct PersistOnPanic<'a> {
+    source: &'a str,
+    test: &'a str,
+    seed: u64,
+    armed: std::cell::Cell<bool>,
+}
+
+impl<'a> PersistOnPanic<'a> {
+    /// Arms persistence for one case.
+    pub fn new(source: &'a str, test: &'a str, seed: u64) -> Self {
+        PersistOnPanic {
+            source,
+            test,
+            seed,
+            armed: std::cell::Cell::new(true),
+        }
+    }
+
+    /// The case passed; nothing to persist.
+    pub fn disarm(&self) {
+        self.armed.set(false);
+    }
+}
+
+impl Drop for PersistOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed.get() && std::thread::panicking() {
+            persist_seed(self.source, self.test, self.seed);
+            eprintln!(
+                "proptest: persisted failing seed {:016x} for {} (replayed on next run)",
+                self.seed, self.test
+            );
+        }
+    }
 }
 
 /// A generator of values for property tests.
@@ -236,7 +362,9 @@ macro_rules! prop_assert_eq {
 }
 
 /// Defines property tests: each `fn name(pat in strategy, ...) { body }`
-/// becomes a `#[test]` running [`cases`] deterministic cases.
+/// becomes a `#[test]` running [`cases`] deterministic cases.  Persisted
+/// regression seeds (see crate docs) are replayed first; a panicking case
+/// appends its seed to the regression file before propagating.
 #[macro_export]
 macro_rules! proptest {
     ($(
@@ -246,12 +374,18 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                for __case in 0..$crate::cases() {
-                    let mut __rng =
-                        $crate::case_rng(module_path!(), stringify!($name), __case);
+                let __persisted =
+                    $crate::persisted_seeds(file!(), stringify!($name));
+                let __fresh = (0..$crate::cases())
+                    .map(|c| $crate::case_seed(module_path!(), stringify!($name), c));
+                for __seed in __persisted.into_iter().chain(__fresh) {
+                    let __guard =
+                        $crate::PersistOnPanic::new(file!(), stringify!($name), __seed);
+                    let mut __rng = $crate::rng_from_seed(__seed);
                     $(let $parm =
                         $crate::Strategy::sample(&($strategy), &mut __rng);)+
                     $body
+                    __guard.disarm();
                 }
             }
         )*
@@ -283,6 +417,24 @@ mod tests {
         fn mapped_values_transform(y in (0.0..1.0f64).prop_map(|v| v * 2.0)) {
             prop_assert!((0.0..2.0).contains(&y));
         }
+    }
+
+    #[test]
+    fn persisted_seeds_round_trip_and_deduplicate() {
+        let dir = std::env::temp_dir().join(format!("pmss-proptest-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("tests")).unwrap();
+        let src_path = dir.join("tests").join("demo.rs");
+        std::fs::write(&src_path, "").unwrap();
+        let src = src_path.to_str().unwrap();
+
+        assert!(crate::persisted_seeds(src, "prop_a").is_empty());
+        crate::persist_seed(src, "prop_a", 0xdead_beef);
+        crate::persist_seed(src, "prop_a", 0xdead_beef);
+        crate::persist_seed(src, "prop_b", 7);
+        assert_eq!(crate::persisted_seeds(src, "prop_a"), vec![0xdead_beef]);
+        assert_eq!(crate::persisted_seeds(src, "prop_b"), vec![7]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
