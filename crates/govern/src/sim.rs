@@ -1,0 +1,752 @@
+//! The governor replay loop: deterministic, delivery-ordered, budget-safe.
+//!
+//! [`run_governor`] replays a fleet's telemetry [`WindowEvent`]s in
+//! delivery-rank order through a [`StreamEngine`] carrying the
+//! [`ChannelLedger`] sensing observer.  At every sync-window boundary it
+//! snapshots the engine, diffs against the previous snapshot to get the
+//! round's per-channel telemetry, and decides the next round's caps; the
+//! decisions then meet the telemetry again on the accounting side, where
+//! each delivered window is charged the Table III energy/runtime factor of
+//! whatever cap the governor actually had in force for that window's
+//! round.
+//!
+//! Everything is a pure function of the event sequence: no wall clock, no
+//! thread-order dependence, no randomness — the same discipline that makes
+//! the streaming ledger bit-identical to the batch path makes the governor
+//! byte-identical across thread counts and repeat runs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use pmss_core::Region;
+use pmss_error::PmssError;
+use pmss_gpu::consts::GPUS_PER_NODE;
+use pmss_obs::Metrics;
+use pmss_sched::Schedule;
+use pmss_stream::{StreamConfig, StreamEngine, StreamStats};
+use pmss_telemetry::{GapFill, WindowEvent, WindowKind, REST_SLOT};
+use pmss_workloads::sweep::CapSetting;
+use pmss_workloads::{Table3, Table3Row};
+
+use crate::channels::ChannelLedger;
+use crate::plan::{GovernorPlan, Policy, ResolvedPlan};
+
+/// Per-region accounting of the governed replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionTally {
+    /// Delivered GPU seconds classified into this region.
+    pub seconds: f64,
+    /// Delivered GPU joules classified into this region.
+    pub joules: f64,
+    /// Joules of this region's energy that arrived under a cap.
+    pub capped_j: f64,
+    /// Energy saved by the caps in force, joules (negative on regression).
+    pub saved_j: f64,
+    /// Runtime added by the caps in force, seconds.
+    pub extra_s: f64,
+}
+
+/// What one governed replay realized, and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernOutcome {
+    /// The policy that ran.
+    pub policy: Policy,
+    /// The cap applied to governed channels.
+    pub cap: CapSetting,
+    /// The cluster power budget, watts.
+    pub budget_w: f64,
+    /// Sync-window length, seconds.
+    pub interval_s: f64,
+    /// Sync windows elapsed over the replay.
+    pub rounds: u64,
+    /// Rounds in which the budget rebalancer adjusted at least one cap.
+    pub rebalances: u64,
+    /// Mode-cap and throttle transitions across all channels and nodes.
+    pub cap_churn: u64,
+    /// Mode-cap flips deferred by hysteresis.
+    pub hysteresis_suppressions: u64,
+    /// Node-rounds spent power-throttled (observed draw above the node
+    /// cap).
+    pub throttled_node_rounds: u64,
+    /// Peak of `sum(node caps) / budget` across all rounds.
+    pub peak_budget_utilization: f64,
+    /// Whether the cluster budget was ever exceeded (must stay `false`).
+    pub budget_exceeded: bool,
+    /// Per-region delivery-side accounting, indexed by `Region::index()`.
+    pub regions: [RegionTally; 4],
+    /// Ingest tallies of the sensing engine.
+    pub stream: StreamStats,
+}
+
+impl GovernOutcome {
+    /// Total delivered GPU energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.regions.iter().map(|r| r.joules).sum()
+    }
+
+    /// Total delivered GPU time, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.regions.iter().map(|r| r.seconds).sum()
+    }
+
+    /// Total energy saved, joules.
+    pub fn saved_j(&self) -> f64 {
+        self.regions.iter().map(|r| r.saved_j).sum()
+    }
+
+    /// Realized savings as a percentage of delivered GPU energy — the
+    /// figure measured against the projection ceiling.
+    pub fn realized_pct(&self) -> f64 {
+        let total = self.total_j();
+        if total > 0.0 {
+            100.0 * self.saved_j() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Realized savings as a percentage of `ceiling_pct`.
+    pub fn of_ceiling_pct(&self, ceiling_pct: f64) -> f64 {
+        if ceiling_pct != 0.0 {
+            100.0 * self.realized_pct() / ceiling_pct
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted slowdown in one region, percent.
+    pub fn region_slowdown_pct(&self, region: Region) -> f64 {
+        let t = &self.regions[region.index()];
+        if t.seconds > 0.0 {
+            100.0 * t.extra_s / t.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted slowdown over the whole fleet, percent.
+    pub fn slowdown_pct(&self) -> f64 {
+        let total = self.total_s();
+        if total > 0.0 {
+            100.0 * self.regions.iter().map(|r| r.extra_s).sum::<f64>() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Share of memory-intensive energy that arrived under a cap, percent
+    /// — how much of the ceiling's substrate the classifier captured.
+    pub fn mi_capture_pct(&self) -> f64 {
+        let mi = &self.regions[Region::MemoryIntensive.index()];
+        if mi.joules > 0.0 {
+            100.0 * mi.capped_j / mi.joules
+        } else {
+            0.0
+        }
+    }
+
+    /// Publishes counters and gauges under `govern.<policy>.*`.
+    pub fn publish_metrics(&self, m: &mut Metrics) {
+        let n = MetricNames::for_policy(self.policy);
+        m.add(n.rounds, self.rounds);
+        m.add(n.rebalances, self.rebalances);
+        m.add(n.cap_churn, self.cap_churn);
+        m.add(n.hysteresis_suppressions, self.hysteresis_suppressions);
+        m.add(n.throttled_node_rounds, self.throttled_node_rounds);
+        m.gauge_set(n.budget_utilization, self.peak_budget_utilization);
+        m.gauge_set(n.realized_pct, self.realized_pct());
+        m.gauge_set(n.slowdown_pct, self.slowdown_pct());
+        m.gauge_set(n.mi_capture_pct, self.mi_capture_pct());
+    }
+}
+
+/// Static metric-name table (the registry requires `&'static str` keys).
+struct MetricNames {
+    rounds: &'static str,
+    rebalances: &'static str,
+    cap_churn: &'static str,
+    hysteresis_suppressions: &'static str,
+    throttled_node_rounds: &'static str,
+    budget_utilization: &'static str,
+    realized_pct: &'static str,
+    slowdown_pct: &'static str,
+    mi_capture_pct: &'static str,
+}
+
+macro_rules! metric_names {
+    ($policy:literal) => {
+        MetricNames {
+            rounds: concat!("govern.", $policy, ".rounds"),
+            rebalances: concat!("govern.", $policy, ".rebalances"),
+            cap_churn: concat!("govern.", $policy, ".cap_churn"),
+            hysteresis_suppressions: concat!("govern.", $policy, ".hysteresis_suppressions"),
+            throttled_node_rounds: concat!("govern.", $policy, ".throttled_node_rounds"),
+            budget_utilization: concat!("govern.", $policy, ".peak_budget_utilization"),
+            realized_pct: concat!("govern.", $policy, ".realized_pct"),
+            slowdown_pct: concat!("govern.", $policy, ".slowdown_pct"),
+            mi_capture_pct: concat!("govern.", $policy, ".mi_capture_pct"),
+        }
+    };
+}
+
+impl MetricNames {
+    fn for_policy(policy: Policy) -> MetricNames {
+        match policy {
+            Policy::Static => metric_names!("static"),
+            Policy::Greedy => metric_names!("greedy"),
+            Policy::Polimer => metric_names!("polimer"),
+        }
+    }
+}
+
+/// The caps in force during one round.
+#[derive(Debug, Clone, Default)]
+struct Assignment {
+    /// Every channel is mode-capped (the `static` policy).
+    all_capped: bool,
+    /// Channels mode-capped by classification.
+    capped: BTreeSet<(u32, u8)>,
+    /// Per-node power-throttle setting, when the node exceeded its cap.
+    throttle: Vec<Option<CapSetting>>,
+}
+
+impl Assignment {
+    fn setting_for(&self, node: u32, slot: u8, cap: CapSetting) -> Option<CapSetting> {
+        if self.all_capped || self.capped.contains(&(node, slot)) {
+            Some(cap)
+        } else {
+            self.throttle.get(node as usize).copied().flatten()
+        }
+    }
+}
+
+/// Looks up the Table III factor row for a cap setting.
+fn factor_row(table3: &Table3, cap: CapSetting) -> Result<Table3Row, PmssError> {
+    let row = match cap {
+        CapSetting::FreqMhz(m) => table3.freq_row(m),
+        CapSetting::PowerW(w) => table3.power_row(w),
+    };
+    row.cloned().ok_or_else(|| {
+        PmssError::invalid_value(
+            "governor cap",
+            format!("{cap:?}"),
+            "a setting present in the factor table's cap ladders",
+        )
+    })
+}
+
+/// Runs one governed replay of `events` (sorted by delivery rank) and
+/// returns the outcome.  The result is a pure function of the arguments.
+pub fn run_governor(
+    schedule: &Schedule,
+    events: &[WindowEvent],
+    stream_cfg: StreamConfig,
+    resolved: &ResolvedPlan,
+    table3: &Table3,
+    window_s: f64,
+) -> Result<GovernOutcome, PmssError> {
+    let plan = &resolved.plan;
+    let nodes = resolved.nodes;
+    let budget_w = resolved.budget_w;
+    if !(window_s.is_finite() && window_s > 0.0) {
+        return Err(PmssError::invalid_value(
+            "governor window_s",
+            format!("{window_s}"),
+            "a finite positive telemetry window",
+        ));
+    }
+    let cap_row = factor_row(table3, resolved.cap)?;
+    // Throttle ladder: the non-baseline power settings, each with its own
+    // factor row so throttled windows are charged honestly.
+    let throttle_rows: Vec<Table3Row> = table3
+        .power_rows
+        .iter()
+        .filter(|r| !r.setting.is_baseline())
+        .cloned()
+        .collect();
+
+    let interval = plan.interval_windows as u64;
+    let round_span_s = interval as f64 * window_s;
+    // How many past rounds an in-horizon late delivery can still reach.
+    let keep_rounds = (stream_cfg.reorder_horizon / interval) as usize + 2;
+
+    let mut eng: StreamEngine<'_, ChannelLedger> = StreamEngine::new(schedule, stream_cfg)?;
+    let mut prev_snap = ChannelLedger::default();
+
+    // Control state.
+    let mut caps: Vec<f64> =
+        vec![(budget_w / nodes as f64).clamp(plan.node_floor_w, plan.node_ceiling_w); nodes];
+    let mut pending: BTreeMap<(u32, u8), (bool, u32)> = BTreeMap::new();
+    let mut current = Assignment {
+        all_capped: plan.policy == Policy::Static,
+        capped: BTreeSet::new(),
+        throttle: vec![None; nodes],
+    };
+
+    let initial_sum: f64 = caps.iter().sum();
+    let mut out = GovernOutcome {
+        policy: plan.policy,
+        cap: resolved.cap,
+        budget_w,
+        interval_s: round_span_s,
+        rounds: 0,
+        rebalances: 0,
+        cap_churn: 0,
+        hysteresis_suppressions: 0,
+        throttled_node_rounds: 0,
+        peak_budget_utilization: initial_sum / budget_w,
+        budget_exceeded: initial_sum > budget_w * (1.0 + 1e-9),
+        regions: Default::default(),
+        stream: StreamStats::default(),
+    };
+
+    // Assignment history: `history[i]` governed round `base_round + i`.
+    let mut history: VecDeque<Assignment> = VecDeque::new();
+    history.push_back(current.clone());
+    let mut base_round: u64 = 0;
+    let mut round: u64 = 0;
+
+    for ev in events {
+        // Cross every sync-window boundary between the previous event's
+        // rank and this one's: snapshot, classify, rebalance, decide.  The
+        // snapshot happens before this event is ingested, so a decision
+        // only ever sees telemetry from strictly earlier ranks.
+        while ev.rank >= (round + 1) * interval {
+            round += 1;
+            out.rounds += 1;
+            if plan.policy != Policy::Static {
+                let snap = eng.snapshot();
+                decide(
+                    &snap,
+                    &prev_snap,
+                    plan,
+                    budget_w,
+                    round_span_s,
+                    &mut caps,
+                    &mut pending,
+                    &mut current,
+                    &throttle_rows,
+                    &mut out,
+                );
+                prev_snap = snap;
+            }
+            history.push_back(current.clone());
+            while history.len() > keep_rounds {
+                history.pop_front();
+                base_round += 1;
+            }
+        }
+
+        if eng.ingest(*ev).is_err() {
+            // Counted by the engine; an event past the reorder horizon is
+            // neither sensed nor governed.
+            continue;
+        }
+
+        // Accounting: charge the window the factor of whatever cap its
+        // round's decision had in force.
+        let ev_round = ev.window / interval;
+        let idx = (ev_round.saturating_sub(base_round) as usize).min(history.len() - 1);
+        let assign = &history[idx];
+        account(ev, assign, resolved.cap, &cap_row, &throttle_rows, &mut out);
+    }
+    eng.flush();
+    out.stream = eng.stats();
+    Ok(out)
+}
+
+/// Applies one delivered event to the outcome tallies.
+fn account(
+    ev: &WindowEvent,
+    assign: &Assignment,
+    cap: CapSetting,
+    cap_row: &Table3Row,
+    throttle_rows: &[Table3Row],
+    out: &mut GovernOutcome,
+) {
+    if ev.slot == REST_SLOT {
+        return;
+    }
+    let (power_w, span_s) = match ev.kind {
+        WindowKind::Sample { power_w, .. } => (power_w, ev.span_s),
+        WindowKind::Gap { fill, .. } => match fill {
+            GapFill::Excluded => return,
+            GapFill::Interpolated(w) | GapFill::Idle(w) => (w, ev.span_s),
+        },
+        WindowKind::NodeRest { .. } => return,
+    };
+    if !power_w.is_finite() {
+        return;
+    }
+    let region = Region::of_power(power_w);
+    let tally = &mut out.regions[region.index()];
+    let energy_j = power_w * span_s;
+    tally.seconds += span_s;
+    tally.joules += energy_j;
+    if !region.cappable() {
+        return;
+    }
+    let Some(setting) = assign.setting_for(ev.node, ev.slot, cap) else {
+        return;
+    };
+    let row = if setting == cap {
+        cap_row
+    } else {
+        match throttle_rows.iter().find(|r| r.setting == setting) {
+            Some(r) => r,
+            // A throttle setting is always drawn from `throttle_rows`;
+            // tolerate a mismatch by charging nothing.
+            None => return,
+        }
+    };
+    let f = match region {
+        Region::MemoryIntensive => &row.mb,
+        _ => &row.vai,
+    };
+    tally.capped_j += energy_j;
+    tally.saved_j += energy_j * (1.0 - f.energy_pct / 100.0);
+    tally.extra_s += span_s * (f.runtime_pct - 100.0) / 100.0;
+}
+
+/// One sync-window decision: classify channels, apply hysteresis, and —
+/// under `polimer` — rebalance the cluster budget and derive throttles.
+#[allow(clippy::too_many_arguments)]
+fn decide(
+    snap: &ChannelLedger,
+    prev: &ChannelLedger,
+    plan: &GovernorPlan,
+    budget_w: f64,
+    round_span_s: f64,
+    caps: &mut [f64],
+    pending: &mut BTreeMap<(u32, u8), (bool, u32)>,
+    current: &mut Assignment,
+    throttle_rows: &[Table3Row],
+    out: &mut GovernOutcome,
+) {
+    let nodes = caps.len();
+    let mut observed_w = vec![0.0f64; nodes];
+
+    // Classify every channel that sensed telemetry this round.
+    for (&(node, slot), acc) in snap.channels() {
+        let delta = acc.minus(&prev.channel(node, slot));
+        if slot == REST_SLOT {
+            continue;
+        }
+        if (node as usize) < nodes {
+            observed_w[node as usize] += delta.total_j().max(0.0) / round_span_s;
+        }
+        let Some(region) = delta.dominant_region() else {
+            continue;
+        };
+        let want = region == Region::MemoryIntensive;
+        let key = (node, slot);
+        let have = current.capped.contains(&key);
+        if want == have {
+            pending.remove(&key);
+            continue;
+        }
+        if plan.hysteresis_rounds > 0 {
+            let entry = pending.entry(key).or_insert((want, 0));
+            if entry.0 != want {
+                *entry = (want, 0);
+            }
+            entry.1 += 1;
+            if entry.1 <= plan.hysteresis_rounds {
+                out.hysteresis_suppressions += 1;
+                continue;
+            }
+            pending.remove(&key);
+        }
+        if want {
+            current.capped.insert(key);
+        } else {
+            current.capped.remove(&key);
+        }
+        out.cap_churn += 1;
+    }
+
+    if plan.policy != Policy::Polimer {
+        return;
+    }
+
+    // Slack reclamation: a node observed under its lower threshold donates
+    // a `decrease_rate` fraction of the measured slack back to the pool.
+    let mut adjusted = false;
+    for n in 0..nodes {
+        if observed_w[n] < plan.lower_thresh * caps[n] {
+            let target = observed_w[n] / plan.lower_thresh;
+            let next = (caps[n] - plan.decrease_rate * (caps[n] - target))
+                .clamp(plan.node_floor_w, plan.node_ceiling_w);
+            if next < caps[n] {
+                caps[n] = next;
+                adjusted = true;
+            }
+        }
+    }
+    // Grants: a node observed above its upper threshold receives headroom
+    // for the observed draw plus an `increase_rate` margin, as far as the
+    // remaining pool allows — so `sum(caps) <= budget` holds structurally.
+    let mut pool = budget_w - caps.iter().sum::<f64>();
+    for n in 0..nodes {
+        if observed_w[n] > plan.upper_thresh * caps[n] {
+            let need = (observed_w[n] * (1.0 + plan.increase_rate) - caps[n])
+                .min(plan.node_ceiling_w - caps[n])
+                .min(pool);
+            if need > 0.0 {
+                caps[n] += need;
+                pool -= need;
+                adjusted = true;
+            }
+        }
+    }
+    if adjusted {
+        out.rebalances += 1;
+    }
+
+    // Throttle nodes still drawing above their cap: the strongest ladder
+    // power setting that fits the per-GPU share of the node cap (or the
+    // deepest available setting when none fits).
+    for n in 0..nodes {
+        let throttle = if observed_w[n] > caps[n] {
+            let per_gpu = caps[n] / GPUS_PER_NODE as f64;
+            throttle_rows
+                .iter()
+                .filter(|r| r.setting.value() <= per_gpu)
+                .max_by(|a, b| a.setting.value().total_cmp(&b.setting.value()))
+                .or_else(|| {
+                    throttle_rows
+                        .iter()
+                        .min_by(|a, b| a.setting.value().total_cmp(&b.setting.value()))
+                })
+                .map(|r| r.setting)
+        } else {
+            None
+        };
+        if throttle.is_some() {
+            out.throttled_node_rounds += 1;
+        }
+        if current.throttle[n] != throttle {
+            current.throttle[n] = throttle;
+            out.cap_churn += 1;
+        }
+    }
+
+    let total: f64 = caps.iter().sum();
+    out.peak_budget_utilization = out.peak_budget_utilization.max(total / budget_w);
+    if total > budget_w * (1.0 + 1e-9) {
+        out.budget_exceeded = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmss_workloads::Factors;
+
+    const WINDOW_S: f64 = 15.0;
+
+    fn schedule(nodes: usize) -> Schedule {
+        Schedule {
+            jobs: Vec::new(),
+            per_node: vec![Vec::new(); nodes],
+            duration_s: 4.0 * 3600.0,
+        }
+    }
+
+    fn table() -> Table3 {
+        let f = |power, runtime, energy| Factors {
+            power_pct: power,
+            runtime_pct: runtime,
+            energy_pct: energy,
+        };
+        Table3 {
+            freq_rows: vec![
+                Table3Row {
+                    setting: CapSetting::FreqMhz(1700.0),
+                    vai: f(100.0, 100.0, 100.0),
+                    mb: f(100.0, 100.0, 100.0),
+                },
+                Table3Row {
+                    setting: CapSetting::FreqMhz(700.0),
+                    vai: f(60.0, 140.0, 84.0),
+                    mb: f(88.0, 100.0, 88.0),
+                },
+            ],
+            power_rows: vec![
+                Table3Row {
+                    setting: CapSetting::PowerW(560.0),
+                    vai: f(100.0, 100.0, 100.0),
+                    mb: f(100.0, 100.0, 100.0),
+                },
+                Table3Row {
+                    setting: CapSetting::PowerW(300.0),
+                    vai: f(55.0, 160.0, 88.0),
+                    mb: f(90.0, 102.0, 91.8),
+                },
+                Table3Row {
+                    setting: CapSetting::PowerW(100.0),
+                    vai: f(20.0, 400.0, 80.0),
+                    mb: f(40.0, 200.0, 80.0),
+                },
+            ],
+        }
+    }
+
+    fn sample(node: u32, slot: u8, window: u64, power_w: f64) -> WindowEvent {
+        WindowEvent {
+            node,
+            slot,
+            window,
+            rank: window,
+            t_s: window as f64 * WINDOW_S,
+            span_s: WINDOW_S,
+            kind: WindowKind::Sample { power_w, job: None },
+        }
+    }
+
+    /// `windows` in-order windows of steady `power_w` on every GPU slot of
+    /// `nodes` nodes.
+    fn steady_events(nodes: u32, windows: u64, power_w: f64) -> Vec<WindowEvent> {
+        let mut evs = Vec::new();
+        for w in 0..windows {
+            for n in 0..nodes {
+                for s in 0..GPUS_PER_NODE as u8 {
+                    evs.push(sample(n, s, w, power_w));
+                }
+            }
+        }
+        evs
+    }
+
+    fn resolved(name: &str, nodes: usize) -> ResolvedPlan {
+        GovernorPlan::preset(name)
+            .unwrap()
+            .resolve(nodes, CapSetting::FreqMhz(700.0))
+            .unwrap()
+    }
+
+    fn run(name: &str, nodes: usize, events: &[WindowEvent]) -> GovernOutcome {
+        let sched = schedule(nodes);
+        run_governor(
+            &sched,
+            events,
+            StreamConfig::for_plan(None),
+            &resolved(name, nodes),
+            &table(),
+            WINDOW_S,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn static_policy_caps_everything_from_round_zero() {
+        let evs = steady_events(2, 8, 300.0); // memory-intensive
+        let out = run("static", 2, &evs);
+        let mi = &out.regions[Region::MemoryIntensive.index()];
+        assert_eq!(mi.capped_j, mi.joules);
+        assert_eq!(out.mi_capture_pct(), 100.0);
+        // mb energy factor 88 % → 12 % realized on an all-MI fleet.
+        assert!((out.realized_pct() - 12.0).abs() < 1e-9);
+        assert_eq!(out.slowdown_pct(), 0.0);
+        assert!(!out.budget_exceeded);
+    }
+
+    #[test]
+    fn greedy_converges_after_one_sync_window() {
+        let evs = steady_events(1, 12, 300.0);
+        let out = run("greedy", 1, &evs);
+        // The first sync window runs uncapped while the classifier warms
+        // up; everything after is captured.
+        let mi = &out.regions[Region::MemoryIntensive.index()];
+        assert!(mi.capped_j > 0.0 && mi.capped_j < mi.joules);
+        assert!(out.mi_capture_pct() > 60.0);
+        assert!(out.realized_pct() > 0.0);
+        assert_eq!(out.stream.late_rejects, 0);
+    }
+
+    #[test]
+    fn greedy_leaves_compute_intensive_channels_alone() {
+        let evs = steady_events(1, 12, 500.0); // compute-intensive
+        let out = run("greedy", 1, &evs);
+        let ci = &out.regions[Region::ComputeIntensive.index()];
+        assert_eq!(ci.capped_j, 0.0);
+        assert_eq!(out.realized_pct(), 0.0);
+        assert_eq!(out.slowdown_pct(), 0.0);
+    }
+
+    #[test]
+    fn polimer_hysteresis_defers_the_first_flip() {
+        let evs = steady_events(1, 12, 300.0);
+        let greedy = run("greedy", 1, &evs);
+        let polimer = run("polimer", 1, &evs);
+        // One extra round of deferral per channel: polimer captures less.
+        assert!(polimer.hysteresis_suppressions > 0);
+        assert!(polimer.mi_capture_pct() < greedy.mi_capture_pct());
+        assert!(polimer.mi_capture_pct() > 0.0);
+    }
+
+    #[test]
+    fn polimer_reclaims_slack_and_respects_the_budget() {
+        let mut plan = GovernorPlan::preset("polimer").unwrap();
+        // Scarce budget: 2 nodes sharing less than 2 ceilings.
+        plan.budget_w = Some(3000.0);
+        let r = plan.resolve(2, CapSetting::FreqMhz(700.0)).unwrap();
+        // Node 0 idles at 100 W/GPU, node 1 runs hot at 520 W/GPU.
+        let mut evs = Vec::new();
+        for w in 0..16u64 {
+            for s in 0..GPUS_PER_NODE as u8 {
+                evs.push(sample(0, s, w, 100.0));
+                evs.push(sample(1, s, w, 520.0));
+            }
+        }
+        let out = run_governor(
+            &schedule(2),
+            &evs,
+            StreamConfig::for_plan(None),
+            &r,
+            &table(),
+            WINDOW_S,
+        )
+        .unwrap();
+        assert!(out.rebalances > 0);
+        assert!(!out.budget_exceeded);
+        assert!(out.peak_budget_utilization <= 1.0 + 1e-9);
+        // The hot node starts over-cap (1500 W split) and gets throttled
+        // until the idle node's slack is reclaimed and granted over.
+        assert!(out.throttled_node_rounds > 0);
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_across_repeat_runs() {
+        let evs = steady_events(3, 10, 300.0);
+        let a = run("polimer", 3, &evs);
+        let b = run("polimer", 3, &evs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_cap_is_a_typed_error_not_a_panic() {
+        let mut plan = GovernorPlan::preset("static").unwrap();
+        plan.cap = Some(CapSetting::FreqMhz(123.0));
+        let r = plan.resolve(1, CapSetting::FreqMhz(700.0)).unwrap();
+        let err = run_governor(
+            &schedule(1),
+            &[],
+            StreamConfig::for_plan(None),
+            &r,
+            &table(),
+            WINDOW_S,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("governor cap"));
+    }
+
+    #[test]
+    fn metrics_publish_under_the_policy_prefix() {
+        let evs = steady_events(1, 6, 300.0);
+        let out = run("polimer", 1, &evs);
+        let mut m = Metrics::new();
+        out.publish_metrics(&mut m);
+        assert_eq!(m.counter("govern.polimer.rounds"), out.rounds);
+        assert!(m.gauge("govern.polimer.realized_pct").is_some());
+    }
+}

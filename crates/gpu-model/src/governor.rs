@@ -15,6 +15,8 @@
 //!   deploy (GEOPM-style "≤ x % slowdown");
 //! * [`Governor::PowerBudget`] — a static package power cap.
 
+use pmss_error::PmssError;
+
 use crate::engine::{Engine, Execution, GpuSettings};
 use crate::freq::DvfsLadder;
 use crate::kernel::KernelProfile;
@@ -60,9 +62,52 @@ impl Governed {
 }
 
 impl Governor {
+    /// Validates the policy's parameters; the first violation is returned
+    /// as a typed error.
+    pub fn validate(&self) -> Result<(), PmssError> {
+        match self {
+            Governor::Fixed(mhz) => {
+                if !(mhz.is_finite() && *mhz > 0.0) {
+                    return Err(PmssError::invalid_value(
+                        "governor frequency cap",
+                        format!("{mhz}"),
+                        "a finite positive frequency in MHz",
+                    ));
+                }
+            }
+            Governor::PowerBudget(watts) => {
+                if !(watts.is_finite() && *watts > 0.0) {
+                    return Err(PmssError::invalid_value(
+                        "governor power budget",
+                        format!("{watts}"),
+                        "a finite positive power cap in watts",
+                    ));
+                }
+            }
+            Governor::EnergyOptimal => {}
+            Governor::SlowdownBudget { budget } => {
+                if !(budget.is_finite() && *budget >= 0.0) {
+                    return Err(PmssError::invalid_value(
+                        "governor slowdown budget",
+                        format!("{budget}"),
+                        "a finite non-negative fractional slowdown",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Applies the policy to `kernel` on `engine`, scanning `ladder` for
-    /// the search-based policies.
-    pub fn govern(&self, engine: &Engine, kernel: &KernelProfile, ladder: &DvfsLadder) -> Governed {
+    /// the search-based policies.  Invalid policy parameters (a negative
+    /// slowdown budget, a non-finite cap) are a typed error, not a panic.
+    pub fn govern(
+        &self,
+        engine: &Engine,
+        kernel: &KernelProfile,
+        ladder: &DvfsLadder,
+    ) -> Result<Governed, PmssError> {
+        self.validate()?;
         let baseline = engine.execute(kernel, GpuSettings::uncapped());
         let settings = match self {
             Governor::Fixed(mhz) => GpuSettings::freq_capped(*mhz),
@@ -80,7 +125,6 @@ impl Governor {
                 best.0
             }
             Governor::SlowdownBudget { budget } => {
-                assert!(*budget >= 0.0, "negative slowdown budget");
                 let limit = baseline.time_s * (1.0 + budget);
                 ladder
                     .steps()
@@ -97,11 +141,11 @@ impl Governor {
             }
         };
         let execution = engine.execute(kernel, settings);
-        Governed {
+        Ok(Governed {
             settings,
             execution,
             baseline,
-        }
+        })
     }
 
     /// Governs a phase sequence, returning per-phase outcomes.  This is
@@ -112,7 +156,7 @@ impl Governor {
         engine: &Engine,
         phases: &[KernelProfile],
         ladder: &DvfsLadder,
-    ) -> Vec<Governed> {
+    ) -> Result<Vec<Governed>, PmssError> {
         phases
             .iter()
             .map(|k| self.govern(engine, k, ladder))
@@ -191,9 +235,9 @@ mod tests {
         let eng = engine();
         let lad = ladder();
         for k in [mem_kernel(), compute_kernel()] {
-            let opt = Governor::EnergyOptimal.govern(&eng, &k, &lad);
+            let opt = Governor::EnergyOptimal.govern(&eng, &k, &lad).unwrap();
             for mhz in [1700.0, 1300.0, 900.0, 700.0] {
-                let fixed = Governor::Fixed(mhz).govern(&eng, &k, &lad);
+                let fixed = Governor::Fixed(mhz).govern(&eng, &k, &lad).unwrap();
                 assert!(
                     opt.execution.energy_j <= fixed.execution.energy_j + 1e-9,
                     "{}: optimal loses to {mhz} MHz",
@@ -205,7 +249,9 @@ mod tests {
 
     #[test]
     fn energy_optimal_drops_clock_for_memory_bound_work() {
-        let g = Governor::EnergyOptimal.govern(&engine(), &mem_kernel(), &ladder());
+        let g = Governor::EnergyOptimal
+            .govern(&engine(), &mem_kernel(), &ladder())
+            .unwrap();
         assert!(g.settings.freq_cap.mhz() < 1000.0, "{:?}", g.settings);
         assert!(g.energy_saving() > 0.1);
         assert!(
@@ -220,7 +266,9 @@ mod tests {
         let eng = engine();
         let lad = ladder();
         for budget in [0.0, 0.05, 0.2, 0.5] {
-            let g = Governor::SlowdownBudget { budget }.govern(&eng, &compute_kernel(), &lad);
+            let g = Governor::SlowdownBudget { budget }
+                .govern(&eng, &compute_kernel(), &lad)
+                .unwrap();
             assert!(
                 g.slowdown() <= budget + 1e-9,
                 "budget {budget}: slowdown {}",
@@ -236,7 +284,9 @@ mod tests {
         let k = compute_kernel();
         let mut prev = f64::NEG_INFINITY;
         for budget in [0.0, 0.1, 0.3, 0.6, 1.0] {
-            let g = Governor::SlowdownBudget { budget }.govern(&eng, &k, &lad);
+            let g = Governor::SlowdownBudget { budget }
+                .govern(&eng, &k, &lad)
+                .unwrap();
             let saving = g.energy_saving();
             assert!(saving >= prev - 1e-12, "budget {budget}");
             prev = saving;
@@ -245,11 +295,9 @@ mod tests {
 
     #[test]
     fn zero_budget_on_compute_bound_work_stays_uncapped() {
-        let g = Governor::SlowdownBudget { budget: 0.0 }.govern(
-            &engine(),
-            &compute_kernel(),
-            &ladder(),
-        );
+        let g = Governor::SlowdownBudget { budget: 0.0 }
+            .govern(&engine(), &compute_kernel(), &ladder())
+            .unwrap();
         assert_eq!(g.settings.freq_cap.mhz(), Freq::MAX.mhz());
     }
 
@@ -261,11 +309,15 @@ mod tests {
         let lad = ladder();
         let phases = vec![mem_kernel(), compute_kernel(), mem_kernel()];
         let opt = GovernedTotals::from_governed(
-            &Governor::EnergyOptimal.govern_phases(&eng, &phases, &lad),
+            &Governor::EnergyOptimal
+                .govern_phases(&eng, &phases, &lad)
+                .unwrap(),
         );
         for mhz in [1700.0, 1300.0, 1100.0, 900.0, 700.0] {
             let fixed = GovernedTotals::from_governed(
-                &Governor::Fixed(mhz).govern_phases(&eng, &phases, &lad),
+                &Governor::Fixed(mhz)
+                    .govern_phases(&eng, &phases, &lad)
+                    .unwrap(),
             );
             assert!(
                 opt.energy_j <= fixed.energy_j + 1e-9,
@@ -276,8 +328,30 @@ mod tests {
     }
 
     #[test]
+    fn invalid_policy_parameters_are_typed_errors_not_panics() {
+        let eng = engine();
+        let lad = ladder();
+        let k = compute_kernel();
+        for bad in [
+            Governor::SlowdownBudget { budget: -0.1 },
+            Governor::SlowdownBudget { budget: f64::NAN },
+            Governor::Fixed(0.0),
+            Governor::Fixed(f64::INFINITY),
+            Governor::PowerBudget(-300.0),
+        ] {
+            let err = bad.govern(&eng, &k, &lad).unwrap_err();
+            assert!(err.to_string().contains("governor"), "{err}");
+            assert!(bad
+                .govern_phases(&eng, std::slice::from_ref(&k), &lad)
+                .is_err());
+        }
+    }
+
+    #[test]
     fn power_budget_governor_wraps_power_caps() {
-        let g = Governor::PowerBudget(300.0).govern(&engine(), &mem_kernel(), &ladder());
+        let g = Governor::PowerBudget(300.0)
+            .govern(&engine(), &mem_kernel(), &ladder())
+            .unwrap();
         assert!(g.execution.busy_power_w <= 300.0 + 1e-6);
     }
 }

@@ -13,6 +13,7 @@ use pmss_core::whatif::{best_uniform, optimize_per_domain};
 use pmss_core::{Coverage, EnergyLedger, Region, SavingsBounds};
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, GapPolicy, PRESETS};
+use pmss_govern::{run_governor, GovernOutcome, GovernorPlan};
 use pmss_gpu::{DvfsLadder, GovernedTotals, Governor, GpuSettings};
 use pmss_graph::case_study::{networks, CaseStudy};
 use pmss_obs::{edges, Stopwatch};
@@ -87,11 +88,14 @@ pub enum ArtifactId {
     /// Extension: the trace replayed as a timed stream through the
     /// incremental ingest engine, with periodic snapshots.
     Stream,
+    /// Extension: online cluster power governor measured against the
+    /// projection's static no-slowdown ceiling.
+    Govern,
 }
 
 impl ArtifactId {
     /// Every artifact, in paper order.
-    pub fn all() -> [ArtifactId; 23] {
+    pub fn all() -> [ArtifactId; 24] {
         use ArtifactId::*;
         [
             Fig2,
@@ -117,6 +121,7 @@ impl ArtifactId {
             Sensitivity,
             Faults,
             Stream,
+            Govern,
         ]
     }
 
@@ -147,6 +152,7 @@ impl ArtifactId {
             Sensitivity => "sensitivity",
             Faults => "faults",
             Stream => "stream",
+            Govern => "govern",
         }
     }
 
@@ -177,6 +183,7 @@ impl ArtifactId {
             Sensitivity => "region-boundary sensitivity ablation",
             Faults => "telemetry fault-injection sensitivity sweep",
             Stream => "streaming ingest replay with periodic snapshots",
+            Govern => "online cluster governor vs the static savings ceiling",
         }
     }
 
@@ -189,7 +196,7 @@ impl ArtifactId {
                 PmssError::invalid_value(
                     "artifact",
                     name,
-                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults | stream",
+                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults | stream | govern",
                 )
             })
     }
@@ -773,6 +780,66 @@ pub struct StreamArtifact {
     pub batch_identical: bool,
 }
 
+/// One governed replay row: a policy's realized savings and its costs.
+#[derive(Debug, Clone)]
+pub struct GovernRow {
+    /// Policy label (`static` | `greedy` | `polimer`, or `custom:<policy>`
+    /// for a spec-supplied plan).
+    pub policy: String,
+    /// The cap the governor applied to governed channels.
+    pub cap: CapSetting,
+    /// The cluster power budget, watts.
+    pub budget_w: f64,
+    /// Realized savings, percent of delivered GPU energy.
+    pub realized_pct: f64,
+    /// Realized savings as a percentage of the projection ceiling.
+    pub of_ceiling_pct: f64,
+    /// Fleet-wide time-weighted slowdown, percent.
+    pub slowdown_pct: f64,
+    /// Slowdown within the memory-intensive region, percent.
+    pub mi_slowdown_pct: f64,
+    /// Slowdown within the compute-intensive region, percent.
+    pub ci_slowdown_pct: f64,
+    /// Share of memory-intensive energy captured under a cap, percent.
+    pub mi_capture_pct: f64,
+    /// Sync windows elapsed.
+    pub rounds: u64,
+    /// Rounds in which the budget rebalancer adjusted caps.
+    pub rebalances: u64,
+    /// Mode-cap and throttle transitions.
+    pub cap_churn: u64,
+    /// Mode-cap flips deferred by hysteresis.
+    pub hysteresis_suppressions: u64,
+    /// Node-rounds spent power-throttled.
+    pub throttled_node_rounds: u64,
+    /// Peak `sum(node caps) / budget`.
+    pub peak_budget_utilization: f64,
+    /// Whether the cluster budget was ever exceeded (must stay `false`).
+    pub budget_exceeded: bool,
+    /// Events the sensing engine rejected as late.
+    pub late_rejects: u64,
+}
+
+/// Online-governor artifact: every policy preset (plus the spec's custom
+/// plan, when present) replayed over the scenario's delivery-ordered
+/// telemetry and measured against the projection's best no-slowdown
+/// ceiling.
+#[derive(Debug, Clone)]
+pub struct GovernArtifact {
+    /// The projection's best no-slowdown savings, percent (the ceiling).
+    pub ceiling_pct: f64,
+    /// The setting achieving that ceiling (the governors' auto cap).
+    pub ceiling_setting: CapSetting,
+    /// Sync-window length, seconds.
+    pub interval_s: f64,
+    /// Fleet size, nodes.
+    pub nodes: usize,
+    /// Reorder horizon of the sensing engine, windows.
+    pub reorder_horizon: u64,
+    /// One row per policy, in `static`, `greedy`, `polimer` order.
+    pub rows: Vec<GovernRow>,
+}
+
 /// One computed artifact value.
 #[derive(Debug, Clone)]
 pub enum Artifact {
@@ -822,6 +889,8 @@ pub enum Artifact {
     Faults(FaultsArtifact),
     /// Streaming ingest replay.
     Stream(StreamArtifact),
+    /// Online cluster governor.
+    Govern(GovernArtifact),
 }
 
 impl Artifact {
@@ -851,6 +920,7 @@ impl Artifact {
             Artifact::Sensitivity(_) => ArtifactId::Sensitivity,
             Artifact::Faults(_) => ArtifactId::Faults,
             Artifact::Stream(_) => ArtifactId::Stream,
+            Artifact::Govern(_) => ArtifactId::Govern,
         }
     }
 
@@ -920,11 +990,12 @@ impl Pipeline {
             ArtifactId::Table7 => Artifact::Table7(table7()),
             ArtifactId::Validate => Artifact::Validate(validate(self)?),
             ArtifactId::Whatif => Artifact::Whatif(whatif(self)?),
-            ArtifactId::Governor => Artifact::Governor(governor(self)),
+            ArtifactId::Governor => Artifact::Governor(governor(self)?),
             ArtifactId::PeakPower => Artifact::PeakPower(peakpower(self)),
             ArtifactId::Sensitivity => Artifact::Sensitivity(sensitivity(self)?),
             ArtifactId::Faults => Artifact::Faults(faults(self)?),
             ArtifactId::Stream => Artifact::Stream(stream(self)?),
+            ArtifactId::Govern => Artifact::Govern(govern(self)?),
         };
         if let Some(m) = self.metrics.as_mut() {
             m.inc("artifacts.computed");
@@ -1450,7 +1521,7 @@ fn whatif(p: &mut Pipeline) -> Result<Whatif, PmssError> {
     })
 }
 
-fn governor(p: &Pipeline) -> GovernorArtifact {
+fn governor(p: &Pipeline) -> Result<GovernorArtifact, PmssError> {
     let ladder = DvfsLadder::default();
     let policies: Vec<(&'static str, Governor)> = vec![
         ("static 1100 MHz", Governor::Fixed(1100.0)),
@@ -1470,23 +1541,23 @@ fn governor(p: &Pipeline) -> GovernorArtifact {
                 .iter()
                 .map(|(name, policy)| {
                     let t = GovernedTotals::from_governed(
-                        &policy.govern_phases(&p.engine, &phases, &ladder),
+                        &policy.govern_phases(&p.engine, &phases, &ladder)?,
                     );
-                    GovernorPolicyRow {
+                    Ok(GovernorPolicyRow {
                         policy: name,
                         energy_saved_pct: 100.0 * t.energy_saving(),
                         slowdown_pct: 100.0 * t.slowdown(),
-                    }
+                    })
                 })
-                .collect();
-            GovernorClass {
+                .collect::<Result<Vec<_>, PmssError>>()?;
+            Ok(GovernorClass {
                 class: format!("{class:?}"),
                 phases: phases.len(),
                 rows,
-            }
+            })
         })
-        .collect();
-    GovernorArtifact { classes }
+        .collect::<Result<Vec<_>, PmssError>>()?;
+    Ok(GovernorArtifact { classes })
 }
 
 fn peakpower(p: &mut Pipeline) -> PeakPower {
@@ -1731,5 +1802,94 @@ fn stream(p: &mut Pipeline) -> Result<StreamArtifact, PmssError> {
         peak_buffered_windows: stats.peak_buffered_windows,
         peak_channel_windows: stats.peak_channel_windows,
         batch_identical: ledger == fleet.ledger,
+    })
+}
+
+fn govern(p: &mut Pipeline) -> Result<GovernArtifact, PmssError> {
+    // The ceiling the governors chase: the projection's best no-slowdown
+    // row.  Its setting doubles as the auto cap for plans that name none.
+    let projection = p.projection()?;
+    let best = projection.best_free();
+    let ceiling_pct = best.savings_dt0_pct;
+    let auto_cap = best.setting;
+
+    let cfg = p.fleet_config();
+    let nodes = p.spec.nodes;
+    let custom = p.spec.govern.clone();
+    let Pipeline {
+        fleet,
+        table3,
+        metrics,
+        ..
+    } = p;
+    let fleet = fleet.as_ref().expect("fleet stage ran");
+    let t3 = table3.as_ref().expect("benchmark stage ran");
+
+    // One delivery-ordered event trace shared by every policy replay, the
+    // same ordering discipline the stream artifact uses.
+    let mut events = Vec::new();
+    fleet_window_events(&fleet.schedule, &cfg, |ev| events.push(ev));
+    events.sort_unstable_by(|a, b| {
+        (a.rank, a.node, a.slot, a.window).cmp(&(b.rank, b.node, b.slot, b.window))
+    });
+    let stream_cfg = StreamConfig::for_plan(cfg.faults.as_ref());
+
+    let mut interval_s = 0.0;
+    let mut rows = Vec::new();
+    let mut replay = |label: String, plan: &GovernorPlan| -> Result<(), PmssError> {
+        let resolved = plan.resolve(nodes, auto_cap)?;
+        let outcome: GovernOutcome = run_governor(
+            &fleet.schedule,
+            &events,
+            stream_cfg,
+            &resolved,
+            t3,
+            cfg.window_s,
+        )?;
+        if let Some(m) = metrics.as_mut() {
+            outcome.publish_metrics(m);
+        }
+        // The header reports the presets' shared sync window; a custom
+        // row may use its own interval without relabeling the header.
+        if rows.is_empty() {
+            interval_s = outcome.interval_s;
+        }
+        rows.push(GovernRow {
+            policy: label,
+            cap: outcome.cap,
+            budget_w: outcome.budget_w,
+            realized_pct: outcome.realized_pct(),
+            of_ceiling_pct: outcome.of_ceiling_pct(ceiling_pct),
+            slowdown_pct: outcome.slowdown_pct(),
+            mi_slowdown_pct: outcome.region_slowdown_pct(Region::MemoryIntensive),
+            ci_slowdown_pct: outcome.region_slowdown_pct(Region::ComputeIntensive),
+            mi_capture_pct: outcome.mi_capture_pct(),
+            rounds: outcome.rounds,
+            rebalances: outcome.rebalances,
+            cap_churn: outcome.cap_churn,
+            hysteresis_suppressions: outcome.hysteresis_suppressions,
+            throttled_node_rounds: outcome.throttled_node_rounds,
+            peak_budget_utilization: outcome.peak_budget_utilization,
+            budget_exceeded: outcome.budget_exceeded,
+            late_rejects: outcome.stream.late_rejects,
+        });
+        Ok(())
+    };
+    for preset in pmss_govern::PRESETS {
+        replay(preset.to_string(), &GovernorPlan::preset(preset)?)?;
+    }
+    // A spec-supplied plan rides along as an extra labelled row so custom
+    // budgets/rates can be compared against the presets.
+    if let Some(plan) = &custom {
+        replay(format!("custom:{}", plan.policy.name()), plan)?;
+    }
+
+    Ok(GovernArtifact {
+        ceiling_pct,
+        ceiling_setting: auto_cap,
+        interval_s,
+        nodes,
+        reorder_horizon: stream_cfg.reorder_horizon,
+        rows,
     })
 }

@@ -270,7 +270,7 @@ fn help_text() -> String {
          USAGE:\n\
          \x20   pmss fig <2..10> [OPTIONS]       a paper figure\n\
          \x20   pmss table <1..7> [OPTIONS]      a paper table\n\
-         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity | faults | stream\n\
+         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity | faults | stream | govern\n\
          \x20   pmss list                        list every artifact\n\
          \x20   pmss spec [OPTIONS]              print the resolved scenario\n\
          \x20   pmss stats [OPTIONS]             run the full pipeline, report metrics only\n\

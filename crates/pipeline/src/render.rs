@@ -72,6 +72,7 @@ pub(crate) fn ascii(a: &Artifact) -> String {
         Artifact::Sensitivity(v) => ascii_sensitivity(v),
         Artifact::Faults(v) => ascii_faults(v),
         Artifact::Stream(v) => ascii_stream(v),
+        Artifact::Govern(v) => ascii_govern(v),
     }
 }
 
@@ -101,6 +102,7 @@ pub(crate) fn json(a: &Artifact) -> Json {
         Artifact::Sensitivity(v) => json_sensitivity(v),
         Artifact::Faults(v) => json_faults(v),
         Artifact::Stream(v) => json_stream(v),
+        Artifact::Govern(v) => json_govern(v),
     }
 }
 
@@ -864,6 +866,78 @@ fn ascii_stream(a: &StreamArtifact) -> String {
     out
 }
 
+fn ascii_govern(a: &GovernArtifact) -> String {
+    let mut out = String::new();
+    wl!(
+        out,
+        "online cluster governor vs the static no-slowdown ceiling:"
+    );
+    wl!(
+        out,
+        "  ceiling {:.2}% at {} (projection best-free row); {} nodes, sync window {:.0} s, reorder horizon {} window(s)",
+        a.ceiling_pct,
+        cap_label(a.ceiling_setting),
+        a.nodes,
+        a.interval_s,
+        a.reorder_horizon
+    );
+    wl!(out);
+    wl!(
+        out,
+        "  {:<16} {:>10} {:>10} {:>9} {:>11} {:>8} {:>8} {:>8} {:>9}",
+        "policy",
+        "cap",
+        "budget kW",
+        "realized",
+        "of ceiling",
+        "dT",
+        "dT(MI)",
+        "dT(CI)",
+        "MI@cap"
+    );
+    for r in &a.rows {
+        wl!(
+            out,
+            "  {:<16} {:>10} {:>10.1} {:>8.2}% {:>10.1}% {:>7.2}% {:>7.2}% {:>7.2}% {:>8.1}%",
+            r.policy,
+            cap_label(r.cap),
+            r.budget_w / 1e3,
+            r.realized_pct,
+            r.of_ceiling_pct,
+            r.slowdown_pct,
+            r.mi_slowdown_pct,
+            r.ci_slowdown_pct,
+            r.mi_capture_pct
+        );
+    }
+    wl!(out);
+    wl!(out, "  control cost per policy:");
+    for r in &a.rows {
+        wl!(
+            out,
+            "  {:<16} {:>6} rounds, {:>5} rebalances, {:>6} cap changes, {:>4} hysteresis holds, {:>5} throttled node-rounds, peak budget use {:>5.1}%{}{}",
+            r.policy,
+            r.rounds,
+            r.rebalances,
+            r.cap_churn,
+            r.hysteresis_suppressions,
+            r.throttled_node_rounds,
+            100.0 * r.peak_budget_utilization,
+            if r.late_rejects > 0 {
+                format!(", {} late rejects", r.late_rejects)
+            } else {
+                String::new()
+            },
+            if r.budget_exceeded {
+                ", BUDGET EXCEEDED"
+            } else {
+                ""
+            }
+        );
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // JSON renderers
 // ---------------------------------------------------------------------------
@@ -1511,6 +1585,43 @@ fn json_stream(a: &StreamArtifact) -> Json {
                             o = o.field("best_free_bounds", bounds_json(b));
                         }
                         o
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+fn json_govern(a: &GovernArtifact) -> Json {
+    Json::obj()
+        .field("ceiling_pct", a.ceiling_pct)
+        .field("ceiling_setting", setting_json(a.ceiling_setting))
+        .field("interval_s", a.interval_s)
+        .field("nodes", a.nodes)
+        .field("reorder_horizon", a.reorder_horizon)
+        .field(
+            "policies",
+            Json::Arr(
+                a.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("policy", r.policy.clone())
+                            .field("cap", setting_json(r.cap))
+                            .field("budget_w", r.budget_w)
+                            .field("realized_pct", r.realized_pct)
+                            .field("of_ceiling_pct", r.of_ceiling_pct)
+                            .field("slowdown_pct", r.slowdown_pct)
+                            .field("mi_slowdown_pct", r.mi_slowdown_pct)
+                            .field("ci_slowdown_pct", r.ci_slowdown_pct)
+                            .field("mi_capture_pct", r.mi_capture_pct)
+                            .field("rounds", r.rounds)
+                            .field("rebalances", r.rebalances)
+                            .field("cap_churn", r.cap_churn)
+                            .field("hysteresis_suppressions", r.hysteresis_suppressions)
+                            .field("throttled_node_rounds", r.throttled_node_rounds)
+                            .field("peak_budget_utilization", r.peak_budget_utilization)
+                            .field("budget_exceeded", r.budget_exceeded)
+                            .field("late_rejects", r.late_rejects)
                     })
                     .collect(),
             ),

@@ -12,9 +12,10 @@
 use pmss_core::sensitivity::Boundaries;
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, GapPolicy};
+use pmss_govern::{GovernorPlan, Policy};
 use pmss_graph::case_study::CaseScale;
 use pmss_sched::TraceParams;
-use pmss_workloads::sweep::{FREQ_CAPS_MHZ, POWER_CAPS_W};
+use pmss_workloads::sweep::{CapSetting, FREQ_CAPS_MHZ, POWER_CAPS_W};
 
 use crate::json::Json;
 
@@ -94,6 +95,10 @@ pub struct ScenarioSpec {
     /// simulation of the scenario; `None` (the presets' value) leaves the
     /// stream untouched, bit for bit.
     pub faults: Option<FaultPlan>,
+    /// Custom governor plan evaluated by the `govern` artifact alongside
+    /// the built-in presets; `None` (the presets' value) runs the presets
+    /// only.
+    pub govern: Option<GovernorPlan>,
 }
 
 impl ScenarioSpec {
@@ -111,6 +116,7 @@ impl ScenarioSpec {
             power_caps_w: POWER_CAPS_W.to_vec(),
             boundaries: Boundaries::default(),
             faults: None,
+            govern: None,
         }
     }
 
@@ -186,6 +192,9 @@ impl ScenarioSpec {
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
+        if let Some(plan) = &self.govern {
+            plan.validate()?;
+        }
         Ok(())
     }
 
@@ -241,8 +250,12 @@ impl ScenarioSpec {
                     .field("mi_ci", self.boundaries.mi_ci_w)
                     .field("ci_boost", self.boundaries.ci_boost_w),
             );
-        match self.active_faults() {
+        let j = match self.active_faults() {
             Some(plan) => j.field("faults", fault_plan_to_json(plan)),
+            None => j,
+        };
+        match &self.govern {
+            Some(plan) => j.field("govern", governor_plan_to_json(plan)),
             None => j,
         }
     }
@@ -312,6 +325,10 @@ impl ScenarioSpec {
             None => None,
             Some(j) => Some(fault_plan_from_json(j)?),
         };
+        let govern = match v.get("govern") {
+            None => None,
+            Some(j) => Some(governor_plan_from_json(j)?),
+        };
         let spec = ScenarioSpec {
             name,
             nodes: int("nodes", base.nodes as u64)? as usize,
@@ -326,6 +343,7 @@ impl ScenarioSpec {
                 ci_boost_w: bound("ci_boost", base.boundaries.ci_boost_w)?,
             },
             faults,
+            govern,
         };
         spec.validate()?;
         Ok(spec)
@@ -398,6 +416,117 @@ pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, PmssError> {
         dropout_windows: small("dropout_windows", base.dropout_windows)?,
         clock_skew_max_s: num("clock_skew_max_s", base.clock_skew_max_s)?,
         gap_policy,
+    };
+    plan.validate()?;
+    Ok(plan)
+}
+
+/// Serializes a governor plan to a JSON value.  Optional fields (`budget_w`,
+/// `cap`) are emitted only when set, so auto-resolved plans stay terse.
+pub fn governor_plan_to_json(plan: &GovernorPlan) -> Json {
+    let j = Json::obj()
+        .field("policy", plan.policy.name())
+        .field("interval_windows", plan.interval_windows as u64)
+        .field("increase_rate", plan.increase_rate)
+        .field("decrease_rate", plan.decrease_rate)
+        .field("lower_thresh", plan.lower_thresh)
+        .field("upper_thresh", plan.upper_thresh)
+        .field("hysteresis_rounds", plan.hysteresis_rounds as u64)
+        .field("node_floor_w", plan.node_floor_w)
+        .field("node_ceiling_w", plan.node_ceiling_w);
+    let j = match plan.budget_w {
+        Some(b) => j.field("budget_w", b),
+        None => j,
+    };
+    match plan.cap {
+        Some(CapSetting::FreqMhz(m)) => j.field(
+            "cap",
+            Json::obj().field("knob", "freq_mhz").field("value", m),
+        ),
+        Some(CapSetting::PowerW(w)) => j.field(
+            "cap",
+            Json::obj().field("knob", "power_w").field("value", w),
+        ),
+        None => j,
+    }
+}
+
+/// Deserializes and validates a governor plan from a JSON value.  Missing
+/// fields fall back to the named policy's preset values (`policy` itself
+/// defaults to `polimer`), so a file may spell out only what it changes.
+pub fn governor_plan_from_json(v: &Json) -> Result<GovernorPlan, PmssError> {
+    let policy = match v.get("policy") {
+        None => Policy::Polimer,
+        Some(j) => Policy::from_name(j.as_str().ok_or_else(|| {
+            PmssError::malformed("json", "govern field `policy` must be a string")
+        })?)?,
+    };
+    let base = GovernorPlan::preset(policy.name())?;
+    let num = |key: &str, fallback: f64| -> Result<f64, PmssError> {
+        match v.get(key) {
+            None => Ok(fallback),
+            Some(j) => j.as_f64().ok_or_else(|| {
+                PmssError::malformed("json", format!("govern field `{key}` must be a number"))
+            }),
+        }
+    };
+    let int = |key: &str, fallback: u64| -> Result<u64, PmssError> {
+        let n = num(key, fallback as f64)?;
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        if !(n.fract() == 0.0 && (0.0..=MAX_EXACT).contains(&n)) {
+            return Err(PmssError::invalid_value(
+                format!("govern field `{key}`"),
+                format!("{n}"),
+                "a non-negative integer representable exactly in JSON (<= 2^53)",
+            ));
+        }
+        Ok(n as u64)
+    };
+    let small = |key: &str, fallback: u32| -> Result<u32, PmssError> {
+        u32::try_from(int(key, fallback as u64)?).map_err(|_| {
+            PmssError::invalid_value(format!("govern field `{key}`"), "overflow", "a u32 count")
+        })
+    };
+    let budget_w = match v.get("budget_w") {
+        None => base.budget_w,
+        Some(j) => Some(j.as_f64().ok_or_else(|| {
+            PmssError::malformed("json", "govern field `budget_w` must be a number")
+        })?),
+    };
+    let cap = match v.get("cap") {
+        None => base.cap,
+        Some(j) => {
+            let knob = j.get("knob").and_then(Json::as_str).ok_or_else(|| {
+                PmssError::malformed("json", "govern field `cap.knob` must be a string")
+            })?;
+            let value = j.get("value").and_then(Json::as_f64).ok_or_else(|| {
+                PmssError::malformed("json", "govern field `cap.value` must be a number")
+            })?;
+            Some(match knob {
+                "freq_mhz" => CapSetting::FreqMhz(value),
+                "power_w" => CapSetting::PowerW(value),
+                other => {
+                    return Err(PmssError::invalid_value(
+                        "govern field `cap.knob`",
+                        other,
+                        "freq_mhz | power_w",
+                    ))
+                }
+            })
+        }
+    };
+    let plan = GovernorPlan {
+        policy,
+        budget_w,
+        interval_windows: small("interval_windows", base.interval_windows)?,
+        increase_rate: num("increase_rate", base.increase_rate)?,
+        decrease_rate: num("decrease_rate", base.decrease_rate)?,
+        lower_thresh: num("lower_thresh", base.lower_thresh)?,
+        upper_thresh: num("upper_thresh", base.upper_thresh)?,
+        hysteresis_rounds: small("hysteresis_rounds", base.hysteresis_rounds)?,
+        node_floor_w: num("node_floor_w", base.node_floor_w)?,
+        node_ceiling_w: num("node_ceiling_w", base.node_ceiling_w)?,
+        cap,
     };
     plan.validate()?;
     Ok(plan)
@@ -500,6 +629,46 @@ mod tests {
         assert_eq!(plan.drop_prob, 0.1);
         assert_eq!(plan.gap_policy, GapPolicy::Interpolate);
         assert_eq!(plan.dup_prob, 0.0);
+    }
+
+    #[test]
+    fn governor_plan_round_trips_through_spec_json() {
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        let mut plan = GovernorPlan::preset("polimer").unwrap();
+        plan.budget_w = Some(25_000.0);
+        plan.cap = Some(CapSetting::FreqMhz(900.0));
+        s.govern = Some(plan);
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // Partial plans fill the rest from the named policy's preset.
+        let j = Json::parse(r#"{"govern": {"policy": "greedy", "interval_windows": 4}}"#).unwrap();
+        let s = ScenarioSpec::from_json(&j).unwrap();
+        let plan = s.govern.unwrap();
+        assert_eq!(plan.policy, Policy::Greedy);
+        assert_eq!(plan.interval_windows, 4);
+        assert_eq!(plan.increase_rate, 0.1);
+        assert_eq!(plan.cap, None);
+    }
+
+    #[test]
+    fn invalid_governor_plans_are_rejected() {
+        let j = Json::parse(r#"{"govern": {"policy": "pid"}}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+        let j = Json::parse(r#"{"govern": {"interval_windows": 0}}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+        let j = Json::parse(r#"{"govern": {"increase_rate": 1.5}}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+        let j = Json::parse(r#"{"govern": {"cap": {"knob": "volts", "value": 1.0}}}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn absent_governor_keeps_the_historical_spec_json() {
+        let clean = ScenarioSpec::preset(ScalePreset::Quick);
+        assert!(
+            !clean.to_json().to_string_pretty().contains("govern"),
+            "preset specs must keep their historical JSON shape"
+        );
     }
 
     #[test]

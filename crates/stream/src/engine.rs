@@ -241,8 +241,11 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
     /// most `reorder_horizon` windows, so total buffered memory is
     /// O(channels × horizon) — independent of trace length.
     pub fn buffer_bound(&self) -> usize {
-        let channels: usize = self.shards.iter().map(|s| s.channels.len()).sum();
-        channels.saturating_mul(self.cfg.reorder_horizon as usize)
+        let channels: u64 = self.shards.iter().map(|s| s.channels.len() as u64).sum();
+        // Multiply in u64 so a horizon above u32::MAX is not truncated on
+        // 32-bit targets, then saturate into the platform's usize.
+        let bound = channels.saturating_mul(self.cfg.reorder_horizon);
+        usize::try_from(bound).unwrap_or(usize::MAX)
     }
 
     /// Ingests one event, buffering it until its window is final.
@@ -441,6 +444,28 @@ mod tests {
         .validate()
         .is_err());
         assert!(StreamConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn buffer_bound_saturates_instead_of_truncating() {
+        // A horizon wider than 32 bits must not wrap the declared bound:
+        // the multiplication happens in u64 and saturates into usize.
+        let sched = schedule();
+        let cfg = StreamConfig {
+            shards: 1,
+            reorder_horizon: u64::MAX,
+        };
+        let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(&sched, cfg).unwrap();
+        assert_eq!(eng.buffer_bound(), 0); // no live channels yet
+        let fleet_cfg = FleetConfig::default();
+        let mut first = None;
+        fleet_window_events(&sched, &fleet_cfg, |ev| {
+            if first.is_none() {
+                first = Some(ev);
+            }
+        });
+        eng.ingest(first.expect("fleet emits events")).unwrap();
+        assert_eq!(eng.buffer_bound(), usize::MAX);
     }
 
     #[test]

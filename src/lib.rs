@@ -54,6 +54,7 @@
 
 pub use pmss_core as core;
 pub use pmss_faults as faults;
+pub use pmss_govern as govern;
 pub use pmss_gpu as gpu;
 pub use pmss_graph as graph;
 pub use pmss_obs as obs;

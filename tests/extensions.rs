@@ -14,11 +14,15 @@ fn governor_beats_static_caps_on_every_proxy_app() {
     for app in ProxyApp::all() {
         let phases = app.run(2, 60.0);
         let opt = GovernedTotals::from_governed(
-            &Governor::EnergyOptimal.govern_phases(&engine, &phases, &ladder),
+            &Governor::EnergyOptimal
+                .govern_phases(&engine, &phases, &ladder)
+                .unwrap(),
         );
         for mhz in [1700.0, 1300.0, 1100.0, 900.0, 700.0] {
             let fixed = GovernedTotals::from_governed(
-                &Governor::Fixed(mhz).govern_phases(&engine, &phases, &ladder),
+                &Governor::Fixed(mhz)
+                    .govern_phases(&engine, &phases, &ladder)
+                    .unwrap(),
             );
             assert!(
                 opt.energy_j <= fixed.energy_j + 1e-6,
@@ -35,12 +39,11 @@ fn slowdown_budget_governor_respects_budget_on_proxies() {
     let ladder = DvfsLadder::default();
     for app in ProxyApp::all() {
         for budget in [0.02, 0.1] {
-            let t =
-                GovernedTotals::from_governed(&Governor::SlowdownBudget { budget }.govern_phases(
-                    &engine,
-                    &app.run(1, 60.0),
-                    &ladder,
-                ));
+            let t = GovernedTotals::from_governed(
+                &Governor::SlowdownBudget { budget }
+                    .govern_phases(&engine, &app.run(1, 60.0), &ladder)
+                    .unwrap(),
+            );
             assert!(
                 t.slowdown() <= budget + 1e-9,
                 "{} at budget {budget}: slowdown {}",

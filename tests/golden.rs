@@ -49,7 +49,7 @@ fn ascii_matches_the_pre_refactor_binaries() {
 /// The CLI `--json` envelope for the seeded headline artifacts is stable.
 #[test]
 fn json_matches_the_golden_captures() {
-    for name in ["fig2", "table3", "table5", "validate", "stream"] {
+    for name in ["fig2", "table3", "table5", "validate", "stream", "govern"] {
         let args: Vec<String> = [name, "--json", "--scale", "quick"]
             .iter()
             .map(|s| s.to_string())
@@ -65,9 +65,26 @@ fn json_matches_the_golden_captures() {
 /// metering never changes output bytes.
 #[test]
 fn faulted_runs_match_the_golden_captures() {
-    let cases: [(&[&str], &str, &str); 6] = [
+    let cases: [(&[&str], &str, &str); 8] = [
         (&["faults", "--scale", "quick"], "faults", "txt"),
         (&["faults", "--scale", "quick", "--json"], "faults", "json"),
+        (
+            &["govern", "--scale", "quick", "--faults", "frontier-typical"],
+            "govern-frontier-typical",
+            "txt",
+        ),
+        (
+            &[
+                "govern",
+                "--scale",
+                "quick",
+                "--faults",
+                "frontier-typical",
+                "--json",
+            ],
+            "govern-frontier-typical",
+            "json",
+        ),
         (
             &["stream", "--scale", "quick", "--faults", "frontier-typical"],
             "stream-frontier-typical",
@@ -133,6 +150,26 @@ fn stream_replay_does_not_perturb_batch_artifacts() {
             after_stream,
             golden(id.name(), "txt"),
             "batch artifact {} drifted after a stream replay",
+            id.name()
+        );
+    }
+}
+
+/// Running the online governor leaves the batch path untouched: every
+/// batch artifact computed after a `govern` run in the same pipeline
+/// renders the same bytes as in a pipeline that never governed.
+#[test]
+fn govern_replay_does_not_perturb_batch_artifacts() {
+    let mut governed = quick_pipeline();
+    governed
+        .artifact(ArtifactId::Govern)
+        .expect("govern artifact");
+    for id in [ArtifactId::Fig2, ArtifactId::Table4, ArtifactId::Table5] {
+        let after_govern = governed.artifact(id).expect("artifact").render_ascii();
+        assert_eq!(
+            after_govern,
+            golden(id.name(), "txt"),
+            "batch artifact {} drifted after a governor replay",
             id.name()
         );
     }
