@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Throughput ratchet gate: the columnar-path windows/s rates reported by
+# `pmss bench-fleet` must not drop below the floors in
+# ci/bench-ratchet.txt (each optionally multiplied by PMSS_BENCH_DERATE
+# for slower runners).
+#
+# Runs the already-built release binary once — pass a trace-scale factor
+# via PMSS_BENCH_SCALE (e.g. 0.1) for a reduced-scale smoke run; rates
+# are per-second, so floors apply at any scale.  Requires
+# `target/release/pmss` (CI builds it in the tier-1 job).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(mktemp --suffix=.json)
+trap 'rm -f "$out"' EXIT
+./target/release/pmss bench-fleet "$out" >/dev/null
+
+python3 - "$out" ci/bench-ratchet.txt <<'PY'
+import json
+import os
+import sys
+
+report_path, ratchet_path = sys.argv[1], sys.argv[2]
+with open(report_path) as f:
+    rows = {r["path"]: r["windows_per_s"] for r in json.load(f)["windows"]["rows"]}
+
+derate = float(os.environ.get("PMSS_BENCH_DERATE", "1.0"))
+if not 0.0 < derate <= 1.0:
+    sys.exit(f"error: PMSS_BENCH_DERATE must be in (0, 1], got {derate}")
+
+failed = False
+with open(ratchet_path) as f:
+    for line in f:
+        line = line.split("#")[0].strip()
+        if not line:
+            continue
+        path, floor = line.split()
+        floor = float(floor) * derate
+        rate = rows.get(path)
+        if rate is None:
+            print(f"error: bench-fleet reported no windows/s row for {path}")
+            failed = True
+            continue
+        status = "ok" if rate >= floor else "BELOW FLOOR"
+        print(f"{path}: {rate / 1e6:.1f} M windows/s (floor {floor / 1e6:.1f} M) {status}")
+        if rate < floor:
+            failed = True
+
+sys.exit(1 if failed else 0)
+PY

@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pmss_govern::{run_governor, GovernOutcome, GovernorPlan};
 use pmss_sched::{catalog, generate, Schedule, TraceParams};
 use pmss_stream::StreamConfig;
-use pmss_telemetry::{fleet_window_events, FleetConfig, WindowEvent};
+use pmss_telemetry::{delivery_ordered_events, FleetConfig, WindowEvent};
 use pmss_workloads::sweep::CapSetting;
 use pmss_workloads::table3;
 
@@ -21,16 +21,6 @@ fn schedule(nodes: usize, hours: f64) -> Schedule {
         },
         &catalog(),
     )
-}
-
-/// Delivery-ordered events, exactly as the artifact materializes them.
-fn materialize(schedule: &Schedule, cfg: &FleetConfig) -> Vec<WindowEvent> {
-    let mut events = Vec::new();
-    fleet_window_events(schedule, cfg, |ev| events.push(ev));
-    events.sort_unstable_by(|a, b| {
-        (a.rank, a.node, a.slot, a.window).cmp(&(b.rank, b.node, b.slot, b.window))
-    });
-    events
 }
 
 fn replay(
@@ -59,7 +49,7 @@ fn bench_govern(c: &mut Criterion) {
     let nodes = 16;
     let sched = schedule(nodes, 12.0);
     let cfg = FleetConfig::default();
-    let events = materialize(&sched, &cfg);
+    let events = delivery_ordered_events(&sched, &cfg);
     let t3 = table3::compute_default();
     eprintln!("govern bench: {} events/replay", events.len());
 

@@ -3,17 +3,25 @@
 //!
 //! `stream/` entries measure window-events per wall-second for the batch
 //! replay, in-order streaming, and streaming under the frontier-typical
-//! fault plan's reordering, plus the cost of a mid-stream snapshot.  At
-//! start-up the harness also prints the peak RSS of one batch run vs one
-//! streamed run (the engine holds O(channels x horizon), not the trace) —
-//! the numbers recorded in `EXPERIMENTS.md`.
+//! fault plan's reordering, plus the cost of a mid-stream snapshot.
+//! `columnar/` entries measure the block-shaped paths the columnar refactor
+//! added: engine block ingest, compressed resident-store replay, and the
+//! pure fold over materialized blocks.  At start-up the harness also prints
+//! the peak RSS of one batch run vs one streamed run (the engine holds
+//! O(channels x horizon), not the trace), and afterwards a fleet-scale
+//! line extrapolating full-campaign (~2e9 window-events) replay time from
+//! the measured resident-replay rate — the numbers recorded in
+//! `EXPERIMENTS.md`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pmss_core::EnergyLedger;
 use pmss_faults::FaultPlan;
 use pmss_sched::{catalog, generate, Schedule, TraceParams};
 use pmss_stream::{StreamConfig, StreamEngine};
-use pmss_telemetry::{fleet_window_events, simulate_fleet, FleetConfig};
+use pmss_telemetry::{
+    fleet_window_blocks, fleet_window_events, simulate_fleet, ColumnBlock, FleetConfig,
+    FleetObserver, ResidentFleet,
+};
 
 fn schedule(nodes: usize, hours: f64) -> Schedule {
     generate(
@@ -48,6 +56,33 @@ fn stream_once(schedule: &Schedule, cfg: &FleetConfig, stream_cfg: StreamConfig)
         eng.ingest(ev).expect("arrival order is within horizon");
     });
     eng.finish().0
+}
+
+/// Streams one run as per-channel column blocks through a fresh engine.
+fn stream_blocks_once(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    stream_cfg: StreamConfig,
+) -> EnergyLedger {
+    let mut eng: StreamEngine<'_, EnergyLedger> =
+        StreamEngine::new(schedule, stream_cfg).expect("valid config");
+    fleet_window_blocks(schedule, cfg, |block| {
+        eng.ingest_block(block)
+            .expect("arrival order is within horizon");
+    });
+    eng.finish().0
+}
+
+/// Folds already-materialized blocks in canonical channel order — the pure
+/// columnar-fold cost, with generation and decode both out of the loop.
+fn fold_blocks(schedule: &Schedule, blocks: &[ColumnBlock]) -> EnergyLedger {
+    let mut ledger = EnergyLedger::default();
+    for block in blocks {
+        let mut chan = EnergyLedger::default();
+        chan.fold_block(schedule, block);
+        ledger.merge(chan);
+    }
+    ledger
 }
 
 fn bench_stream(c: &mut Criterion) {
@@ -104,6 +139,59 @@ fn bench_stream(c: &mut Criterion) {
             ))
         })
     });
+    // Columnar rows: the same trace as per-channel blocks.  `block_ingest`
+    // exercises the engine's strictly-ascending fast path (generation +
+    // ingest); `resident_replay` decodes the compressed campaign store and
+    // folds each block (decode + fold, generation out of the loop);
+    // `fold_blocks` is the pure columnar fold over materialized blocks —
+    // the asymptotic replay rate once telemetry is resident.
+    g.bench_function("columnar/block_ingest_16n_12h", |b| {
+        b.iter(|| {
+            black_box(stream_blocks_once(
+                &sched,
+                &clean,
+                StreamConfig::for_plan(None),
+            ))
+        })
+    });
+    let resident = ResidentFleet::capture(&sched, &clean).expect("capture");
+    g.bench_function("columnar/resident_replay_16n_12h", |b| {
+        b.iter(|| {
+            let l: EnergyLedger = resident.replay(&sched).expect("replay");
+            black_box(l)
+        })
+    });
+    let mut blocks = Vec::new();
+    fleet_window_blocks(&sched, &clean, |block| blocks.push(block.clone()));
+    g.bench_function("columnar/fold_blocks_16n_12h", |b| {
+        b.iter(|| black_box(fold_blocks(&sched, &blocks)))
+    });
+
+    // Fleet-scale extrapolation: the paper's campaign is ~2e9 window-events
+    // (three months of 15 s windows over ~9400 nodes x 5 channels).  Project
+    // full-campaign replay wall time from the measured resident-replay rate.
+    {
+        let reps = 3usize;
+        let mut best = f64::INFINITY;
+        for _ in 0..=reps {
+            let t = std::time::Instant::now();
+            let l: EnergyLedger = resident.replay(&sched).expect("replay");
+            black_box(l);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let rate = resident.rows() as f64 / best;
+        let campaign = 2.0e9f64;
+        eprintln!(
+            "fleet-scale: resident store {} rows, {:.1}x compressed; replay best \
+             {:.3} ms = {:.1} M windows/s -> full campaign ({campaign:.1e} \
+             window-events) in ~{:.0} s",
+            resident.rows(),
+            resident.compression_ratio(),
+            best * 1e3,
+            rate / 1e6,
+            campaign / rate,
+        );
+    }
 
     // Snapshot cost mid-stream: ingest half the trace once, then time
     // repeated snapshots against that state.

@@ -1,0 +1,479 @@
+//! Per-channel structure-of-arrays window blocks.
+//!
+//! A [`ColumnBlock`] holds one `(node, slot)` channel's telemetry windows
+//! as parallel columns — window index, delivery rank, timestamp, span,
+//! payload tag, payload value, job attribution — instead of an array of
+//! 56-byte [`WindowEvent`] structs.  Hot loops (mode binning, energy
+//! accumulation, fault realization) then read contiguous same-typed lanes
+//! the compiler can keep in registers or vectorize, while
+//! [`ColumnBlock::event`] reconstructs the exact `WindowEvent` for any
+//! row, so the block is a *representation* of the event sequence, not a
+//! different stream: iterating a block yields precisely the events that
+//! were pushed, in order.
+//!
+//! Blocks are reusable buffers: [`ColumnBlock::reset`] re-targets a block
+//! at another channel without dropping its column allocations, which is
+//! what lets the fleet generator and the stream engine recycle one
+//! scratch block per channel instead of allocating per window.
+
+use crate::events::{WindowEvent, WindowKind};
+use crate::observer::GapFill;
+
+/// Job-attribution sentinel for "no job" in the `jobs` column.
+pub const NO_JOB: u32 = u32::MAX;
+
+/// Payload discriminant of one block row (the `mode` column): what the
+/// row's `value` means and which observer call it folds into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Tag {
+    /// Delivered GPU sample; `value` is window-mean power (NaN when
+    /// glitched).
+    Sample = 0,
+    /// Excluded gap; `value` is unused (stored as 0.0).
+    GapExcluded = 1,
+    /// Interpolated gap; `value` is the held fill power.
+    GapInterpolated = 2,
+    /// Idle-attributed gap; `value` is the idle fill power.
+    GapIdle = 3,
+    /// Rest-of-node sample; `value` is rest-of-node power.
+    NodeRest = 4,
+}
+
+impl Tag {
+    /// Decodes a stored tag byte.
+    pub fn from_u8(b: u8) -> Option<Tag> {
+        match b {
+            0 => Some(Tag::Sample),
+            1 => Some(Tag::GapExcluded),
+            2 => Some(Tag::GapInterpolated),
+            3 => Some(Tag::GapIdle),
+            4 => Some(Tag::NodeRest),
+            _ => None,
+        }
+    }
+}
+
+/// One channel's window sequence in columnar (SoA) form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnBlock {
+    node: u32,
+    slot: u8,
+    windows: Vec<u64>,
+    ranks: Vec<u64>,
+    t_s: Vec<f64>,
+    span_s: Vec<f64>,
+    tags: Vec<u8>,
+    values: Vec<f64>,
+    jobs: Vec<u32>,
+}
+
+impl ColumnBlock {
+    /// An empty block for channel `(node, slot)`.
+    pub fn new(node: u32, slot: u8) -> Self {
+        ColumnBlock {
+            node,
+            slot,
+            ..ColumnBlock::default()
+        }
+    }
+
+    /// An empty block with per-column capacity for `cap` windows.
+    pub fn with_capacity(node: u32, slot: u8, cap: usize) -> Self {
+        ColumnBlock {
+            node,
+            slot,
+            windows: Vec::with_capacity(cap),
+            ranks: Vec::with_capacity(cap),
+            t_s: Vec::with_capacity(cap),
+            span_s: Vec::with_capacity(cap),
+            tags: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+            jobs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Clears the block and re-targets it at another channel, keeping the
+    /// column allocations (the scratch-buffer reuse path).
+    pub fn reset(&mut self, node: u32, slot: u8) {
+        self.node = node;
+        self.slot = slot;
+        self.windows.clear();
+        self.ranks.clear();
+        self.t_s.clear();
+        self.span_s.clear();
+        self.tags.clear();
+        self.values.clear();
+        self.jobs.clear();
+    }
+
+    /// Assembles a block directly from its columns — the codec's bulk
+    /// decode path.  All columns must be the same length and `tags` must
+    /// hold valid [`Tag`] bytes (debug-asserted; callers validate).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns(
+        node: u32,
+        slot: u8,
+        windows: Vec<u64>,
+        ranks: Vec<u64>,
+        t_s: Vec<f64>,
+        span_s: Vec<f64>,
+        tags: Vec<u8>,
+        values: Vec<f64>,
+        jobs: Vec<u32>,
+    ) -> Self {
+        let n = windows.len();
+        debug_assert!([
+            ranks.len(),
+            t_s.len(),
+            span_s.len(),
+            tags.len(),
+            values.len(),
+            jobs.len()
+        ]
+        .iter()
+        .all(|&l| l == n));
+        debug_assert!(tags.iter().all(|&t| Tag::from_u8(t).is_some()));
+        ColumnBlock {
+            node,
+            slot,
+            windows,
+            ranks,
+            t_s,
+            span_s,
+            tags,
+            values,
+            jobs,
+        }
+    }
+
+    /// Builds a block from one channel's events (all must belong to
+    /// `(node, slot)`; debug-asserted).
+    pub fn from_events(node: u32, slot: u8, events: &[WindowEvent]) -> Self {
+        let mut b = ColumnBlock::with_capacity(node, slot, events.len());
+        for ev in events {
+            b.push(ev);
+        }
+        b
+    }
+
+    /// Number of window rows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The block's node index.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The block's channel slot.
+    pub fn slot(&self) -> u8 {
+        self.slot
+    }
+
+    /// The `(node, slot)` channel this block belongs to.
+    pub fn channel(&self) -> (u32, u8) {
+        (self.node, self.slot)
+    }
+
+    /// Window-index column.
+    pub fn windows(&self) -> &[u64] {
+        &self.windows
+    }
+
+    /// Delivery-rank column.
+    pub fn ranks(&self) -> &[u64] {
+        &self.ranks
+    }
+
+    /// Timestamp column, seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.t_s
+    }
+
+    /// Covered-span column, seconds.
+    pub fn spans(&self) -> &[f64] {
+        &self.span_s
+    }
+
+    /// Payload-tag column (decode with [`Tag::from_u8`]).
+    pub fn tags(&self) -> &[u8] {
+        &self.tags
+    }
+
+    /// Payload-value column, watts (meaning depends on the row's tag).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Job-attribution column ([`NO_JOB`] when unattributed).
+    pub fn jobs(&self) -> &[u32] {
+        &self.jobs
+    }
+
+    /// Appends one event (must belong to this block's channel).
+    #[inline]
+    pub fn push(&mut self, ev: &WindowEvent) {
+        debug_assert_eq!(ev.channel(), self.channel());
+        let (tag, value, job) = match ev.kind {
+            WindowKind::Sample { power_w, job } => (Tag::Sample, power_w, job),
+            WindowKind::Gap { fill, job } => match fill {
+                GapFill::Excluded => (Tag::GapExcluded, 0.0, job),
+                GapFill::Interpolated(w) => (Tag::GapInterpolated, w, job),
+                GapFill::Idle(w) => (Tag::GapIdle, w, job),
+            },
+            WindowKind::NodeRest { rest_w } => (Tag::NodeRest, rest_w, None),
+        };
+        self.windows.push(ev.window);
+        self.ranks.push(ev.rank);
+        self.t_s.push(ev.t_s);
+        self.span_s.push(ev.span_s);
+        self.tags.push(tag as u8);
+        self.values.push(value);
+        // `NO_JOB` is a sentinel, so a job index that large would be
+        // indistinguishable from "unattributed" — refuse loudly rather
+        // than truncate silently.
+        self.jobs.push(match job {
+            Some(j) => u32::try_from(j).expect("job index must fit below NO_JOB"),
+            None => NO_JOB,
+        });
+    }
+
+    /// Reconstructs row `i` as a [`WindowEvent`].
+    #[inline]
+    pub fn event(&self, i: usize) -> WindowEvent {
+        let job = match self.jobs[i] {
+            NO_JOB => None,
+            j => Some(j as usize),
+        };
+        let kind = match Tag::from_u8(self.tags[i]).expect("valid stored tag") {
+            Tag::Sample => WindowKind::Sample {
+                power_w: self.values[i],
+                job,
+            },
+            Tag::GapExcluded => WindowKind::Gap {
+                fill: GapFill::Excluded,
+                job,
+            },
+            Tag::GapInterpolated => WindowKind::Gap {
+                fill: GapFill::Interpolated(self.values[i]),
+                job,
+            },
+            Tag::GapIdle => WindowKind::Gap {
+                fill: GapFill::Idle(self.values[i]),
+                job,
+            },
+            Tag::NodeRest => WindowKind::NodeRest {
+                rest_w: self.values[i],
+            },
+        };
+        WindowEvent {
+            node: self.node,
+            slot: self.slot,
+            window: self.windows[i],
+            rank: self.ranks[i],
+            t_s: self.t_s[i],
+            span_s: self.span_s[i],
+            kind,
+        }
+    }
+
+    /// Iterates the block's rows as reconstructed events, in stored order.
+    pub fn iter(&self) -> impl Iterator<Item = WindowEvent> + '_ {
+        (0..self.len()).map(|i| self.event(i))
+    }
+
+    /// Stable-sorts the block into arrival order — by `(rank, window)`,
+    /// duplicate deliveries (equal keys) kept adjacent in push order —
+    /// realizing a fault plan's bounded reordering in the block itself.
+    pub fn sort_arrival(&mut self) {
+        let n = self.len();
+        // Fast path: already in arrival order (always true without an
+        // active reordering fault plan).
+        if (1..n)
+            .all(|i| (self.ranks[i - 1], self.windows[i - 1]) <= (self.ranks[i], self.windows[i]))
+        {
+            return;
+        }
+        let mut idx: Vec<u32> = (0..u32::try_from(n).expect("block row count fits u32")).collect();
+        idx.sort_by_key(|&i| (self.ranks[i as usize], self.windows[i as usize]));
+        fn gather<T: Copy>(col: &mut Vec<T>, idx: &[u32]) {
+            let out: Vec<T> = idx.iter().map(|&i| col[i as usize]).collect();
+            *col = out;
+        }
+        gather(&mut self.windows, &idx);
+        gather(&mut self.ranks, &idx);
+        gather(&mut self.t_s, &idx);
+        gather(&mut self.span_s, &idx);
+        gather(&mut self.tags, &idx);
+        gather(&mut self.values, &idx);
+        gather(&mut self.jobs, &idx);
+    }
+
+    /// Approximate heap footprint of the block's columns, bytes.
+    pub fn column_bytes(&self) -> usize {
+        // Per row: u64 + u64 + f64 + f64 + u8 + f64 + u32 = 45 bytes of
+        // payload; capacities count because the buffers are retained.
+        self.windows.capacity() * 8
+            + self.ranks.capacity() * 8
+            + self.t_s.capacity() * 8
+            + self.span_s.capacity() * 8
+            + self.tags.capacity()
+            + self.values.capacity() * 8
+            + self.jobs.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(window: u64, rank: u64, kind: WindowKind) -> WindowEvent {
+        WindowEvent {
+            node: 3,
+            slot: 1,
+            window,
+            rank,
+            t_s: window as f64 * 15.0 + 7.5,
+            span_s: 15.0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn push_then_event_round_trips_every_kind() {
+        let events = [
+            ev(
+                0,
+                0,
+                WindowKind::Sample {
+                    power_w: 312.5,
+                    job: Some(7),
+                },
+            ),
+            ev(
+                1,
+                1,
+                WindowKind::Sample {
+                    power_w: 10.0,
+                    job: None,
+                },
+            ),
+            ev(
+                2,
+                2,
+                WindowKind::Gap {
+                    fill: GapFill::Excluded,
+                    job: Some(7),
+                },
+            ),
+            ev(
+                3,
+                3,
+                WindowKind::Gap {
+                    fill: GapFill::Interpolated(250.0),
+                    job: None,
+                },
+            ),
+            ev(
+                4,
+                4,
+                WindowKind::Gap {
+                    fill: GapFill::Idle(88.0),
+                    job: None,
+                },
+            ),
+        ];
+        let b = ColumnBlock::from_events(3, 1, &events);
+        assert_eq!(b.len(), events.len());
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(b.event(i), *e);
+        }
+        assert_eq!(b.iter().collect::<Vec<_>>(), events.to_vec());
+    }
+
+    #[test]
+    fn rest_events_round_trip_on_the_rest_channel() {
+        let e = WindowEvent {
+            node: 0,
+            slot: crate::events::REST_SLOT,
+            window: 9,
+            rank: 9,
+            t_s: 142.5,
+            span_s: 15.0,
+            kind: WindowKind::NodeRest { rest_w: 410.0 },
+        };
+        let b = ColumnBlock::from_events(0, crate::events::REST_SLOT, &[e]);
+        assert_eq!(b.event(0), e);
+    }
+
+    #[test]
+    fn sort_arrival_is_stable_for_duplicates() {
+        let mut b = ColumnBlock::new(3, 1);
+        // Window 2 delivered early (rank 1), window 1 late (rank 2), and
+        // window 0 duplicated at equal keys.
+        b.push(&ev(
+            0,
+            0,
+            WindowKind::Sample {
+                power_w: 1.0,
+                job: None,
+            },
+        ));
+        b.push(&ev(
+            0,
+            0,
+            WindowKind::Sample {
+                power_w: 1.0,
+                job: None,
+            },
+        ));
+        b.push(&ev(
+            2,
+            1,
+            WindowKind::Sample {
+                power_w: 3.0,
+                job: None,
+            },
+        ));
+        b.push(&ev(
+            1,
+            2,
+            WindowKind::Sample {
+                power_w: 2.0,
+                job: None,
+            },
+        ));
+        b.sort_arrival();
+        assert_eq!(b.windows(), &[0, 0, 2, 1]);
+        assert_eq!(b.ranks(), &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_retargets() {
+        let mut b = ColumnBlock::with_capacity(0, 0, 64);
+        b.push(&WindowEvent {
+            node: 0,
+            slot: 0,
+            window: 0,
+            rank: 0,
+            t_s: 7.5,
+            span_s: 15.0,
+            kind: WindowKind::Sample {
+                power_w: 100.0,
+                job: None,
+            },
+        });
+        let bytes = b.column_bytes();
+        b.reset(5, 2);
+        assert!(b.is_empty());
+        assert_eq!(b.channel(), (5, 2));
+        assert_eq!(b.column_bytes(), bytes, "reset must not shed capacity");
+    }
+}

@@ -1,0 +1,101 @@
+//! The window-event seam: fleet telemetry as a stream of typed events.
+//!
+//! The batch simulator (`pmss_telemetry::simulate_fleet`) and the
+//! incremental ingest engine (`pmss-stream`) must agree bit-for-bit, so
+//! both consume the *same* event stream through the *same* translation
+//! function: generation produces [`WindowEvent`]s in canonical per-channel
+//! window order, and [`apply_event`] turns one event into the
+//! corresponding [`FleetObserver`] call.  Anything an observer can learn
+//! from a fleet run is representable as a sequence of these events.
+//!
+//! A *channel* is one `(node, slot)` telemetry stream: GPU slots `0..4`
+//! plus the rest-of-node channel at slot [`REST_SLOT`].  Within a channel
+//! the canonical order is ascending window, with duplicate deliveries
+//! adjacent; gaps (windows lost to faults) are explicit events carrying
+//! their realized [`GapFill`], because only the generator knows what a
+//! never-delivered window would have contained.
+
+use pmss_sched::Schedule;
+
+use crate::observer::{FleetObserver, GapFill, SampleCtx};
+
+/// The rest-of-node channel's slot index (one past the last GPU slot).
+pub const REST_SLOT: u8 = pmss_gpu::consts::GPUS_PER_NODE as u8;
+
+/// What one telemetry window of one channel contained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowKind {
+    /// A delivered GPU window-mean power sample.
+    Sample {
+        /// Window-mean power, watts (NaN when glitched).
+        power_w: f64,
+        /// Index into `schedule.jobs` of the attributed job, if any.
+        job: Option<usize>,
+    },
+    /// A GPU window lost to faults, presented under the plan's gap policy.
+    Gap {
+        /// The realized gap fill.
+        fill: GapFill,
+        /// Index into `schedule.jobs` of the window's original job, if the
+        /// policy preserves attribution.
+        job: Option<usize>,
+    },
+    /// A rest-of-node (CPU package + board) power sample.
+    NodeRest {
+        /// Rest-of-node power, watts.
+        rest_w: f64,
+    },
+}
+
+/// One telemetry window event of one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowEvent {
+    /// Node index.
+    pub node: u32,
+    /// Channel slot: GPU slots `0..4`, or [`REST_SLOT`] for rest-of-node.
+    pub slot: u8,
+    /// Window index within the channel (time order).
+    pub window: u64,
+    /// Delivery rank under the fault plan's bounded reorder buffer
+    /// (`window` when delivery is in order); sorting a channel's events by
+    /// `(rank, window)` yields its arrival order.
+    pub rank: u64,
+    /// Sample timestamp, seconds (window center plus any clock skew).
+    pub t_s: f64,
+    /// Seconds of telemetry the window covers.
+    pub span_s: f64,
+    /// The event payload.
+    pub kind: WindowKind,
+}
+
+impl WindowEvent {
+    /// The `(node, slot)` channel this event belongs to.
+    pub fn channel(&self) -> (u32, u8) {
+        (self.node, self.slot)
+    }
+}
+
+/// Applies one event to an observer — the single translation point shared
+/// by the batch replay and the streaming engine, which is what makes their
+/// agreement structural rather than coincidental.
+pub fn apply_event<O: FleetObserver>(observer: &mut O, schedule: &Schedule, ev: &WindowEvent) {
+    match ev.kind {
+        WindowKind::Sample { power_w, job } => {
+            let ctx = SampleCtx {
+                node: ev.node,
+                slot: ev.slot,
+                job: job.map(|j| &schedule.jobs[j]),
+            };
+            observer.gpu_sample(&ctx, ev.t_s, power_w);
+        }
+        WindowKind::Gap { fill, job } => {
+            let ctx = SampleCtx {
+                node: ev.node,
+                slot: ev.slot,
+                job: job.map(|j| &schedule.jobs[j]),
+            };
+            observer.gpu_gap(&ctx, ev.t_s, ev.span_s, fill);
+        }
+        WindowKind::NodeRest { rest_w } => observer.node_sample(ev.node, ev.t_s, rest_w),
+    }
+}

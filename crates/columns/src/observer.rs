@@ -1,0 +1,98 @@
+//! The telemetry consumer trait and the sample/gap vocabulary it speaks.
+//!
+//! Moved here from `pmss-telemetry::fleet` so that every layer consuming
+//! window telemetry (batch observers, the streaming engine, governor
+//! sensing) can depend on the seam without depending on the generator.
+
+use pmss_sched::{Job, Schedule};
+
+use crate::block::ColumnBlock;
+use crate::events::apply_event;
+
+/// Attribution context of one telemetry sample.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleCtx<'a> {
+    /// Node index.
+    pub node: u32,
+    /// GPU slot within the node (0–3).
+    pub slot: u8,
+    /// Job occupying the node at the sample time, if any.
+    pub job: Option<&'a Job>,
+}
+
+/// How one telemetry window lost to faults is presented to an observer —
+/// the realized gap policy of the active fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GapFill {
+    /// The window is excluded: no power value exists for it.  Observers
+    /// that account coverage should tally the lost seconds.
+    Excluded,
+    /// The gap is filled by holding the last delivered value of the same
+    /// GPU slot (watts); attribution of the original window is preserved.
+    Interpolated(f64),
+    /// The gap is billed as unattributed idle at the given wattage.
+    Idle(f64),
+}
+
+/// Consumer of fleet telemetry.  Implementations accumulate whatever view
+/// they need (histograms, energy ledgers, joined series); `merge` combines
+/// per-node partials after the parallel fold.
+pub trait FleetObserver: Send + Sized {
+    /// Whether the simulation accumulates this observer one fresh partial
+    /// per telemetry channel, merged in canonical order (nodes ascending;
+    /// GPU slots `0..4`, then rest-of-node), instead of applying every
+    /// sample to one running accumulator.
+    ///
+    /// Per-channel grouping is the accumulation shape a bounded-memory
+    /// streaming ingest (`pmss-stream`) can reproduce *bit for bit*: the
+    /// engine holds one partial observer per channel and snapshots by
+    /// merging them in the same canonical order.  Because floating-point
+    /// addition is not associative, the two shapes differ in low-order
+    /// bits, so observers pinned to historical byte-exact output keep the
+    /// default (`false`) and only observers that participate in streaming
+    /// equivalence (the energy ledger) opt in.  For observers whose state
+    /// merges exactly (integer counts), the shapes coincide.
+    const CHANNEL_GROUPED: bool = false;
+
+    /// One GPU power sample (window mean), stamped at the window center.
+    fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64);
+    /// One telemetry window lost to injected faults, handled under the
+    /// plan's gap policy.  The default forwards filled values to
+    /// [`FleetObserver::gpu_sample`] and ignores excluded gaps, so
+    /// observers without coverage accounting keep working unchanged;
+    /// coverage-aware observers override this to tally per-mode seconds.
+    fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, t_s: f64, _span_s: f64, fill: GapFill) {
+        match fill {
+            GapFill::Excluded => {}
+            GapFill::Interpolated(w) | GapFill::Idle(w) => self.gpu_sample(ctx, t_s, w),
+        }
+    }
+    /// One rest-of-node (CPU package + board) power sample per window.
+    fn node_sample(&mut self, _node: u32, _t_s: f64, _rest_w: f64) {}
+    /// Folds a contiguous row range of one channel block into this
+    /// observer, in the block's stored order.  The default replays every
+    /// row through [`apply_event`], so a fold is *definitionally* the same
+    /// observer-call sequence as per-event iteration; columnar observers
+    /// (the energy ledger, the governor's channel ledger) override this
+    /// with a fold over the block's columns that performs the identical
+    /// floating-point operations in the identical order, just without
+    /// per-event dispatch.  The range form exists for consumers that
+    /// release a block prefix (the streaming engine's in-order fast path).
+    fn fold_rows(
+        &mut self,
+        schedule: &Schedule,
+        block: &ColumnBlock,
+        rows: std::ops::Range<usize>,
+    ) {
+        for i in rows {
+            apply_event(self, schedule, &block.event(i));
+        }
+    }
+    /// Folds one whole channel block: [`FleetObserver::fold_rows`] over
+    /// every row.
+    fn fold_block(&mut self, schedule: &Schedule, block: &ColumnBlock) {
+        self.fold_rows(schedule, block, 0..block.len());
+    }
+    /// Folds another observer's state into this one.
+    fn merge(&mut self, other: Self);
+}

@@ -6,8 +6,9 @@
 //! (GPU-hours per region), the Table V/VI projection inputs (energy per
 //! region), and the Fig. 10 heatmaps (energy per domain x size).
 
+use pmss_columns::{ColumnBlock, Tag, NO_JOB};
 use pmss_error::PmssError;
-use pmss_sched::JobSizeClass;
+use pmss_sched::{JobSizeClass, Schedule};
 use pmss_telemetry::{FleetObserver, GapFill, SampleCtx};
 
 use crate::modes::Region;
@@ -304,6 +305,70 @@ impl FleetObserver for EnergyLedger {
         }
     }
 
+    // Columnar fold: one pass over the block's tag/value/span/job lanes
+    // instead of per-event dispatch through `apply_event`.  Every branch
+    // performs the *same* floating-point operations in the *same* order as
+    // the `gpu_sample`/`gpu_gap` path above (the delivered-sample branch
+    // uses `Region::bin_power`, which equals `of_power(..).index()` for the
+    // finite values that survive the discard check), so the fold is
+    // bit-identical to the default row-by-row replay — the property the
+    // golden and stream-differential suites pin.
+    fn fold_rows(
+        &mut self,
+        schedule: &Schedule,
+        block: &ColumnBlock,
+        rows: std::ops::Range<usize>,
+    ) {
+        const SAMPLE: u8 = Tag::Sample as u8;
+        const GAP_EXCLUDED: u8 = Tag::GapExcluded as u8;
+        const GAP_INTERPOLATED: u8 = Tag::GapInterpolated as u8;
+        const GAP_IDLE: u8 = Tag::GapIdle as u8;
+        let w = self.window();
+        let tags = block.tags();
+        let values = block.values();
+        let spans = block.spans();
+        let jobs = block.jobs();
+        for i in rows {
+            match tags[i] {
+                SAMPLE => {
+                    let p = values[i];
+                    if !p.is_finite() {
+                        self.coverage.discarded_s += w;
+                        continue;
+                    }
+                    self.coverage.observed_s += w;
+                    let region = Region::bin_power(p);
+                    let joules = p * w;
+                    match jobs[i] {
+                        NO_JOB => self.unattributed[region].add(w, joules),
+                        j => {
+                            let job = &schedule.jobs[j as usize];
+                            self.ensure(job.domain);
+                            self.domains[job.domain][job.size_class.index()][region].add(w, joules);
+                        }
+                    }
+                }
+                GAP_EXCLUDED => self.coverage.excluded_s += spans[i],
+                GAP_INTERPOLATED => {
+                    let span = spans[i];
+                    self.coverage.interpolated_s += span;
+                    let job = match jobs[i] {
+                        NO_JOB => None,
+                        j => Some(&schedule.jobs[j as usize]),
+                    };
+                    self.record(job, values[i], span);
+                }
+                GAP_IDLE => {
+                    let span = spans[i];
+                    self.coverage.attributed_idle_s += span;
+                    self.record(None, values[i], span);
+                }
+                // NodeRest: the ledger only accounts GPU channels.
+                _ => {}
+            }
+        }
+    }
+
     fn merge(&mut self, other: Self) {
         self.coverage.merge(&other.coverage);
         self.ensure(other.domains.len().saturating_sub(1));
@@ -465,6 +530,111 @@ mod tests {
         assert_eq!(sub.mwh(), 100.0 / pmss_gpu::consts::JOULES_PER_MWH);
         assert!(sub.mwh() > 0.0);
         assert_eq!(Cell::default().mwh(), 0.0);
+    }
+
+    #[test]
+    fn fold_block_is_bit_identical_to_per_event_replay() {
+        use pmss_columns::{apply_event, ColumnBlock, WindowEvent, WindowKind};
+        // Every tag, attributed and not, finite and not — the columnar fold
+        // must produce the exact bytes of the row-by-row replay.
+        let schedule = Schedule {
+            jobs: vec![fake_job(0, JobSizeClass::A), fake_job(2, JobSizeClass::D)],
+            per_node: vec![Vec::new()],
+            duration_s: 600.0,
+        };
+        let mk = |window: u64, kind: WindowKind| WindowEvent {
+            node: 0,
+            slot: 1,
+            window,
+            rank: window,
+            t_s: window as f64 * 15.0 + 7.5,
+            span_s: 15.0,
+            kind,
+        };
+        let events = [
+            mk(
+                0,
+                WindowKind::Sample {
+                    power_w: 312.5,
+                    job: Some(1),
+                },
+            ),
+            mk(
+                1,
+                WindowKind::Sample {
+                    power_w: f64::NAN,
+                    job: Some(0),
+                },
+            ),
+            mk(
+                2,
+                WindowKind::Sample {
+                    power_w: 95.0,
+                    job: None,
+                },
+            ),
+            mk(
+                3,
+                WindowKind::Gap {
+                    fill: GapFill::Excluded,
+                    job: Some(0),
+                },
+            ),
+            mk(
+                4,
+                WindowKind::Gap {
+                    fill: GapFill::Interpolated(433.7),
+                    job: Some(1),
+                },
+            ),
+            mk(
+                5,
+                WindowKind::Gap {
+                    fill: GapFill::Interpolated(210.0),
+                    job: None,
+                },
+            ),
+            mk(
+                6,
+                WindowKind::Gap {
+                    fill: GapFill::Idle(88.0),
+                    job: None,
+                },
+            ),
+            mk(
+                7,
+                WindowKind::Sample {
+                    power_w: 577.25,
+                    job: Some(0),
+                },
+            ),
+            mk(8, WindowKind::NodeRest { rest_w: 410.0 }),
+        ];
+        let block = ColumnBlock::from_events(0, 1, &events);
+
+        let mut by_event = EnergyLedger::new(15.0);
+        for ev in &events {
+            apply_event(&mut by_event, &schedule, ev);
+        }
+        let mut by_block = EnergyLedger::new(15.0);
+        by_block.fold_block(&schedule, &block);
+
+        assert_eq!(by_block.coverage, by_event.coverage);
+        assert_eq!(by_block.num_domains(), by_event.num_domains());
+        for d in 0..by_event.num_domains() {
+            for s in JobSizeClass::all() {
+                for r in Region::all() {
+                    let a = by_block.cell(d, s, r);
+                    let b = by_event.cell(d, s, r);
+                    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+                    assert_eq!(a.joules.to_bits(), b.joules.to_bits());
+                }
+            }
+        }
+        assert_eq!(
+            by_block.region_totals_filtered(|_, _| true),
+            by_event.region_totals_filtered(|_, _| true)
+        );
     }
 
     #[test]

@@ -56,6 +56,27 @@ impl Region {
         }
     }
 
+    /// Branch-free dense region index of one *finite* power sample —
+    /// `Region::of_power(power_w).index()` as three comparisons summed,
+    /// which the compiler turns into flag arithmetic/SIMD lanes instead
+    /// of a compare chain, the shape that wins on long power columns.
+    ///
+    /// Finite-only contract: a NaN input yields index 0 here (every
+    /// comparison is false) but [`Region::of_power`] classifies NaN as
+    /// `Boosted`, so callers must discard non-finite samples first — all
+    /// region-accounting observers already do, because a NaN sample must
+    /// not be classified at all.
+    #[inline]
+    pub fn bin_power(power_w: f64) -> usize {
+        debug_assert!(
+            power_w.is_finite(),
+            "bin_power requires a finite sample (got {power_w})"
+        );
+        (power_w >= LATENCY_MI_BOUND_W) as usize
+            + (power_w >= MI_CI_BOUND_W) as usize
+            + (power_w >= CI_BOOST_BOUND_W) as usize
+    }
+
     /// Power range `[lo, hi)` of the region, in watts (`hi` is infinite for
     /// the boosted region).
     pub fn range_w(self) -> (f64, f64) {
@@ -129,6 +150,25 @@ mod tests {
         assert!(Region::MemoryIntensive.cappable());
         assert!(Region::ComputeIntensive.cappable());
         assert!(!Region::Boosted.cappable());
+    }
+
+    #[test]
+    fn bin_power_matches_of_power_on_finite_samples() {
+        // Dense sweep across the axis plus the exact boundaries.
+        let mut w = -50.0;
+        while w < 700.0 {
+            assert_eq!(Region::bin_power(w), Region::of_power(w).index(), "{w}");
+            w += 0.37;
+        }
+        for b in [
+            0.0,
+            LATENCY_MI_BOUND_W,
+            MI_CI_BOUND_W,
+            CI_BOOST_BOUND_W,
+            f64::MAX,
+        ] {
+            assert_eq!(Region::bin_power(b), Region::of_power(b).index(), "{b}");
+        }
     }
 
     #[test]

@@ -313,6 +313,96 @@ impl FaultPlan {
             hash(self.seed, node, slot, window, salt::REORDER) % (self.reorder_depth as u64 + 1);
         window + lag
     }
+
+    // --- columnar (per-block) decision filling --------------------------
+
+    /// Fills `out` with [`FaultPlan::node_dropout`] for every window in
+    /// `windows`, deciding each dropout *interval* once and replicating the
+    /// answer across its run instead of re-hashing per window.
+    pub fn fill_node_dropout(&self, node: u32, windows: std::ops::Range<u64>, out: &mut Vec<bool>) {
+        let n = usize::try_from(windows.end - windows.start).expect("window range fits memory");
+        out.clear();
+        out.resize(n, false);
+        if self.dropout_prob == 0.0 || self.dropout_windows == 0 {
+            return;
+        }
+        let dw = self.dropout_windows as u64;
+        let mut w = windows.start;
+        let mut i = 0usize;
+        while i < n {
+            let interval = w / dw;
+            let hit = decide(self.seed, node, u8::MAX, interval, salt::DROPOUT) < self.dropout_prob;
+            let run_end = (interval + 1) * dw;
+            let run = usize::try_from(run_end - w)
+                .unwrap_or(usize::MAX)
+                .min(n - i);
+            if hit {
+                out[i..i + run].fill(true);
+            }
+            i += run;
+            w += run as u64;
+        }
+    }
+
+    /// Fills `lane` with every per-window decision of channel
+    /// `(node, slot)` over `windows`: lost (dropout or drop), duplicated,
+    /// glitch, and delivery rank — one tight loop per decision column,
+    /// each skipped outright when its probability is zero.  Every answer
+    /// is bit-identical to the corresponding scalar decision function
+    /// (same counter hashes, same comparisons), just batched.
+    pub fn fill_lane(
+        &self,
+        node: u32,
+        slot: u8,
+        windows: std::ops::Range<u64>,
+        lane: &mut FaultLane,
+    ) {
+        let start = windows.start;
+        let n = usize::try_from(windows.end - start).expect("window range fits memory");
+        lane.start = start;
+        self.fill_node_dropout(node, windows.clone(), &mut lane.lost);
+        if self.drop_prob > 0.0 {
+            for (i, l) in lane.lost.iter_mut().enumerate() {
+                *l |= decide(self.seed, node, slot, start + i as u64, salt::DROP) < self.drop_prob;
+            }
+        }
+        lane.dup.clear();
+        lane.dup.resize(n, false);
+        if self.dup_prob > 0.0 {
+            for (i, d) in lane.dup.iter_mut().enumerate() {
+                *d = decide(self.seed, node, slot, start + i as u64, salt::DUP) < self.dup_prob;
+            }
+        }
+        lane.glitch.clear();
+        lane.glitch.resize(n, None);
+        if self.nan_prob > 0.0 {
+            for (i, g) in lane.glitch.iter_mut().enumerate() {
+                if decide(self.seed, node, slot, start + i as u64, salt::NAN) < self.nan_prob {
+                    *g = Some(Glitch::Nan);
+                }
+            }
+        }
+        if self.spike_prob > 0.0 {
+            for (i, g) in lane.glitch.iter_mut().enumerate() {
+                if g.is_none()
+                    && decide(self.seed, node, slot, start + i as u64, salt::SPIKE)
+                        < self.spike_prob
+                {
+                    *g = Some(Glitch::Spike(self.spike_w));
+                }
+            }
+        }
+        lane.rank.clear();
+        if self.reorder_depth == 0 {
+            lane.rank.extend(start..start + n as u64);
+        } else {
+            let depth = self.reorder_depth as u64 + 1;
+            lane.rank.extend((0..n as u64).map(|i| {
+                let w = start + i;
+                w + hash(self.seed, node, slot, w, salt::REORDER) % depth
+            }));
+        }
+    }
 }
 
 /// A sensor glitch applied to one delivered sample.
@@ -322,6 +412,78 @@ pub enum Glitch {
     Nan,
     /// The sample spikes additively by the given wattage.
     Spike(f64),
+}
+
+/// Columnar fault decisions for one channel over a contiguous window
+/// range — the block-shaped view of the per-window decision functions.
+///
+/// [`FaultPlan::fill_lane`] computes each decision column in its own tight
+/// loop (skipped entirely when its probability is zero, and with node
+/// dropouts decided once per dropout *interval* instead of once per
+/// window), using the exact same `(seed, node, slot, window)` counter
+/// hashes as the scalar functions — so every answer is bit-identical to
+/// calling [`FaultPlan::drops`] & co. per window, just without paying
+/// four-to-six interleaved avalanche hashes and branches per window on the
+/// generator's hot path.  The buffers are retained across fills, so one
+/// lane per worker serves every channel.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLane {
+    start: u64,
+    /// Window lost (node dropout or individual drop).
+    lost: Vec<bool>,
+    /// Delivered sample arrives twice.
+    dup: Vec<bool>,
+    /// Sensor glitch of the delivered sample, if any.
+    glitch: Vec<Option<Glitch>>,
+    /// Delivery rank under the bounded reorder buffer.
+    rank: Vec<u64>,
+}
+
+impl FaultLane {
+    /// An empty lane (fill it with [`FaultPlan::fill_lane`]).
+    pub fn new() -> FaultLane {
+        FaultLane::default()
+    }
+
+    /// Number of filled windows.
+    pub fn len(&self) -> usize {
+        self.lost.len()
+    }
+
+    /// Whether the lane holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.lost.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, window: u64) -> usize {
+        usize::try_from(window - self.start).expect("window within the filled lane")
+    }
+
+    /// Whether `window` is lost ([`FaultPlan::node_dropout`] or
+    /// [`FaultPlan::drops`]).
+    #[inline]
+    pub fn lost(&self, window: u64) -> bool {
+        self.lost[self.idx(window)]
+    }
+
+    /// Whether the delivered sample of `window` arrives twice.
+    #[inline]
+    pub fn duplicated(&self, window: u64) -> bool {
+        self.dup[self.idx(window)]
+    }
+
+    /// The glitch applied to the delivered sample of `window`, if any.
+    #[inline]
+    pub fn glitch(&self, window: u64) -> Option<Glitch> {
+        self.glitch[self.idx(window)]
+    }
+
+    /// Delivery rank of `window` under the bounded reorder buffer.
+    #[inline]
+    pub fn delivery_rank(&self, window: u64) -> u64 {
+        self.rank[self.idx(window)]
+    }
 }
 
 /// Domain-separation salts: one per fault channel so e.g. drop and
@@ -478,6 +640,55 @@ mod tests {
         p.dropout_prob = 0.1;
         p.dropout_windows = 0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn lane_decisions_match_scalar_decisions_exactly() {
+        // The columnar fill must agree with the per-window decision
+        // functions on every window, for plans exercising each column
+        // alone and all together — including interval boundaries of the
+        // dropout amortization and ranges not starting at window 0.
+        let plans = [
+            FaultPlan::preset("mild").unwrap(),
+            FaultPlan::preset("frontier-typical").unwrap(),
+            FaultPlan::preset("harsh").unwrap(),
+            FaultPlan {
+                seed: 99,
+                dropout_prob: 0.3,
+                dropout_windows: 7,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                seed: 7,
+                nan_prob: 0.4,
+                spike_prob: 0.4,
+                spike_w: 120.0,
+                reorder_depth: 9,
+                ..FaultPlan::none()
+            },
+            FaultPlan::none(),
+        ];
+        let mut lane = FaultLane::new();
+        let mut dropout = Vec::new();
+        for plan in &plans {
+            for (node, slot, range) in [(0u32, 0u8, 0u64..500), (3, 4, 13..313), (17, 2, 95..96)] {
+                plan.fill_lane(node, slot, range.clone(), &mut lane);
+                assert_eq!(lane.len(), (range.end - range.start) as usize);
+                plan.fill_node_dropout(node, range.clone(), &mut dropout);
+                for w in range.clone() {
+                    let i = (w - range.start) as usize;
+                    assert_eq!(
+                        lane.lost(w),
+                        plan.node_dropout(node, w) || plan.drops(node, slot, w),
+                        "lost({node},{slot},{w})"
+                    );
+                    assert_eq!(dropout[i], plan.node_dropout(node, w));
+                    assert_eq!(lane.duplicated(w), plan.duplicates(node, slot, w));
+                    assert_eq!(lane.glitch(w), plan.glitch(node, slot, w));
+                    assert_eq!(lane.delivery_rank(w), plan.delivery_rank(node, slot, w));
+                }
+            }
+        }
     }
 
     #[test]

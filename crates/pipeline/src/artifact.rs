@@ -21,7 +21,7 @@ use pmss_sched::{catalog, generate, log, JobSizeClass, TraceParams};
 use pmss_stream::{StreamConfig, StreamEngine, StreamState};
 use pmss_telemetry::export::sample_storage_bytes;
 use pmss_telemetry::{
-    compare_sensors, fleet_window_events, FleetConfig, FleetPowerSeries, GpuCpuEnergy,
+    compare_sensors, delivery_ordered_events, FleetConfig, FleetPowerSeries, GpuCpuEnergy,
 };
 use pmss_workloads::membench::{self, chunk_for_block, MembenchParams};
 use pmss_workloads::phases::synthesize_app;
@@ -1732,11 +1732,7 @@ fn stream(p: &mut Pipeline) -> Result<StreamArtifact, PmssError> {
     // channels by delivery rank — the order a collection fabric would hand
     // windows to an ingest tier.  (Only the driver holds the trace; the
     // engine itself stays O(channels x horizon).)
-    let mut events = Vec::new();
-    fleet_window_events(&fleet.schedule, &cfg, |ev| events.push(ev));
-    events.sort_unstable_by(|a, b| {
-        (a.rank, a.node, a.slot, a.window).cmp(&(b.rank, b.node, b.slot, b.window))
-    });
+    let events = delivery_ordered_events(&fleet.schedule, &cfg);
 
     let stream_cfg = StreamConfig::for_plan(cfg.faults.as_ref()).with_shards(4);
     let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(&fleet.schedule, stream_cfg)?;
@@ -1827,11 +1823,7 @@ fn govern(p: &mut Pipeline) -> Result<GovernArtifact, PmssError> {
 
     // One delivery-ordered event trace shared by every policy replay, the
     // same ordering discipline the stream artifact uses.
-    let mut events = Vec::new();
-    fleet_window_events(&fleet.schedule, &cfg, |ev| events.push(ev));
-    events.sort_unstable_by(|a, b| {
-        (a.rank, a.node, a.slot, a.window).cmp(&(b.rank, b.node, b.slot, b.window))
-    });
+    let events = delivery_ordered_events(&fleet.schedule, &cfg);
     let stream_cfg = StreamConfig::for_plan(cfg.faults.as_ref());
 
     let mut interval_s = 0.0;

@@ -14,7 +14,11 @@ use pmss_faults::{FaultPlan, PRESETS};
 use pmss_gpu::GpuSettings;
 use pmss_obs::Stopwatch;
 use pmss_sched::{catalog, generate, TraceParams};
-use pmss_telemetry::{simulate_fleet, simulate_fleet_with_cache, FleetCache, FleetConfig};
+use pmss_stream::{StreamConfig, StreamEngine};
+use pmss_telemetry::{
+    fleet_window_blocks, simulate_fleet, simulate_fleet_with_cache, FleetCache, FleetConfig,
+    FleetObserver, ResidentFleet,
+};
 
 use crate::artifact::ArtifactId;
 use crate::json::Json;
@@ -427,6 +431,97 @@ fn bench_fleet(out_path: Option<&str>) -> Result<String, PmssError> {
                 .field("template_hit_rate", r.hit_rate),
         );
     }
+    // Windows/s section: throughput of the columnar paths over one
+    // stream-bench-scale trace (16 nodes x 12 h by default;
+    // `PMSS_BENCH_SCALE` in (0, 1] shrinks the trace duration for CI
+    // smoke runs).  `simulate` is generation + fold; `block_ingest` is
+    // generation + the streaming engine's in-order block fast path;
+    // `resident_replay` is compressed-store decode + fold (generation out
+    // of the loop); `fold_blocks` is the pure columnar fold over
+    // materialized blocks — the asymptotic rate once telemetry is
+    // resident.
+    let scale = std::env::var("PMSS_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(1.0);
+    let w_nodes = 16usize;
+    let w_hours = (12.0 * scale).max(0.5);
+    let w_sched = generate(
+        TraceParams {
+            nodes: w_nodes,
+            duration_s: w_hours * 3600.0,
+            seed: 9,
+            min_job_s: 900.0,
+        },
+        &domains,
+    );
+    let w_cfg = FleetConfig::default();
+    let resident = ResidentFleet::capture(&w_sched, &w_cfg)?;
+    let window_events = resident.rows();
+    let mut blocks = Vec::new();
+    fleet_window_blocks(&w_sched, &w_cfg, |b| blocks.push(b.clone()));
+
+    let simulate_s = time_best(reps, || {
+        let l: EnergyLedger = simulate_fleet(&w_sched, &w_cfg);
+        std::hint::black_box(l);
+    });
+    let ingest_s = time_best(reps, || {
+        let mut eng: StreamEngine<'_, EnergyLedger> =
+            StreamEngine::new(&w_sched, StreamConfig::for_plan(None)).expect("valid config");
+        fleet_window_blocks(&w_sched, &w_cfg, |b| {
+            eng.ingest_block(b).expect("in-order arrival");
+        });
+        std::hint::black_box(eng.finish().0);
+    });
+    let replay_s = time_best(reps, || {
+        let l: EnergyLedger = resident.replay(&w_sched).expect("replay");
+        std::hint::black_box(l);
+    });
+    let fold_s = time_best(reps, || {
+        let mut ledger = EnergyLedger::default();
+        for block in &blocks {
+            let mut chan = EnergyLedger::default();
+            chan.fold_block(&w_sched, block);
+            ledger.merge(chan);
+        }
+        std::hint::black_box(ledger);
+    });
+
+    const CAMPAIGN_WINDOWS: f64 = 2.0e9;
+    let replay_rate = window_events as f64 / replay_s;
+    let campaign_replay_s = CAMPAIGN_WINDOWS / replay_rate;
+    let window_rows = [
+        ("simulate", simulate_s),
+        ("block_ingest", ingest_s),
+        ("resident_replay", replay_s),
+        ("fold_blocks", fold_s),
+    ];
+    out.push_str(&format!(
+        "\nwindows/s ({w_nodes} nodes x {w_hours:.1} h, {window_events} window-events, \
+         best of {reps}):\n"
+    ));
+    let mut windows_json = Vec::new();
+    for (path, wall_s) in window_rows {
+        let rate = window_events as f64 / wall_s;
+        out.push_str(&format!(
+            "{path:>16} {:>10.3} ms {:>8.1} M windows/s\n",
+            wall_s * 1e3,
+            rate / 1e6
+        ));
+        windows_json.push(
+            Json::obj()
+                .field("path", path)
+                .field("wall_s", wall_s)
+                .field("windows_per_s", rate),
+        );
+    }
+    out.push_str(&format!(
+        "resident store: {:.1}x compressed; full campaign ({CAMPAIGN_WINDOWS:.1e} \
+         window-events) replays in ~{campaign_replay_s:.0} s\n",
+        resident.compression_ratio()
+    ));
+
     // Per-scenario minimum speedup across node counts: the memoization
     // acceptance headline.  The what-if (capped) regime is where engine
     // execution dominates and the cache pays off hardest; uncapped runs
@@ -449,6 +544,23 @@ fn bench_fleet(out_path: Option<&str>) -> Result<String, PmssError> {
         )
         .field("schedule_hours", hours)
         .field("rows", Json::Arr(row_json))
+        .field(
+            "windows",
+            Json::obj()
+                .field("nodes", w_nodes)
+                .field("hours", w_hours)
+                .field("scale", scale)
+                .field("window_events", window_events)
+                .field("rows", Json::Arr(windows_json))
+                .field("resident_compression_ratio", resident.compression_ratio())
+                .field(
+                    "full_campaign",
+                    Json::obj()
+                        .field("window_events", CAMPAIGN_WINDOWS)
+                        .field("replay_path", "resident_replay")
+                        .field("extrapolated_replay_s", campaign_replay_s),
+                ),
+        )
         .field("summary", summary);
     std::fs::write(out_path, json.to_string_pretty())?;
     out.push_str(&format!("wrote {out_path}\n"));

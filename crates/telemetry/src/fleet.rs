@@ -11,17 +11,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-use pmss_faults::{FaultPlan, GapPolicy, Glitch};
+use pmss_faults::{FaultLane, FaultPlan, GapPolicy, Glitch};
 
 use pmss_gpu::consts::GPUS_PER_NODE;
 use pmss_gpu::trace::standard_normal;
 use pmss_gpu::{BoostBudget, Engine, GpuSettings, NodeRestModel};
-use pmss_sched::{Job, Schedule};
+use pmss_sched::Schedule;
 use pmss_workloads::phases::synthesize_app;
 use pmss_workloads::AppClass;
 
-use crate::events::{apply_event, WindowEvent, WindowKind, REST_SLOT};
+use pmss_columns::ColumnBlock;
+
+use crate::events::{WindowEvent, WindowKind, REST_SLOT};
 use crate::fleetcache::FleetCache;
+
+pub use pmss_columns::{FleetObserver, GapFill, SampleCtx};
 
 /// Fleet-simulation parameters.
 #[derive(Debug, Clone)]
@@ -80,69 +84,9 @@ impl FleetConfig {
     }
 }
 
-/// Attribution context of one telemetry sample.
-#[derive(Debug, Clone, Copy)]
-pub struct SampleCtx<'a> {
-    /// Node index.
-    pub node: u32,
-    /// GPU slot within the node (0–3).
-    pub slot: u8,
-    /// Job occupying the node at the sample time, if any.
-    pub job: Option<&'a Job>,
-}
-
-/// How one telemetry window lost to faults is presented to an observer —
-/// the realized [`GapPolicy`] of the active [`FaultPlan`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum GapFill {
-    /// The window is excluded: no power value exists for it.  Observers
-    /// that account coverage should tally the lost seconds.
-    Excluded,
-    /// The gap is filled by holding the last delivered value of the same
-    /// GPU slot (watts); attribution of the original window is preserved.
-    Interpolated(f64),
-    /// The gap is billed as unattributed idle at the given wattage.
-    Idle(f64),
-}
-
-/// Consumer of fleet telemetry.  Implementations accumulate whatever view
-/// they need (histograms, energy ledgers, joined series); `merge` combines
-/// per-node partials after the parallel fold.
-pub trait FleetObserver: Send + Sized {
-    /// Whether the simulation accumulates this observer one fresh partial
-    /// per telemetry channel, merged in canonical order (nodes ascending;
-    /// GPU slots `0..4`, then rest-of-node), instead of applying every
-    /// sample to one running accumulator.
-    ///
-    /// Per-channel grouping is the accumulation shape a bounded-memory
-    /// streaming ingest (`pmss-stream`) can reproduce *bit for bit*: the
-    /// engine holds one partial observer per channel and snapshots by
-    /// merging them in the same canonical order.  Because floating-point
-    /// addition is not associative, the two shapes differ in low-order
-    /// bits, so observers pinned to historical byte-exact output keep the
-    /// default (`false`) and only observers that participate in streaming
-    /// equivalence (the energy ledger) opt in.  For observers whose state
-    /// merges exactly (integer counts), the shapes coincide.
-    const CHANNEL_GROUPED: bool = false;
-
-    /// One GPU power sample (window mean), stamped at the window center.
-    fn gpu_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, power_w: f64);
-    /// One telemetry window lost to injected faults, handled under the
-    /// plan's gap policy.  The default forwards filled values to
-    /// [`FleetObserver::gpu_sample`] and ignores excluded gaps, so
-    /// observers without coverage accounting keep working unchanged;
-    /// coverage-aware observers override this to tally per-mode seconds.
-    fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, t_s: f64, _span_s: f64, fill: GapFill) {
-        match fill {
-            GapFill::Excluded => {}
-            GapFill::Interpolated(w) | GapFill::Idle(w) => self.gpu_sample(ctx, t_s, w),
-        }
-    }
-    /// One rest-of-node (CPU package + board) power sample per window.
-    fn node_sample(&mut self, _node: u32, _t_s: f64, _rest_w: f64) {}
-    /// Folds another observer's state into this one.
-    fn merge(&mut self, other: Self);
-}
+// `SampleCtx`, `GapFill`, and `FleetObserver` moved to `pmss-columns`
+// (re-exported above): the consumer trait now lives with the columnar
+// substrate so observers can override `FleetObserver::fold_block`.
 
 /// Per-worker tallies of one fleet-simulation run, following the same
 /// fold/merge discipline as [`FleetObserver`]: each rayon worker
@@ -454,6 +398,7 @@ fn slot_window_events<M: FleetSink>(
     boost: &mut BoostBudget,
     rng: &mut StdRng,
     idle_power_w: f64,
+    lane: &mut FaultLane,
     emit: &mut impl FnMut(WindowEvent),
 ) {
     let plan = cfg.faults.as_ref().filter(|p| !p.is_noop());
@@ -464,6 +409,11 @@ fn slot_window_events<M: FleetSink>(
     // Delivery ranks of every delivered copy, for the reorder tally.
     let mut ranks: Vec<(u64, u64)> = Vec::new();
     let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
+    // All of the channel's fault decisions, filled in one columnar pass
+    // (bit-identical to the scalar per-window decision calls).
+    if let Some(p) = plan {
+        p.fill_lane(node, slot, 0..n_full as u64 + 1, lane);
+    }
     let mut seg_idx = 0usize;
 
     // `n_full` whole windows plus, when the duration is not an exact
@@ -544,7 +494,7 @@ fn slot_window_events<M: FleetSink>(
             continue;
         };
 
-        if plan.node_dropout(node, window) || plan.drops(node, slot, window) {
+        if lane.lost(window) {
             sink.fault(FaultEvent::Dropped);
             let (fill, event, job) = match plan.gap_policy {
                 GapPolicy::Exclude => (GapFill::Excluded, FaultEvent::GapExcluded, attributed),
@@ -571,14 +521,14 @@ fn slot_window_events<M: FleetSink>(
         }
         last_good = Some(mean);
         let mut power_w = mean;
-        if let Some(glitch) = plan.glitch(node, slot, window) {
+        if let Some(glitch) = lane.glitch(window) {
             sink.fault(FaultEvent::Glitched);
             power_w = match glitch {
                 Glitch::Nan => f64::NAN,
                 Glitch::Spike(w) => power_w + w,
             };
         }
-        let rank = plan.delivery_rank(node, slot, window);
+        let rank = lane.delivery_rank(window);
         let ev = WindowEvent {
             node,
             slot,
@@ -591,7 +541,7 @@ fn slot_window_events<M: FleetSink>(
                 job: attributed,
             },
         };
-        if plan.duplicates(node, slot, window) {
+        if lane.duplicated(window) {
             sink.fault(FaultEvent::Duplicated);
             sink.gpu_sample(attributed.is_some());
             if plan.reorder_depth > 0 {
@@ -630,6 +580,7 @@ fn node_rest_events<M: FleetSink>(
     node: u32,
     cfg: &FleetConfig,
     rest: &NodeRestModel,
+    dropout: &mut Vec<bool>,
     emit: &mut impl FnMut(WindowEvent),
 ) {
     let n_full = (schedule.duration_s / cfg.window_s).floor() as usize;
@@ -637,8 +588,14 @@ fn node_rest_events<M: FleetSink>(
     let mut p_idx = 0usize;
     let plan = cfg.faults.as_ref().filter(|p| !p.is_noop());
     let skew = plan.map_or(0.0, |p| p.clock_skew_s(node));
+    // Dropout decisions for the whole channel in one columnar pass,
+    // amortized per dropout interval.
+    if let Some(p) = plan {
+        p.fill_node_dropout(node, 0..n_full as u64 + 1, dropout);
+    }
 
     // Same window layout as `emit_windows`, including the partial tail.
+    #[allow(clippy::needless_range_loop)] // `w` drives the window math; `dropout[w]` is incidental
     for w in 0..=n_full {
         let w_start = w as f64 * cfg.window_s;
         let w_end = if w == n_full {
@@ -655,11 +612,9 @@ fn node_rest_events<M: FleetSink>(
         }
         // A dropped-out node is silent on every channel: the rest-of-node
         // sample vanishes along with the GPU samples of the interval.
-        if let Some(plan) = plan {
-            if plan.node_dropout(node, w as u64) {
-                sink.fault(FaultEvent::DropoutWindow);
-                continue;
-            }
+        if plan.is_some() && dropout[w] {
+            sink.fault(FaultEvent::DropoutWindow);
+            continue;
         }
         let util = placements
             .get(p_idx)
@@ -683,18 +638,19 @@ fn node_rest_events<M: FleetSink>(
 
 /// Runs the fleet simulation, returning the merged observer.
 ///
-/// When [`FleetConfig::use_exec_cache`] is set (the default), a fresh
-/// [`FleetCache`] is shared across all rayon workers for the duration of
-/// the run; use [`simulate_fleet_with_cache`] to supply a caller-owned
-/// cache (e.g. to inspect hit rates or amortize warm-up across repeated
-/// runs).
+/// When [`FleetConfig::use_exec_cache`] is set (the default), the
+/// process-wide [`FleetCache::shared`] memoizes slot templates across
+/// *every* run in the process, so repeated simulations (benchmark
+/// iterations, what-if sweeps, pipeline artifacts) pay template synthesis
+/// once.  Cache keys are exact, so output is bit-identical to a cold
+/// cache regardless of prior contents; use [`simulate_fleet_with_cache`]
+/// to supply a caller-owned cache instead (e.g. to inspect hit rates).
 pub fn simulate_fleet<O>(schedule: &Schedule, cfg: &FleetConfig) -> O
 where
     O: FleetObserver + Default,
 {
     if cfg.use_exec_cache {
-        let cache = FleetCache::new();
-        simulate_fleet_impl::<O, ()>(schedule, cfg, Some(&cache)).0
+        simulate_fleet_impl::<O, ()>(schedule, cfg, Some(FleetCache::shared())).0
     } else {
         simulate_fleet_impl::<O, ()>(schedule, cfg, None).0
     }
@@ -749,63 +705,69 @@ where
         .power_model()
         .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
 
+    // One scratch block per worker, reset per channel: generation writes
+    // the channel's windows into SoA columns, then the observer folds the
+    // whole block at once ([`FleetObserver::fold_block`]).  The fold
+    // replays the identical observer-call sequence the per-event path
+    // made, so low-order float bits are pinned; columnar observers merely
+    // skip per-event dispatch.
+    let windows_hint = (schedule.duration_s / cfg.window_s).floor() as usize + 1;
+
     (0..schedule.per_node.len())
         .into_par_iter()
         .fold(
             || (O::default(), M::default()),
             |(mut obs, mut sink), node| {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
+                let mut block = ColumnBlock::with_capacity(node as u32, 0, windows_hint);
+                let mut lane = FaultLane::new();
+                let mut dropout = Vec::new();
                 // Channel-grouped observers accumulate each channel into a
                 // fresh partial, merged in canonical order (GPU slots 0..4,
                 // then rest-of-node) — the shape `pmss-stream` reproduces
                 // bit for bit (see [`FleetObserver::CHANNEL_GROUPED`]).
-                // Everything else applies events straight to the running
+                // Everything else folds blocks straight into the running
                 // accumulator, preserving historical low-order bits.
+                let fold = |obs: &mut O, block: &ColumnBlock| {
+                    if O::CHANNEL_GROUPED {
+                        let mut chan = O::default();
+                        chan.fold_block(schedule, block);
+                        obs.merge(chan);
+                    } else {
+                        obs.fold_block(schedule, block);
+                    }
+                };
                 for slot in 0..GPUS_PER_NODE {
                     let segs =
                         slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
                     let mut boost = BoostBudget::default();
-                    if O::CHANNEL_GROUPED {
-                        let mut chan = O::default();
-                        slot_window_events(
-                            &mut sink,
-                            schedule,
-                            &segs,
-                            node as u32,
-                            slot as u8,
-                            cfg,
-                            &mut boost,
-                            &mut rng,
-                            idle_power_w,
-                            &mut |ev| apply_event(&mut chan, schedule, &ev),
-                        );
-                        obs.merge(chan);
-                    } else {
-                        slot_window_events(
-                            &mut sink,
-                            schedule,
-                            &segs,
-                            node as u32,
-                            slot as u8,
-                            cfg,
-                            &mut boost,
-                            &mut rng,
-                            idle_power_w,
-                            &mut |ev| apply_event(&mut obs, schedule, &ev),
-                        );
-                    }
+                    block.reset(node as u32, slot as u8);
+                    slot_window_events(
+                        &mut sink,
+                        schedule,
+                        &segs,
+                        node as u32,
+                        slot as u8,
+                        cfg,
+                        &mut boost,
+                        &mut rng,
+                        idle_power_w,
+                        &mut lane,
+                        &mut |ev| block.push(&ev),
+                    );
+                    fold(&mut obs, &block);
                 }
-                if O::CHANNEL_GROUPED {
-                    let mut chan = O::default();
-                    node_rest_events(&mut sink, schedule, node as u32, cfg, &rest, &mut |ev| {
-                        apply_event(&mut chan, schedule, &ev)
-                    });
-                    obs.merge(chan);
-                } else {
-                    node_rest_events(&mut sink, schedule, node as u32, cfg, &rest, &mut |ev| {
-                        apply_event(&mut obs, schedule, &ev)
-                    });
-                }
+                block.reset(node as u32, REST_SLOT);
+                node_rest_events(
+                    &mut sink,
+                    schedule,
+                    node as u32,
+                    cfg,
+                    &rest,
+                    &mut dropout,
+                    &mut |ev| block.push(&ev),
+                );
+                fold(&mut obs, &block);
                 (obs, sink)
             },
         )
@@ -829,13 +791,12 @@ where
 /// is bit-identical to [`simulate_fleet`]; only the emission order
 /// differs.  Feeding these events through `pmss-stream`'s reorder-buffered
 /// ingest reproduces the batch observer exactly.
-pub fn fleet_window_events(schedule: &Schedule, cfg: &FleetConfig, emit: impl FnMut(WindowEvent)) {
-    if cfg.use_exec_cache {
-        let cache = FleetCache::new();
-        fleet_window_events_impl(schedule, cfg, Some(&cache), emit);
-    } else {
-        fleet_window_events_impl(schedule, cfg, None, emit);
-    }
+pub fn fleet_window_events(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    mut emit: impl FnMut(WindowEvent),
+) {
+    fleet_window_blocks(schedule, cfg, |b| b.iter().for_each(&mut emit));
 }
 
 /// [`fleet_window_events`] with a caller-owned cache (same contract as
@@ -844,16 +805,40 @@ pub fn fleet_window_events_with_cache(
     schedule: &Schedule,
     cfg: &FleetConfig,
     cache: &FleetCache,
-    emit: impl FnMut(WindowEvent),
+    mut emit: impl FnMut(WindowEvent),
 ) {
-    fleet_window_events_impl(schedule, cfg, Some(cache), emit);
+    fleet_window_blocks_impl(schedule, cfg, Some(cache), &mut |b: &ColumnBlock| {
+        b.iter().for_each(&mut emit)
+    });
 }
 
-fn fleet_window_events_impl(
+/// Streams every telemetry channel of a fleet run to `emit` as one
+/// [`ColumnBlock`] per channel, in canonical channel order (nodes
+/// ascending; GPU slots `0..4`, then rest-of-node).  Within a block, rows
+/// are in the channel's *arrival* order — ascending window without
+/// faults, `(rank, window)`-sorted (duplicates adjacent) under an active
+/// reordering plan — so [`fleet_window_events`] is exactly a flattening
+/// of these blocks.
+///
+/// The block reference is a reusable scratch buffer: it is only valid for
+/// the duration of the callback (clone it to retain).
+pub fn fleet_window_blocks(
+    schedule: &Schedule,
+    cfg: &FleetConfig,
+    mut emit: impl FnMut(&ColumnBlock),
+) {
+    if cfg.use_exec_cache {
+        fleet_window_blocks_impl(schedule, cfg, Some(FleetCache::shared()), &mut emit);
+    } else {
+        fleet_window_blocks_impl(schedule, cfg, None, &mut emit);
+    }
+}
+
+fn fleet_window_blocks_impl(
     schedule: &Schedule,
     cfg: &FleetConfig,
     cache: Option<&FleetCache>,
-    mut emit: impl FnMut(WindowEvent),
+    emit: &mut impl FnMut(&ColumnBlock),
 ) {
     let engine = Engine::default();
     let rest = NodeRestModel::default();
@@ -864,47 +849,63 @@ fn fleet_window_events_impl(
         .faults
         .as_ref()
         .is_some_and(|p| !p.is_noop() && p.reorder_depth > 0);
+    let windows_hint = (schedule.duration_s / cfg.window_s).floor() as usize + 1;
+    let mut block = ColumnBlock::with_capacity(0, 0, windows_hint);
+    let mut lane = FaultLane::new();
+    let mut dropout = Vec::new();
 
     for node in 0..schedule.per_node.len() {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
         for slot in 0..GPUS_PER_NODE {
             let segs = slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
             let mut boost = BoostBudget::default();
+            block.reset(node as u32, slot as u8);
+            slot_window_events(
+                &mut (),
+                schedule,
+                &segs,
+                node as u32,
+                slot as u8,
+                cfg,
+                &mut boost,
+                &mut rng,
+                idle_power_w,
+                &mut lane,
+                &mut |ev| block.push(&ev),
+            );
             if reordering {
                 // Arrival order: stable-sort the channel by (rank, window),
                 // keeping duplicate copies (equal keys) adjacent.
-                let mut events = Vec::new();
-                slot_window_events(
-                    &mut (),
-                    schedule,
-                    &segs,
-                    node as u32,
-                    slot as u8,
-                    cfg,
-                    &mut boost,
-                    &mut rng,
-                    idle_power_w,
-                    &mut |ev| events.push(ev),
-                );
-                events.sort_by_key(|ev| (ev.rank, ev.window));
-                events.into_iter().for_each(&mut emit);
-            } else {
-                slot_window_events(
-                    &mut (),
-                    schedule,
-                    &segs,
-                    node as u32,
-                    slot as u8,
-                    cfg,
-                    &mut boost,
-                    &mut rng,
-                    idle_power_w,
-                    &mut emit,
-                );
+                block.sort_arrival();
             }
+            emit(&block);
         }
-        node_rest_events(&mut (), schedule, node as u32, cfg, &rest, &mut emit);
+        block.reset(node as u32, REST_SLOT);
+        node_rest_events(
+            &mut (),
+            schedule,
+            node as u32,
+            cfg,
+            &rest,
+            &mut dropout,
+            &mut |ev| block.push(&ev),
+        );
+        emit(&block);
     }
+}
+
+/// Materializes one run's full event stream in *delivery* order — every
+/// event sorted by `(rank, node, slot, window)`, the order the pipeline's
+/// stream/govern artifacts replay and the governor rounds on.  This is
+/// the one shared constructor for that ordering (benches, artifacts, and
+/// differential tests previously each carried their own copy).
+pub fn delivery_ordered_events(schedule: &Schedule, cfg: &FleetConfig) -> Vec<WindowEvent> {
+    let mut events = Vec::new();
+    fleet_window_events(schedule, cfg, |ev| events.push(ev));
+    events.sort_unstable_by(|a, b| {
+        (a.rank, a.node, a.slot, a.window).cmp(&(b.rank, b.node, b.slot, b.window))
+    });
+    events
 }
 
 #[cfg(test)]

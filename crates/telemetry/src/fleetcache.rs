@@ -85,6 +85,18 @@ impl Default for FleetCache {
 }
 
 impl FleetCache {
+    /// The process-wide shared cache used by the cache-less entry points
+    /// (`simulate_fleet`, `fleet_window_events`, `fleet_window_blocks`)
+    /// when [`crate::FleetConfig::use_exec_cache`] is set.  Keys are
+    /// exact and the fleet simulation always runs `Engine::default()`,
+    /// so sharing across every run in the process is bit-safe; it
+    /// amortizes template synthesis across benchmark iterations, repeated
+    /// artifacts, and what-if sweeps.
+    pub fn shared() -> &'static FleetCache {
+        static SHARED: std::sync::OnceLock<FleetCache> = std::sync::OnceLock::new();
+        SHARED.get_or_init(FleetCache::new)
+    }
+
     /// Creates an empty cache (64 template shards, like [`ExecCache`]).
     pub fn new() -> Self {
         let n = 64usize;

@@ -31,12 +31,14 @@ pub mod fleetpower;
 pub mod hist;
 pub mod join;
 pub mod observers;
+pub mod resident;
 pub mod sampler;
 pub mod smi;
 
 pub use events::{apply_event, WindowEvent, WindowKind, REST_SLOT};
 pub use fleet::{
-    fleet_window_events, fleet_window_events_with_cache, simulate_fleet, simulate_fleet_metered,
+    delivery_ordered_events, fleet_window_blocks, fleet_window_events,
+    fleet_window_events_with_cache, simulate_fleet, simulate_fleet_metered,
     simulate_fleet_with_cache, FleetConfig, FleetObserver, FleetRunStats, GapFill, SampleCtx,
 };
 pub use fleetcache::FleetCache;
@@ -44,4 +46,6 @@ pub use fleetpower::FleetPowerSeries;
 pub use hist::PowerHistogram;
 pub use join::{JobPowerIndex, JobPowerStats};
 pub use observers::{DomainHistograms, GpuCpuEnergy, Pair, SystemHistogram};
+pub use pmss_columns::{BlockGrid, CodecConfig, ColumnBlock, EncodedBlock, Tag};
+pub use resident::ResidentFleet;
 pub use smi::{compare_sensors, Comparison};

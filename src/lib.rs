@@ -21,6 +21,12 @@
 //! * [`faults`] — deterministic fault injection for fleet telemetry
 //!   (`pmss-faults`): seeded [`faults::FaultPlan`]s drive drops,
 //!   duplicates, reordering, glitches, dropouts, and clock skew;
+//! * [`columns`] — the columnar window-block substrate (`pmss-columns`):
+//!   per-channel SoA [`columns::ColumnBlock`]s and their compressed
+//!   resident form, shared by telemetry, stream, and the observers;
+//! * [`stream`] — incremental reorder-buffered ingest (`pmss-stream`):
+//!   [`stream::StreamEngine`] folds an arrival-ordered event stream into
+//!   any observer, bit-identical to the batch path;
 //! * [`core`] — modal decomposition and savings projection (`pmss-core`);
 //! * [`pipeline`] — the unified scenario pipeline (`pmss-pipeline`): a
 //!   typed [`ScenarioSpec`] run through memoized stages to an
@@ -52,6 +58,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use pmss_columns as columns;
 pub use pmss_core as core;
 pub use pmss_faults as faults;
 pub use pmss_govern as govern;
@@ -60,6 +67,7 @@ pub use pmss_graph as graph;
 pub use pmss_obs as obs;
 pub use pmss_pipeline as pipeline;
 pub use pmss_sched as sched;
+pub use pmss_stream as stream;
 pub use pmss_telemetry as telemetry;
 pub use pmss_workloads as workloads;
 
