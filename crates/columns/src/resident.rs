@@ -299,7 +299,66 @@ impl EncodedBlock {
     pub fn payload_bytes(&self) -> usize {
         self.payload.len()
     }
+
+    /// Serializes the block for the wire: a fixed little-endian header
+    /// (node, slot, row count, grid) followed by the compressed payload.
+    /// The frame carries no length of its own — the transport's framing
+    /// delimits it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(WIRE_HEADER + self.payload.len());
+        out.extend_from_slice(&self.node.to_le_bytes());
+        out.push(self.slot);
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&self.grid.window_s.to_le_bytes());
+        out.extend_from_slice(&self.grid.duration_s.to_le_bytes());
+        out.extend_from_slice(&self.grid.skew_s.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserializes a wire frame produced by [`EncodedBlock::to_bytes`].
+    ///
+    /// Validates the frame's structure — header length and a sane window
+    /// grid (finite, positive window length) — so a hostile frame cannot
+    /// smuggle NaN/infinite grids into downstream arithmetic.  The
+    /// payload itself is validated by [`EncodedBlock::decode`], which
+    /// bounds every allocation.
+    pub fn from_bytes(data: &[u8]) -> Result<EncodedBlock, PmssError> {
+        let malformed = |detail: &str| PmssError::malformed("encoded-block", detail.to_string());
+        if data.len() < WIRE_HEADER {
+            return Err(malformed("frame shorter than the fixed header"));
+        }
+        let le8 = |at: usize| -> [u8; 8] { data[at..at + 8].try_into().expect("8-byte slice") };
+        let node = u32::from_le_bytes(data[0..4].try_into().expect("4-byte slice"));
+        let slot = data[4];
+        let rows = u64::from_le_bytes(le8(5));
+        let grid = BlockGrid {
+            window_s: f64::from_le_bytes(le8(13)),
+            duration_s: f64::from_le_bytes(le8(21)),
+            skew_s: f64::from_le_bytes(le8(29)),
+        };
+        if !(grid.window_s.is_finite() && grid.window_s > 0.0) {
+            return Err(malformed("window grid length not finite positive"));
+        }
+        if !(grid.duration_s.is_finite() && grid.duration_s >= 0.0) {
+            return Err(malformed("grid duration not finite non-negative"));
+        }
+        if !grid.skew_s.is_finite() {
+            return Err(malformed("grid skew not finite"));
+        }
+        Ok(EncodedBlock {
+            node,
+            slot,
+            rows,
+            grid,
+            payload: data[WIRE_HEADER..].to_vec(),
+        })
+    }
 }
+
+/// Wire-header size of [`EncodedBlock::to_bytes`]: node (4) + slot (1) +
+/// rows (8) + grid (3 × 8).
+const WIRE_HEADER: usize = 37;
 
 /// Run-length encodes `n` computed row values: `(value varint, run
 /// varint)` pairs over `f(0..n)`.  `f` is invoked exactly once per row,
@@ -546,6 +605,40 @@ mod tests {
             let mut bad = enc.clone();
             bad.payload.truncate(cut);
             assert!(bad.decode(CodecConfig::default()).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn wire_frames_round_trip_and_reject_hostile_headers() {
+        let events: Vec<WindowEvent> = (0..32)
+            .map(|w| {
+                gpu_event(
+                    w,
+                    w,
+                    WindowKind::Sample {
+                        power_w: 380.0,
+                        job: Some(2),
+                    },
+                )
+            })
+            .collect();
+        let block = ColumnBlock::from_events(2, 1, &events);
+        let enc = EncodedBlock::encode(&block, grid(), CodecConfig::default()).expect("encode");
+        let wire = enc.to_bytes();
+        let back = EncodedBlock::from_bytes(&wire).expect("from_bytes");
+        assert_eq!(back, enc);
+        assert_eq!(back.decode(CodecConfig::default()).expect("decode"), block);
+        // Truncated headers and non-finite grids are structural errors.
+        assert!(EncodedBlock::from_bytes(&wire[..WIRE_HEADER - 1]).is_err());
+        for (at, bits) in [
+            (13, f64::NAN.to_le_bytes()),          // window_s
+            (13, 0.0f64.to_le_bytes()),            // window_s zero
+            (21, f64::NEG_INFINITY.to_le_bytes()), // duration_s
+            (29, f64::INFINITY.to_le_bytes()),     // skew_s
+        ] {
+            let mut bad = wire.clone();
+            bad[at..at + 8].copy_from_slice(&bits);
+            assert!(EncodedBlock::from_bytes(&bad).is_err(), "offset {at}");
         }
     }
 

@@ -14,7 +14,7 @@ use pmss_faults::{FaultPlan, PRESETS};
 use pmss_gpu::GpuSettings;
 use pmss_obs::Stopwatch;
 use pmss_sched::{catalog, generate, TraceParams};
-use pmss_stream::{StreamConfig, StreamEngine};
+use pmss_stream::{StreamConfig, StreamEngine, StreamState};
 use pmss_telemetry::{
     fleet_window_blocks, simulate_fleet, simulate_fleet_with_cache, FleetCache, FleetConfig,
     FleetObserver, ResidentFleet,
@@ -68,6 +68,9 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     let mut spec = resolve_spec(scale.as_deref(), spec_path.as_deref())?;
     if let Some(value) = faults_arg.as_deref() {
         spec.faults = Some(resolve_fault_plan(value)?);
+    }
+    if positional[0] == "query" {
+        return query_cmd(&positional[1..], spec);
     }
     if positional[0] == "spec" {
         return Ok(if json {
@@ -132,6 +135,28 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     })
 }
 
+/// The `pmss query` subcommand: the batch comparator for the `pmssd`
+/// differential guard.  The campaign is captured into the resident store
+/// — exactly the frames a daemon tenant would be fed — then *batch*
+/// replayed (block-at-a-time fold, no streaming engine) into a
+/// [`StreamState`], and the answer rendered through the same
+/// [`crate::query::answer`] path the daemon uses.  Byte-equality of the
+/// two outputs is therefore a real cross-implementation check: different
+/// accumulation order, same bytes.
+fn query_cmd(rest: &[String], spec: ScenarioSpec) -> Result<String, PmssError> {
+    let q = crate::query::Query::from_args(rest)?;
+    let mut p = Pipeline::new(spec)?;
+    p.fleet()?;
+    p.table3()?;
+    let cfg = p.fleet_config();
+    let fleet = p.fleet.as_ref().expect("fleet stage just ran");
+    let resident = ResidentFleet::capture(&fleet.schedule, &cfg)?;
+    let ledger: EnergyLedger = resident.replay(&fleet.schedule)?;
+    let state = StreamState::new(ledger, fleet.frontier_factor);
+    let t3 = p.table3.as_ref().expect("table3 stage just ran");
+    Ok(crate::query::answer(&state, t3, &q)?.to_string_pretty())
+}
+
 /// The `stats` subcommand: run the full staged pipeline (fleet, benchmark,
 /// projection) with metering on and report only the manifest + metrics.
 fn stats(spec: ScenarioSpec, json: bool) -> Result<String, PmssError> {
@@ -153,8 +178,9 @@ fn stats(spec: ScenarioSpec, json: bool) -> Result<String, PmssError> {
 }
 
 /// Resolves a `--faults` value: a severity preset name, or the path of a
-/// JSON file holding a full [`FaultPlan`].
-fn resolve_fault_plan(value: &str) -> Result<FaultPlan, PmssError> {
+/// JSON file holding a full [`FaultPlan`].  Shared with the `pmssd`
+/// client so both front ends accept the same vocabulary.
+pub fn resolve_fault_plan(value: &str) -> Result<FaultPlan, PmssError> {
     if PRESETS.contains(&value) {
         return FaultPlan::preset(value);
     }
@@ -199,7 +225,14 @@ fn flag_value<'a>(
         .ok_or_else(|| PmssError::Usage(format!("{flag} requires a value")))
 }
 
-fn resolve_spec(scale: Option<&str>, spec_path: Option<&str>) -> Result<ScenarioSpec, PmssError> {
+/// Resolves `--scale` / `--spec` into a [`ScenarioSpec`] exactly like the
+/// batch CLI (mutual exclusion, `PMSS_SCALE` fallback).  Shared with the
+/// `pmssd` client so a daemon campaign and its batch comparator resolve
+/// the identical scenario.
+pub fn resolve_spec(
+    scale: Option<&str>,
+    spec_path: Option<&str>,
+) -> Result<ScenarioSpec, PmssError> {
     match (spec_path, scale) {
         (Some(_), Some(_)) => Err(PmssError::Usage(
             "--spec and --scale are mutually exclusive (the spec file already fixes the scale)"
@@ -278,6 +311,11 @@ fn help_text() -> String {
          \x20   pmss list                        list every artifact\n\
          \x20   pmss spec [OPTIONS]              print the resolved scenario\n\
          \x20   pmss stats [OPTIONS]             run the full pipeline, report metrics only\n\
+         \x20   pmss query <WHAT> [OPTIONS]      batch-replay query (the pmssd differential\n\
+         \x20                                    comparator): projection | coverage | ledger |\n\
+         \x20                                    whatif <freq_mhz|power_w> <VALUE>\n\
+         \x20   pmss serve [OPTIONS]             run the pmssd analysis daemon (see pmss serve --help)\n\
+         \x20   pmss client <CMD> [OPTIONS]      drive a running daemon (ingest, query, metrics)\n\
          \x20   pmss bench-fleet [PATH]          fleet-simulation throughput benchmark\n\
          \n\
          OPTIONS:\n\

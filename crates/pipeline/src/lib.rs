@@ -20,6 +20,10 @@
 //!   output (emit + parse);
 //! * [`metrics`] — the `--metrics` observability envelope (run manifest +
 //!   `pmss-obs` registry rendered to JSON/ASCII, `PMSS_METRICS` gating);
+//! * [`query`] — the typed read-query vocabulary (projection, coverage,
+//!   ledger slice, what-if) shared by `pmss query` and the `pmssd`
+//!   daemon, rendered through one code path so their answers are
+//!   byte-identical;
 //! * [`cli`] — the `pmss` command-line front end (`pmss fig 2`,
 //!   `pmss table 3 --json`, …) that the thin `pmss` binary calls into.
 //!
@@ -33,6 +37,7 @@ pub mod artifact;
 pub mod cli;
 pub mod json;
 pub mod metrics;
+pub mod query;
 pub mod render;
 pub mod spec;
 pub mod stage;

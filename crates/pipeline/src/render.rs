@@ -942,7 +942,7 @@ fn ascii_govern(a: &GovernArtifact) -> String {
 // JSON renderers
 // ---------------------------------------------------------------------------
 
-fn setting_json(s: CapSetting) -> Json {
+pub(crate) fn setting_json(s: CapSetting) -> Json {
     match s {
         CapSetting::FreqMhz(m) => Json::obj().field("knob", "freq_mhz").field("value", m),
         CapSetting::PowerW(w) => Json::obj().field("knob", "power_w").field("value", w),
@@ -1327,22 +1327,20 @@ fn json_table4(a: &Table4) -> Json {
     )
 }
 
-fn projection_json(p: &Projection) -> Json {
+pub(crate) fn projection_row_json(r: &pmss_core::project::ProjectionRow) -> Json {
+    Json::obj()
+        .field("setting", setting_json(r.setting))
+        .field("ci_mwh", r.ci_mwh)
+        .field("mi_mwh", r.mi_mwh)
+        .field("ts_mwh", r.ts_mwh)
+        .field("savings_pct", r.savings_pct)
+        .field("delta_t_pct", r.delta_t_pct)
+        .field("savings_dt0_pct", r.savings_dt0_pct)
+}
+
+pub(crate) fn projection_json(p: &Projection) -> Json {
     let rows = |rows: &[pmss_core::project::ProjectionRow]| {
-        Json::Arr(
-            rows.iter()
-                .map(|r| {
-                    Json::obj()
-                        .field("setting", setting_json(r.setting))
-                        .field("ci_mwh", r.ci_mwh)
-                        .field("mi_mwh", r.mi_mwh)
-                        .field("ts_mwh", r.ts_mwh)
-                        .field("savings_pct", r.savings_pct)
-                        .field("delta_t_pct", r.delta_t_pct)
-                        .field("savings_dt0_pct", r.savings_dt0_pct)
-                })
-                .collect(),
-        )
+        Json::Arr(rows.iter().map(projection_row_json).collect())
     };
     Json::obj()
         .field("total_mwh", p.input.total_mwh())

@@ -227,8 +227,11 @@ impl Pipeline {
 
     /// The fleet configuration every simulation of this pipeline uses:
     /// defaults plus the spec's fault plan.  All per-artifact fleet runs
-    /// must build on this so `--faults` degrades them consistently.
-    pub(crate) fn fleet_config(&self) -> FleetConfig {
+    /// must build on this so `--faults` degrades them consistently —
+    /// and so must external campaign producers (the `pmssd` client's
+    /// resident capture), or their telemetry diverges from the batch
+    /// comparator's.
+    pub fn fleet_config(&self) -> FleetConfig {
         FleetConfig {
             faults: self.spec.faults.clone(),
             ..FleetConfig::default()

@@ -1,0 +1,465 @@
+//! The daemon: accept loop, tenant registry, metrics endpoint, shutdown.
+//!
+//! Each accepted connection gets its own task running the frame loop in
+//! `serve_connection`; tenants are spawned on demand (an `OPEN` frame
+//! carrying a spec) and shared across connections through the registry.
+//! Ingest admission is two-stage: the handler `try_send`s onto the
+//! tenant's bounded queue (full queue → typed `backpressure` error, the
+//! frame is dropped before it costs anything) and then waits for the
+//! worker's per-frame verdict, so every acked `BLOCK` was really applied
+//! by the single-writer engine and every rejection carries its typed
+//! code.
+//!
+//! Shutdown is cooperative: a `SHUTDOWN` frame flips a flag and pokes
+//! both listeners with a self-connection so their blocking accepts
+//! return; the run loop then joins connection tasks, drops the registry
+//! (closing every tenant queue), and joins the workers — each publishes
+//! a final snapshot on the way out.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmss_columns::EncodedBlock;
+use pmss_error::PmssError;
+use pmss_pipeline::json::Json;
+use pmss_pipeline::query::Query;
+use pmss_pipeline::spec::ScenarioSpec;
+use tokio::net::{TcpListener, TcpStream, UnixListener};
+
+use crate::proto::{self, code, frame, status};
+use crate::tenant::{self, Command, Tenant, TenantConfig, TenantShared};
+
+/// Where the daemon listens for client frames.
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// TCP, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(std::path::PathBuf),
+}
+
+/// Daemon tuning.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Client-frame listener address.
+    pub listen: Listen,
+    /// Optional metrics endpoint (TCP, plain-text scrape).
+    pub metrics_addr: Option<String>,
+    /// Per-tenant bounded ingest-queue depth.
+    pub queue_depth: usize,
+    /// Blocks between tenant snapshot publications.
+    pub sync_interval: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            metrics_addr: None,
+            queue_depth: 64,
+            sync_interval: 8,
+        }
+    }
+}
+
+enum Acceptor {
+    Tcp(TcpListener),
+    Unix(UnixListener, std::path::PathBuf),
+}
+
+type Registry = Arc<Mutex<HashMap<String, Tenant>>>;
+
+/// A bound (but not yet running) daemon.
+pub struct Daemon {
+    acceptor: Acceptor,
+    metrics: Option<TcpListener>,
+    cfg: DaemonConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Binds the client and metrics listeners; nothing is served until
+    /// [`Daemon::run`].
+    pub fn bind(cfg: DaemonConfig) -> Result<Daemon, PmssError> {
+        let rt = tokio::runtime::Runtime::new()
+            .map_err(|e| PmssError::invalid_value("pmssd runtime", e.to_string(), "a runtime"))?;
+        let acceptor = rt
+            .block_on(async {
+                match &cfg.listen {
+                    Listen::Tcp(addr) => TcpListener::bind(addr.as_str()).await.map(Acceptor::Tcp),
+                    Listen::Unix(path) => {
+                        // A stale socket file from a previous run refuses the bind.
+                        let _ = std::fs::remove_file(path);
+                        UnixListener::bind(path)
+                            .await
+                            .map(|l| Acceptor::Unix(l, path.clone()))
+                    }
+                }
+            })
+            .map_err(|e| {
+                PmssError::invalid_value(
+                    "pmssd listen address",
+                    e.to_string(),
+                    "a bindable address",
+                )
+            })?;
+        let metrics = match &cfg.metrics_addr {
+            None => None,
+            Some(addr) => Some(rt.block_on(TcpListener::bind(addr.as_str())).map_err(|e| {
+                PmssError::invalid_value(
+                    "pmssd metrics address",
+                    e.to_string(),
+                    "a bindable address",
+                )
+            })?),
+        };
+        Ok(Daemon {
+            acceptor,
+            metrics,
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound client address, when listening on TCP (tests bind port
+    /// 0 and discover the port here).
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        match &self.acceptor {
+            Acceptor::Tcp(l) => l.local_addr().ok(),
+            Acceptor::Unix(..) => None,
+        }
+    }
+
+    /// The bound metrics address, when a metrics endpoint was requested.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Serves until a `SHUTDOWN` frame arrives, then drains: joins
+    /// connection tasks, closes tenant queues, joins workers.
+    pub fn run(self) -> Result<(), PmssError> {
+        let rt = tokio::runtime::Runtime::new()
+            .map_err(|e| PmssError::invalid_value("pmssd runtime", e.to_string(), "a runtime"))?;
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let tenant_cfg = TenantConfig {
+            queue_depth: self.cfg.queue_depth,
+            sync_interval: self.cfg.sync_interval,
+        };
+        let shutdown = Arc::clone(&self.shutdown);
+        // Each entry: the connection task plus a cloned socket handle so
+        // shutdown can force-close connections blocked mid-read.
+        type Closer = Box<dyn Fn() + Send>;
+        type ConnTasks = Arc<Mutex<Vec<(tokio::task::JoinHandle<()>, Option<Closer>)>>>;
+        let conn_tasks: ConnTasks = Arc::new(Mutex::new(Vec::new()));
+        // Self-connection targets for waking the blocking accepts at
+        // shutdown — resolved from the *bound* listeners, since the
+        // configured address may have been port 0.
+        let poke_target = match &self.acceptor {
+            Acceptor::Tcp(l) => Listen::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "127.0.0.1:0".to_string()),
+            ),
+            Acceptor::Unix(_, path) => Listen::Unix(path.clone()),
+        };
+        let metrics_poke = self.metrics_addr().map(|a| a.to_string());
+
+        let metrics_task = self.metrics.map(|listener| {
+            let registry = Arc::clone(&registry);
+            let shutdown = Arc::clone(&shutdown);
+            tokio::task::spawn(async move {
+                loop {
+                    let Ok((stream, _)) = listener.accept().await else {
+                        break;
+                    };
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    serve_metrics_scrape(stream, &registry);
+                }
+            })
+        });
+
+        let result = rt.block_on(async {
+            loop {
+                let stream = match &self.acceptor {
+                    Acceptor::Tcp(l) => l.accept().await.map(|(s, _)| Conn::Tcp(s)),
+                    Acceptor::Unix(l, _) => l.accept().await.map(Conn::Unix),
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let closer: Option<Closer> = match &stream {
+                    Conn::Tcp(s) => s.try_clone().ok().map(|c| {
+                        Box::new(move || {
+                            let _ = c.shutdown_both();
+                        }) as Closer
+                    }),
+                    Conn::Unix(s) => s.try_clone().ok().map(|c| {
+                        Box::new(move || {
+                            let _ = c.shutdown_both();
+                        }) as Closer
+                    }),
+                };
+                let registry = Arc::clone(&registry);
+                let shutdown = Arc::clone(&shutdown);
+                let listen = poke_target.clone();
+                let metrics_addr = metrics_poke.clone();
+                let handle = tokio::task::spawn(async move {
+                    let wake = move || {
+                        poke(&listen);
+                        if let Some(addr) = &metrics_addr {
+                            let _ = std::net::TcpStream::connect(addr.as_str());
+                        }
+                    };
+                    match stream {
+                        Conn::Tcp(mut s) => {
+                            serve_connection(&mut s, &registry, tenant_cfg, &shutdown, &wake).await
+                        }
+                        Conn::Unix(mut s) => {
+                            serve_connection(&mut s, &registry, tenant_cfg, &shutdown, &wake).await
+                        }
+                    }
+                });
+                conn_tasks.lock().push((handle, closer));
+            }
+            Ok::<(), PmssError>(())
+        });
+
+        // Force-close lingering connections (a client holding an idle
+        // connection open must not be able to wedge shutdown), then join.
+        let tasks = std::mem::take(&mut *conn_tasks.lock());
+        for (_, closer) in &tasks {
+            if let Some(close) = closer {
+                close();
+            }
+        }
+        for (handle, _) in tasks {
+            rt.block_on(handle).ok();
+        }
+        // Dropping every sender closes the workers' queues; each worker
+        // publishes a final snapshot and exits.
+        let tenants: Vec<Tenant> = registry.lock().drain().map(|(_, t)| t).collect();
+        for t in tenants {
+            drop(t.tx);
+            rt.block_on(t.handle).ok();
+        }
+        if let Some(task) = metrics_task {
+            rt.block_on(task).ok();
+        }
+        if let Acceptor::Unix(_, path) = &self.acceptor {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(tokio::net::UnixStream),
+}
+
+/// Pokes a blocking acceptor awake with a throwaway self-connection.
+fn poke(listen: &Listen) {
+    match listen {
+        Listen::Tcp(addr) => {
+            let _ = std::net::TcpStream::connect(addr.as_str());
+        }
+        Listen::Unix(path) => {
+            let _ = std::os::unix::net::UnixStream::connect(path);
+        }
+    }
+}
+
+/// One connection's frame loop.  `wake` unblocks the daemon's accept
+/// loops after a `SHUTDOWN` frame.
+async fn serve_connection<S: Read + Write, W: Fn() + Send + Sync>(
+    stream: &mut S,
+    registry: &Registry,
+    tenant_cfg: TenantConfig,
+    shutdown: &AtomicBool,
+    wake: &W,
+) {
+    // The tenant this connection bound with OPEN.
+    let mut bound: Option<(Arc<TenantShared>, tokio::sync::mpsc::Sender<Command>)> = None;
+    loop {
+        let (ty, payload) = match proto::read_frame(stream).await {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let reply = match ty {
+            frame::OPEN => handle_open(&payload, registry, tenant_cfg, &mut bound),
+            frame::BLOCK => handle_block(&payload, &bound),
+            frame::FLUSH => handle_flush(&bound),
+            frame::QUERY => handle_query(&payload, &bound),
+            frame::SHUTDOWN => {
+                // Ack first: once the flag flips, the run loop may
+                // force-close this very socket.
+                let _ = proto::write_frame(stream, status::OK, b"").await;
+                shutdown.store(true, Ordering::SeqCst);
+                wake();
+                return;
+            }
+            other => Err((
+                code::USAGE,
+                format!("unknown frame type {other} (expected 1..=5)"),
+            )),
+        };
+        let io = match reply {
+            Ok(body) => proto::write_frame(stream, status::OK, &body).await,
+            Err((c, detail)) => {
+                proto::write_frame(stream, status::ERR, &proto::err_payload(c, &detail)).await
+            }
+        };
+        if io.is_err() {
+            return;
+        }
+    }
+}
+
+type Reply = Result<Vec<u8>, (&'static str, String)>;
+
+fn handle_open(
+    payload: &[u8],
+    registry: &Registry,
+    tenant_cfg: TenantConfig,
+    bound: &mut Option<(Arc<TenantShared>, tokio::sync::mpsc::Sender<Command>)>,
+) -> Reply {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| (code::MALFORMED, "OPEN payload is not UTF-8".to_string()))?;
+    let v = Json::parse(text).map_err(|e| (code::MALFORMED, e.to_string()))?;
+    let name = v
+        .get("tenant")
+        .and_then(|t| t.as_str().map(str::to_string))
+        .ok_or_else(|| {
+            (
+                code::MALFORMED,
+                "OPEN payload needs a \"tenant\" string".to_string(),
+            )
+        })?;
+    let mut reg = registry.lock();
+    if let Some(t) = reg.get(&name) {
+        *bound = Some((Arc::clone(&t.shared), t.tx.clone()));
+        return Ok(Vec::new());
+    }
+    let Some(spec_json) = v.get("spec") else {
+        return Err((
+            code::UNKNOWN_TENANT,
+            format!("tenant {name:?} does not exist and OPEN carried no spec"),
+        ));
+    };
+    let spec = ScenarioSpec::from_json(spec_json).map_err(|e| (code::MALFORMED, e.to_string()))?;
+    let t =
+        tenant::spawn(&name, &spec, tenant_cfg).map_err(|e| (code::MALFORMED, e.to_string()))?;
+    *bound = Some((Arc::clone(&t.shared), t.tx.clone()));
+    reg.insert(name, t);
+    Ok(Vec::new())
+}
+
+fn handle_block(
+    payload: &[u8],
+    bound: &Option<(Arc<TenantShared>, tokio::sync::mpsc::Sender<Command>)>,
+) -> Reply {
+    let Some((_, tx)) = bound else {
+        return Err((code::USAGE, "BLOCK before OPEN".to_string()));
+    };
+    // Structural validation up front: a hostile header never reaches the
+    // tenant queue.
+    let enc = EncodedBlock::from_bytes(payload).map_err(|e| (code::MALFORMED, e.to_string()))?;
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    match tx.try_send(Command::Block(enc, reply_tx)) {
+        Ok(()) => {}
+        Err(tokio::sync::mpsc::TrySendError::Full(_)) => {
+            return Err((
+                code::BACKPRESSURE,
+                "tenant ingest queue is full; retry after a drain".to_string(),
+            ));
+        }
+        Err(tokio::sync::mpsc::TrySendError::Closed(_)) => {
+            return Err((code::INTERNAL, "tenant worker has exited".to_string()));
+        }
+    }
+    match reply_rx.recv() {
+        Ok(Ok(())) => Ok(Vec::new()),
+        Ok(Err((c, detail))) => Err((c, detail)),
+        Err(_) => Err((
+            code::INTERNAL,
+            "tenant worker dropped the frame".to_string(),
+        )),
+    }
+}
+
+fn handle_flush(bound: &Option<(Arc<TenantShared>, tokio::sync::mpsc::Sender<Command>)>) -> Reply {
+    let Some((_, tx)) = bound else {
+        return Err((code::USAGE, "FLUSH before OPEN".to_string()));
+    };
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    // FLUSH must not be droppable under load: retry admission briefly so
+    // a full queue delays the barrier instead of failing it.
+    let mut cmd = Command::Flush(reply_tx);
+    loop {
+        match tx.try_send(cmd) {
+            Ok(()) => break,
+            Err(tokio::sync::mpsc::TrySendError::Full(c)) => {
+                cmd = c;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(tokio::sync::mpsc::TrySendError::Closed(_)) => {
+                return Err((code::INTERNAL, "tenant worker has exited".to_string()));
+            }
+        }
+    }
+    match reply_rx.recv() {
+        Ok(()) => Ok(Vec::new()),
+        Err(_) => Err((
+            code::INTERNAL,
+            "tenant worker dropped the flush".to_string(),
+        )),
+    }
+}
+
+fn handle_query(
+    payload: &[u8],
+    bound: &Option<(Arc<TenantShared>, tokio::sync::mpsc::Sender<Command>)>,
+) -> Reply {
+    let Some((shared, _)) = bound else {
+        return Err((code::USAGE, "QUERY before OPEN".to_string()));
+    };
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| (code::MALFORMED, "QUERY payload is not UTF-8".to_string()))?;
+    let v = Json::parse(text).map_err(|e| (code::MALFORMED, e.to_string()))?;
+    let q = Query::from_json(&v).map_err(|e| (code::MALFORMED, e.to_string()))?;
+    // Clone the published snapshot out from under the lock; the answer
+    // is computed without blocking the writer.
+    let state = shared.state.read().clone();
+    let answer = pmss_pipeline::query::answer(&state, &shared.table3, &q)
+        .map_err(|e| (code::MALFORMED, e.to_string()))?;
+    Ok(answer.to_string_pretty().into_bytes())
+}
+
+/// Answers one metrics scrape with a minimal HTTP/1.0 plain-text
+/// response concatenating every tenant's published metrics.
+fn serve_metrics_scrape(mut stream: TcpStream, registry: &Registry) {
+    let mut body = String::new();
+    {
+        let reg = registry.lock();
+        let mut names: Vec<&String> = reg.keys().collect();
+        names.sort();
+        for name in names {
+            body.push_str(&reg[name].shared.metrics_text.read());
+        }
+    }
+    if body.is_empty() {
+        body.push_str("# no tenants\n");
+    }
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown_write();
+}

@@ -1,0 +1,223 @@
+//! The pmssd wire protocol: length-prefixed frames over a byte stream.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [ len: u32 LE ][ type/status: u8 ][ payload: len-1 bytes ]
+//! ```
+//!
+//! `len` counts the type byte plus the payload and is bounded by
+//! [`MAX_FRAME`]; an oversized or truncated frame is a transport error
+//! and closes the connection.  Request types are in [`frame`], response
+//! statuses in [`status`].  An `ERR` payload is JSON
+//! `{"code": <typed code>, "error": <human detail>}` with the code drawn
+//! from the [`code`] vocabulary, so clients can branch on rejection
+//! class (backpressure vs. adversarial frame vs. protocol misuse)
+//! without parsing prose.
+
+use std::io::{Read, Write};
+
+use pmss_stream::StreamError;
+
+/// Hard bound on one frame's `type + payload` size (64 MiB): a hostile
+/// length prefix must not drive an unbounded allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request frame types (client → daemon).
+pub mod frame {
+    /// Bind this connection to a tenant; payload is JSON
+    /// `{"tenant": name}` (existing tenant) or
+    /// `{"tenant": name, "spec": <ScenarioSpec>}` (create if absent).
+    pub const OPEN: u8 = 1;
+    /// One `EncodedBlock` wire frame for the bound tenant.
+    pub const BLOCK: u8 = 2;
+    /// Force the bound tenant to publish a fresh snapshot; acks once
+    /// every previously acked block is visible to queries.
+    pub const FLUSH: u8 = 3;
+    /// A read query (JSON, see `pmss_pipeline::query`) against the bound
+    /// tenant's published snapshot.
+    pub const QUERY: u8 = 4;
+    /// Stop the daemon.
+    pub const SHUTDOWN: u8 = 5;
+}
+
+/// Response statuses (daemon → client).
+pub mod status {
+    /// Request succeeded; payload is the response body (possibly empty).
+    pub const OK: u8 = 0;
+    /// Request rejected; payload is the typed-error JSON.
+    pub const ERR: u8 = 1;
+}
+
+/// Typed rejection codes carried in `ERR` payloads.
+pub mod code {
+    /// Tenant ingest queue at capacity — retry after draining.
+    pub const BACKPRESSURE: &str = "backpressure";
+    /// Event window already released (stream-engine rejection).
+    pub const LATE_ARRIVAL: &str = "late_arrival";
+    /// Event window beyond the reorder-span bound (stream-engine
+    /// rejection).
+    pub const SPAN_OVERFLOW: &str = "span_overflow";
+    /// Event names a channel outside the tenant's fleet (stream-engine
+    /// rejection).
+    pub const INVALID_CHANNEL: &str = "invalid_channel";
+    /// Event attributes a job outside the tenant's job log
+    /// (stream-engine rejection).
+    pub const INVALID_JOB: &str = "invalid_job";
+    /// Frame payload failed structural validation (codec or JSON).
+    pub const MALFORMED: &str = "malformed";
+    /// Query or block for a tenant this connection never opened, or an
+    /// OPEN for an unknown tenant without a spec.
+    pub const UNKNOWN_TENANT: &str = "unknown_tenant";
+    /// Protocol misuse (e.g. BLOCK before OPEN, unknown frame type).
+    pub const USAGE: &str = "usage";
+    /// Daemon-side failure (tenant worker gone).
+    pub const INTERNAL: &str = "internal";
+}
+
+/// The typed code for a stream-engine rejection.
+pub fn stream_error_code(e: &StreamError) -> &'static str {
+    match e {
+        StreamError::LateArrival { .. } => code::LATE_ARRIVAL,
+        StreamError::SpanOverflow { .. } => code::SPAN_OVERFLOW,
+        StreamError::InvalidChannel { .. } => code::INVALID_CHANNEL,
+        StreamError::InvalidJob { .. } => code::INVALID_JOB,
+    }
+}
+
+/// Renders an `ERR` payload.
+pub fn err_payload(code: &str, detail: &str) -> Vec<u8> {
+    pmss_pipeline::json::Json::obj()
+        .field("code", code)
+        .field("error", detail)
+        .to_string_compact()
+        .into_bytes()
+}
+
+/// Parses an `ERR` payload back into `(code, detail)`.
+pub fn parse_err(payload: &[u8]) -> (String, String) {
+    let fallback = || {
+        (
+            code::INTERNAL.to_string(),
+            String::from_utf8_lossy(payload).into_owned(),
+        )
+    };
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return fallback();
+    };
+    let Ok(v) = pmss_pipeline::json::Json::parse(text) else {
+        return fallback();
+    };
+    match (
+        v.get("code").and_then(|c| c.as_str().map(str::to_string)),
+        v.get("error").and_then(|e| e.as_str().map(str::to_string)),
+    ) {
+        (Some(c), Some(e)) => (c, e),
+        _ => fallback(),
+    }
+}
+
+/// Writes one frame (blocking form, used by the synchronous client).
+pub fn write_frame_sync<S: Write>(s: &mut S, ty: u8, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() < MAX_FRAME);
+    let len = (payload.len() + 1) as u32;
+    s.write_all(&len.to_le_bytes())?;
+    let mut body = Vec::with_capacity(payload.len() + 1);
+    body.push(ty);
+    body.extend_from_slice(payload);
+    s.write_all(&body)?;
+    s.flush()
+}
+
+/// Reads one frame (blocking form); `Ok(None)` on clean end-of-stream
+/// before a length prefix, an error on truncation, a hostile length, or
+/// an empty frame.
+pub fn read_frame_sync<S: Read>(s: &mut S) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    match s.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} outside (0, {MAX_FRAME}]"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body)?;
+    let ty = body[0];
+    let payload = body.split_off(1);
+    Ok(Some((ty, payload)))
+}
+
+/// Writes one frame.  Under the thread-per-task runtime the write is
+/// blocking, which is exactly the semantics the daemon's connection
+/// tasks want.
+pub async fn write_frame<S: Write>(s: &mut S, ty: u8, payload: &[u8]) -> std::io::Result<()> {
+    write_frame_sync(s, ty, payload)
+}
+
+/// Reads one frame; see [`read_frame_sync`] for the end-of-stream and
+/// hostile-length contract.
+pub async fn read_frame<S: Read>(s: &mut S) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    read_frame_sync(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let mut buf: Vec<u8> = Vec::new();
+            write_frame(&mut buf, frame::BLOCK, b"payload")
+                .await
+                .unwrap();
+            write_frame(&mut buf, frame::FLUSH, b"").await.unwrap();
+            let mut cursor = std::io::Cursor::new(buf);
+            assert_eq!(
+                read_frame(&mut cursor).await.unwrap(),
+                Some((frame::BLOCK, b"payload".to_vec()))
+            );
+            assert_eq!(
+                read_frame(&mut cursor).await.unwrap(),
+                Some((frame::FLUSH, Vec::new()))
+            );
+            assert_eq!(read_frame(&mut cursor).await.unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn hostile_lengths_and_truncation_are_errors() {
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            // Zero length.
+            let mut z = std::io::Cursor::new(0u32.to_le_bytes().to_vec());
+            assert!(read_frame(&mut z).await.is_err());
+            // Length far beyond MAX_FRAME must error before allocating.
+            let mut huge = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+            assert!(read_frame(&mut huge).await.is_err());
+            // Truncated body.
+            let mut t = Vec::new();
+            write_frame(&mut t, frame::QUERY, b"abcdef").await.unwrap();
+            t.truncate(t.len() - 2);
+            let mut t = std::io::Cursor::new(t);
+            assert!(read_frame(&mut t).await.is_err());
+        });
+    }
+
+    #[test]
+    fn err_payloads_round_trip_their_typed_code() {
+        let p = err_payload(code::BACKPRESSURE, "queue full");
+        let (c, e) = parse_err(&p);
+        assert_eq!(c, code::BACKPRESSURE);
+        assert_eq!(e, "queue full");
+        let (c, _) = parse_err(b"\xff not json");
+        assert_eq!(c, code::INTERNAL);
+    }
+}

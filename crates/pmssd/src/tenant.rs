@@ -1,0 +1,191 @@
+//! Per-tenant ingest workers.
+//!
+//! Each tenant fleet gets one worker task owning its [`StreamEngine`]
+//! (the engine borrows the tenant's `Schedule`, so both live on the
+//! worker's stack), fed through a *bounded* command queue — the daemon's
+//! backpressure seam: when the queue is full, admission fails with a
+//! typed error instead of buffering without bound.  Sharding across
+//! workers is per-tenant: every tenant ingests and publishes
+//! independently, so a slow or hostile feed can only ever stall its own
+//! fleet.
+//!
+//! Snapshot publication is epoch-style (the vendored stand-in for
+//! arc-swap): the worker builds a fresh immutable [`StreamState`] every
+//! `sync_interval` blocks and swaps it into a shared `RwLock<Arc<_>>`
+//! slot whose critical section is one pointer store; readers clone the
+//! `Arc` and answer queries entirely outside any lock the writer takes.
+//! Queries therefore never stall ingest, and ingest never tears a query.
+
+use std::sync::mpsc::Sender as ReplySender;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pmss_columns::{CodecConfig, EncodedBlock};
+use pmss_core::EnergyLedger;
+use pmss_error::PmssError;
+use pmss_obs::Metrics;
+use pmss_pipeline::spec::ScenarioSpec;
+use pmss_pipeline::stage::Pipeline;
+use pmss_sched::{catalog, generate};
+use pmss_stream::{StreamConfig, StreamEngine, StreamState, StreamStats};
+use pmss_workloads::Table3;
+use tokio::sync::mpsc;
+
+use crate::proto::{code, stream_error_code};
+
+/// A typed ingest rejection: the wire code plus human detail.
+pub type Rejection = (&'static str, String);
+
+/// Commands a connection handler sends to a tenant worker.  Replies go
+/// over per-request rendezvous channels so every frame gets its own
+/// typed verdict.
+pub enum Command {
+    /// Decode and ingest one encoded block; reply once applied (or
+    /// rejected with the engine's typed error).
+    Block(EncodedBlock, ReplySender<Result<(), Rejection>>),
+    /// Publish a snapshot covering everything acked so far, then reply.
+    Flush(ReplySender<()>),
+}
+
+/// The shared, read-side view of one tenant (see module docs).
+pub struct TenantShared {
+    /// Tenant name (the wire identity).
+    pub name: String,
+    /// The tenant's Table III — what-if and projection queries need it.
+    pub table3: Table3,
+    /// The published snapshot slot.  Readers `read().clone()` the `Arc`
+    /// and drop the guard immediately.
+    pub state: RwLock<Arc<StreamState>>,
+    /// Ingest tallies at the last publish.
+    pub stats: RwLock<StreamStats>,
+    /// Rendered metrics lines at the last publish (scrape endpoint
+    /// fodder).
+    pub metrics_text: RwLock<String>,
+    /// The spec the tenant was opened with, JSON-compact (OPEN
+    /// idempotency check).
+    pub spec_json: String,
+}
+
+/// One live tenant: the shared read view plus the worker's queue.
+pub struct Tenant {
+    /// Read-side handle.
+    pub shared: Arc<TenantShared>,
+    /// Bounded ingest queue into the worker.
+    pub tx: mpsc::Sender<Command>,
+    /// The worker task, joined at daemon shutdown.
+    pub handle: tokio::task::JoinHandle<()>,
+}
+
+/// Worker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantConfig {
+    /// Bounded queue depth (frames admitted but not yet applied).
+    pub queue_depth: usize,
+    /// Blocks between snapshot publications (FLUSH always publishes).
+    pub sync_interval: u64,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            queue_depth: 64,
+            sync_interval: 8,
+        }
+    }
+}
+
+/// Builds and spawns a tenant worker for `spec`.
+///
+/// The expensive artifacts a tenant needs — the schedule and Table III —
+/// are built here, *before* the worker starts; the fleet simulation
+/// itself is never run (telemetry arrives over the wire).
+pub fn spawn(name: &str, spec: &ScenarioSpec, cfg: TenantConfig) -> Result<Tenant, PmssError> {
+    spec.validate()?;
+    let stream_cfg = StreamConfig::for_plan(spec.active_faults());
+    stream_cfg.validate()?;
+    let schedule = generate(spec.trace_params(), &catalog());
+    // Pipeline's benchmark stage computes Table III from the spec's cap
+    // ladders without touching the fleet stage.
+    let table3 = Pipeline::new(spec.clone())?.table3()?.clone();
+    let frontier_factor = spec.frontier_factor();
+
+    let shared = Arc::new(TenantShared {
+        name: name.to_string(),
+        table3,
+        state: RwLock::new(Arc::new(StreamState::new(
+            EnergyLedger::default(),
+            frontier_factor,
+        ))),
+        stats: RwLock::new(StreamStats::default()),
+        metrics_text: RwLock::new(String::new()),
+        spec_json: spec.to_json().to_string_compact(),
+    });
+    let (tx, mut rx) = mpsc::channel::<Command>(cfg.queue_depth);
+
+    let worker_shared = Arc::clone(&shared);
+    let handle = tokio::task::spawn(async move {
+        let schedule = schedule; // owned by the worker; the engine borrows it
+        let Ok(mut engine) = StreamEngine::<EnergyLedger>::new(&schedule, stream_cfg) else {
+            return; // validated above; unreachable in practice
+        };
+        let codec = CodecConfig::default();
+        let mut since_publish = 0u64;
+        let publish = |engine: &StreamEngine<'_, EnergyLedger>| {
+            let state = Arc::new(StreamState::capture(engine, frontier_factor));
+            *worker_shared.state.write() = state;
+            *worker_shared.stats.write() = engine.stats();
+            let mut m = Metrics::new();
+            engine.publish_metrics(&mut m);
+            *worker_shared.metrics_text.write() = render_metrics(&worker_shared.name, &m);
+        };
+        publish(&engine);
+        while let Some(cmd) = rx.recv().await {
+            match cmd {
+                Command::Block(enc, reply) => {
+                    let result = match enc.decode(codec) {
+                        Err(e) => Err((code::MALFORMED, e.to_string())),
+                        Ok(block) => engine
+                            .ingest_block(&block)
+                            .map_err(|e| (stream_error_code(&e), e.to_string())),
+                    };
+                    since_publish += 1;
+                    if since_publish >= cmd_sync_interval(cfg) {
+                        publish(&engine);
+                        since_publish = 0;
+                    }
+                    let _ = reply.send(result);
+                }
+                Command::Flush(reply) => {
+                    publish(&engine);
+                    since_publish = 0;
+                    let _ = reply.send(());
+                }
+            }
+        }
+        publish(&engine);
+    });
+    Ok(Tenant { shared, tx, handle })
+}
+
+fn cmd_sync_interval(cfg: TenantConfig) -> u64 {
+    cfg.sync_interval.max(1)
+}
+
+/// Renders a tenant's stream metrics as scrapeable text lines:
+/// `pmssd_<counter>{tenant="<name>"} <value>`.
+fn render_metrics(name: &str, m: &Metrics) -> String {
+    let mut out = String::new();
+    for (k, v) in m.counters() {
+        out.push_str(&format!(
+            "pmssd_{}{{tenant=\"{name}\"}} {v}\n",
+            k.replace('.', "_")
+        ));
+    }
+    for (k, v) in m.gauges() {
+        out.push_str(&format!(
+            "pmssd_{}{{tenant=\"{name}\"}} {v}\n",
+            k.replace('.', "_")
+        ));
+    }
+    out
+}

@@ -23,12 +23,19 @@ use pmss_faults::FaultPlan;
 use pmss_obs::Metrics;
 use pmss_sched::Schedule;
 use pmss_telemetry::{
-    apply_event, ColumnBlock, FleetObserver, Tag, WindowEvent, WindowKind, REST_SLOT,
+    apply_event, ColumnBlock, FleetObserver, Tag, WindowEvent, WindowKind, NO_JOB, REST_SLOT,
 };
 
 /// Telemetry channels per node: the GPU slots plus the rest-of-node
 /// channel — the stride of the dense per-shard channel table.
 const CHANNELS_PER_NODE: usize = REST_SLOT as usize + 1;
+
+/// Default bound on a channel's reorder-ring span, in windows (see
+/// [`StreamConfig::max_span_windows`]): ~2 years of 15 s windows, far above
+/// any real campaign (three months is ~5×10⁵ windows) but small enough
+/// that a single adversarial far-future window can never grow a ring past
+/// a few hundred megabytes.
+pub const DEFAULT_MAX_SPAN: u64 = 1 << 22;
 
 /// Spill vectors kept per shard for reuse.  Spills only happen on
 /// duplicate deliveries of one window, so a handful of slabs covers any
@@ -46,6 +53,16 @@ pub struct StreamConfig {
     /// window can still arrive.  Must exceed the delivery lag bound
     /// (`FaultPlan::reorder_depth`); see [`StreamConfig::for_plan`].
     pub reorder_horizon: u64,
+    /// Bound on a channel's reorder-ring span, in windows: an event whose
+    /// window is this many or more past the channel's release floor is
+    /// rejected with [`StreamError::SpanOverflow`] instead of growing the
+    /// ring toward it.  The ring grows lazily to the span actually
+    /// buffered, so this is the engine's memory armor against adversarial
+    /// far-future windows (a window near `u64::MAX` would otherwise
+    /// demand an unpayable allocation).  Generator streams never span
+    /// more than the horizon plus the longest dropped run, so the
+    /// [`DEFAULT_MAX_SPAN`] default is invisible to legitimate traffic.
+    pub max_span_windows: u64,
 }
 
 impl Default for StreamConfig {
@@ -53,6 +70,7 @@ impl Default for StreamConfig {
         StreamConfig {
             shards: 1,
             reorder_horizon: 1,
+            max_span_windows: DEFAULT_MAX_SPAN,
         }
     }
 }
@@ -70,6 +88,7 @@ impl StreamConfig {
         StreamConfig {
             shards: 1,
             reorder_horizon: depth + 1,
+            max_span_windows: DEFAULT_MAX_SPAN,
         }
     }
 
@@ -95,11 +114,23 @@ impl StreamConfig {
                 "at least one window of lateness tolerance",
             ));
         }
+        if self.max_span_windows == 0 {
+            return Err(PmssError::invalid_value(
+                "stream max span",
+                "0",
+                "at least one window of addressable reorder span",
+            ));
+        }
         Ok(())
     }
 }
 
 /// Why the engine refused an event.
+///
+/// Every variant is a *per-event* rejection: the engine's state (ledger,
+/// reorder buffers, tallies other than the reject counter itself) is
+/// untouched, and later ingests proceed normally — an adversarial frame
+/// can be dropped and the stream resumed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamError {
     /// The event's window is behind its channel's release floor: an event
@@ -114,6 +145,45 @@ pub enum StreamError {
         window: u64,
         /// The channel's release floor (first still-accepted window).
         floor: u64,
+    },
+    /// The event names a channel the schedule does not have: a slot past
+    /// the rest-of-node channel, or a node outside the fleet.
+    InvalidChannel {
+        /// Node of the offending event.
+        node: u32,
+        /// Channel slot of the offending event.
+        slot: u8,
+        /// Nodes in the schedule's fleet (valid nodes are `0..nodes`).
+        nodes: u64,
+    },
+    /// The event's window is too far past its channel's release floor to
+    /// be buffered: accepting it would grow the reorder ring beyond
+    /// [`StreamConfig::max_span_windows`] (or beyond addressable memory).
+    SpanOverflow {
+        /// Node of the offending event.
+        node: u32,
+        /// Channel slot of the offending event.
+        slot: u8,
+        /// The event's window.
+        window: u64,
+        /// The channel's release floor (first still-accepted window).
+        floor: u64,
+        /// The configured span bound the event exceeded.
+        max_span: u64,
+    },
+    /// The event attributes its sample to a job index outside the
+    /// schedule's job log — applying it would index out of bounds.
+    InvalidJob {
+        /// Node of the offending event.
+        node: u32,
+        /// Channel slot of the offending event.
+        slot: u8,
+        /// The event's window.
+        window: u64,
+        /// The out-of-range job index.
+        job: u64,
+        /// Jobs in the schedule's log (valid indices are `0..jobs`).
+        jobs: u64,
     },
 }
 
@@ -131,17 +201,50 @@ impl fmt::Display for StreamError {
                  behind the release floor {floor} (delivery lag exceeded the \
                  configured reorder horizon)"
             ),
+            StreamError::InvalidChannel { node, slot, nodes } => write!(
+                f,
+                "invalid channel ({node}, {slot}): the schedule has nodes \
+                 0..{nodes} with GPU slots 0..{REST_SLOT} plus the \
+                 rest-of-node slot {REST_SLOT}"
+            ),
+            StreamError::SpanOverflow {
+                node,
+                slot,
+                window,
+                floor,
+                max_span,
+            } => write!(
+                f,
+                "reorder span overflow on channel ({node}, {slot}): window \
+                 {window} is {} past the release floor {floor}, beyond the \
+                 {max_span}-window buffering bound",
+                window - floor
+            ),
+            StreamError::InvalidJob {
+                node,
+                slot,
+                window,
+                job,
+                jobs,
+            } => write!(
+                f,
+                "invalid job attribution on channel ({node}, {slot}) window \
+                 {window}: job index {job} is outside the schedule's job log \
+                 (0..{jobs})"
+            ),
         }
     }
 }
 
 impl From<StreamError> for PmssError {
     fn from(e: StreamError) -> PmssError {
-        PmssError::invalid_value(
-            "stream event",
-            e.to_string(),
-            "delivery lag within the configured reorder horizon",
-        )
+        let expected = match e {
+            StreamError::LateArrival { .. } => "delivery lag within the configured reorder horizon",
+            StreamError::InvalidChannel { .. } => "a channel the schedule's fleet has",
+            StreamError::SpanOverflow { .. } => "a window within the configured reorder span bound",
+            StreamError::InvalidJob { .. } => "a job index within the schedule's job log",
+        };
+        PmssError::invalid_value("stream event", e.to_string(), expected)
     }
 }
 
@@ -160,6 +263,12 @@ pub struct StreamStats {
     pub released_windows: u64,
     /// Events rejected as [`StreamError::LateArrival`].
     pub late_rejects: u64,
+    /// Events rejected as [`StreamError::InvalidChannel`].
+    pub channel_rejects: u64,
+    /// Events rejected as [`StreamError::SpanOverflow`].
+    pub span_rejects: u64,
+    /// Events rejected as [`StreamError::InvalidJob`].
+    pub job_rejects: u64,
     /// Windows currently buffered across all channels.
     pub buffered_windows: usize,
     /// High-water mark of `buffered_windows` (measured at release
@@ -381,21 +490,103 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
         bytes
     }
 
+    /// Validates the parts of `ev` that are dangerous when the event comes
+    /// from an untrusted frame, *before* any engine state is touched: the
+    /// channel must exist in the schedule's fleet, the window must be
+    /// within the channel's accepted span, and any job attribution must
+    /// index the schedule's job log.  Returns the event's ring offset.
+    fn admit(&self, ev: &WindowEvent) -> Result<usize, StreamError> {
+        if (ev.slot as usize) >= CHANNELS_PER_NODE
+            || (ev.node as usize) >= self.schedule.per_node.len()
+        {
+            return Err(StreamError::InvalidChannel {
+                node: ev.node,
+                slot: ev.slot,
+                nodes: self.schedule.per_node.len() as u64,
+            });
+        }
+        // Job attribution indexes `schedule.jobs`; an out-of-range index
+        // from an adversarial frame must be refused here, where it is a
+        // typed error, not inside `apply_event`, where it is a panic.
+        let job = match ev.kind {
+            WindowKind::Sample { job, .. } | WindowKind::Gap { job, .. } => job,
+            WindowKind::NodeRest { .. } => None,
+        };
+        if let Some(j) = job {
+            if j >= self.schedule.jobs.len() {
+                return Err(StreamError::InvalidJob {
+                    node: ev.node,
+                    slot: ev.slot,
+                    window: ev.window,
+                    job: j as u64,
+                    jobs: self.schedule.jobs.len() as u64,
+                });
+            }
+        }
+        let floor = self.channel(ev.node, ev.slot).map_or(0, |ch| ch.floor);
+        if ev.window < floor {
+            return Err(StreamError::LateArrival {
+                node: ev.node,
+                slot: ev.slot,
+                window: ev.window,
+                floor,
+            });
+        }
+        // The ring offset the event would occupy.  Bounding it (and
+        // checking the usize conversion rather than `as`-truncating) is
+        // what keeps a far-future window from demanding an unbounded ring
+        // allocation or landing in some other window's slot.
+        let span = ev.window - floor;
+        match usize::try_from(span) {
+            Ok(idx) if span < self.cfg.max_span_windows => Ok(idx),
+            _ => Err(StreamError::SpanOverflow {
+                node: ev.node,
+                slot: ev.slot,
+                window: ev.window,
+                floor,
+                max_span: self.cfg.max_span_windows,
+            }),
+        }
+    }
+
+    /// The (possibly unmaterialized) channel of `(node, slot)`.
+    fn channel(&self, node: u32, slot: u8) -> Option<&Channel<O>> {
+        let shard = &self.shards[node as usize % self.cfg.shards];
+        let local = (node as usize / self.cfg.shards) * CHANNELS_PER_NODE + slot as usize;
+        shard.channels.get(local).and_then(Option::as_ref)
+    }
+
+    /// Counts a rejection in the matching [`StreamStats`] counter.
+    fn count_reject(&mut self, err: &StreamError) {
+        match err {
+            StreamError::LateArrival { .. } => self.stats.late_rejects += 1,
+            StreamError::InvalidChannel { .. } => self.stats.channel_rejects += 1,
+            StreamError::SpanOverflow { .. } => self.stats.span_rejects += 1,
+            StreamError::InvalidJob { .. } => self.stats.job_rejects += 1,
+        }
+    }
+
     /// Ingests one event, buffering it until its window is final.
     ///
-    /// Events whose window fell behind the channel's release floor (their
-    /// delivery lag exceeded the configured horizon) are counted and
-    /// rejected with [`StreamError::LateArrival`]; the engine's state is
-    /// unchanged and later ingests proceed normally.
+    /// Adversarial or degraded events are counted and rejected with a
+    /// typed [`StreamError`] — late windows ([`StreamError::LateArrival`]),
+    /// channels outside the schedule ([`StreamError::InvalidChannel`]),
+    /// windows beyond the buffering span ([`StreamError::SpanOverflow`]),
+    /// and out-of-range job attributions ([`StreamError::InvalidJob`]).
+    /// Every check runs before any state is touched, so a rejected event
+    /// leaves the engine exactly as it was and later ingests proceed
+    /// normally.
     pub fn ingest(&mut self, ev: WindowEvent) -> Result<(), StreamError> {
+        let idx = match self.admit(&ev) {
+            Ok(idx) => idx,
+            Err(e) => {
+                self.count_reject(&e);
+                return Err(e);
+            }
+        };
         let horizon = self.cfg.reorder_horizon;
         let schedule = self.schedule;
         let nshards = self.cfg.shards;
-        assert!(
-            (ev.slot as usize) < CHANNELS_PER_NODE,
-            "channel slot {} out of range (GPU slots 0..{REST_SLOT} or rest-of-node {REST_SLOT})",
-            ev.slot
-        );
         let shard = &mut self.shards[ev.node as usize % nshards];
         let local = (ev.node as usize / nshards) * CHANNELS_PER_NODE + ev.slot as usize;
         if local >= shard.channels.len() {
@@ -408,15 +599,7 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
                 vacant.insert(Channel::default())
             }
         };
-        if ev.window < ch.floor {
-            self.stats.late_rejects += 1;
-            return Err(StreamError::LateArrival {
-                node: ev.node,
-                slot: ev.slot,
-                window: ev.window,
-                floor: ch.floor,
-            });
-        }
+        debug_assert_eq!(idx as u64, ev.window - ch.floor);
         shard.events += 1;
         self.stats.events += 1;
         match ev.kind {
@@ -425,11 +608,6 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
             WindowKind::NodeRest { .. } => self.stats.rest_samples += 1,
         }
         ch.max_seen = ch.max_seen.max(ev.window);
-        // Ring offset of the event's window.  `try_from` rather than `as`:
-        // a span beyond the address space cannot be buffered, and must
-        // fail loudly instead of truncating into some other window's slot.
-        let idx =
-            usize::try_from(ev.window - ch.floor).expect("reorder span exceeds addressable memory");
         if idx >= ch.ring.len() {
             // Lazy growth to the span actually buffered — a huge horizon
             // must not preallocate anything (it only *permits* lateness).
@@ -480,8 +658,24 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
     /// statistic, including the buffered-window peaks — are bit-identical.
     /// Other blocks fall back to row-by-row [`StreamEngine::ingest`],
     /// stopping at the first rejection exactly like
-    /// [`StreamEngine::ingest_all`].
+    /// [`StreamEngine::ingest_all`] (the rows before it stay applied; the
+    /// rejected row leaves no trace).  A block naming a channel outside
+    /// the schedule is refused atomically with
+    /// [`StreamError::InvalidChannel`] before any row is touched.
     pub fn ingest_block(&mut self, block: &ColumnBlock) -> Result<(), StreamError> {
+        // Every row shares the block's channel, so the channel bounds are
+        // checked once, up front, and the rejection is atomic.
+        if (block.slot() as usize) >= CHANNELS_PER_NODE
+            || (block.node() as usize) >= self.schedule.per_node.len()
+        {
+            let err = StreamError::InvalidChannel {
+                node: block.node(),
+                slot: block.slot(),
+                nodes: self.schedule.per_node.len() as u64,
+            };
+            self.count_reject(&err);
+            return Err(err);
+        }
         if self.try_ingest_block_inorder(block) {
             return Ok(());
         }
@@ -494,7 +688,11 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
     /// The in-order columnar fast path (see [`StreamEngine::ingest_block`]).
     /// Returns `false` — leaving the engine untouched — when the block
     /// needs the general per-event path: non-monotonic or duplicated
-    /// windows, a non-empty reorder ring, or rows behind the release floor.
+    /// windows, a non-empty reorder ring, rows behind the release floor,
+    /// or rows the per-event path would reject (bad job attributions,
+    /// spans beyond the buffering bound), so that every rejection is
+    /// reported with the per-event path's exact typed error and prefix
+    /// semantics.  The caller has already validated the block's channel.
     fn try_ingest_block_inorder(&mut self, block: &ColumnBlock) -> bool {
         let ws = block.windows();
         let n = ws.len();
@@ -504,14 +702,63 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
         if !ws.windows(2).all(|p| p[0] < p[1]) {
             return false;
         }
-        assert!(
-            (block.slot() as usize) < CHANNELS_PER_NODE,
-            "channel slot {} out of range (GPU slots 0..{REST_SLOT} or rest-of-node {REST_SLOT})",
-            block.slot()
-        );
+        // Rows with out-of-range job attributions must surface through the
+        // per-event path's typed rejection, never reach `fold_rows`.
+        let jobs_len = self.schedule.jobs.len() as u64;
+        if block
+            .jobs()
+            .iter()
+            .any(|&j| j != NO_JOB && u64::from(j) >= jobs_len)
+        {
+            return false;
+        }
         let horizon = self.cfg.reorder_horizon;
         let schedule = self.schedule;
         let nshards = self.cfg.shards;
+
+        // Every check below reads the channel's current state without
+        // materializing it, so a block routed to the fallback (or rejected
+        // there) has not touched the engine yet.
+        let (floor0, buffered0, max_seen0) = match self.channel(block.node(), block.slot()) {
+            Some(ch) => (ch.floor, ch.buffered, ch.max_seen),
+            None => (0, 0, 0),
+        };
+        if buffered0 != 0 || ws[0] < floor0 {
+            return false;
+        }
+
+        // Rows final once the whole block is seen: window + horizon at or
+        // below the final high-water mark.  Ascending windows make this a
+        // prefix, released by the per-event path in exactly row order.
+        let max_after = max_seen0.max(ws[n - 1]);
+        let split = ws.partition_point(|&w| w.saturating_add(horizon) <= max_after);
+
+        // Buffered-occupancy peaks the per-event path would have recorded:
+        // after ingesting row `i` (running high-water mark `m`), the ring
+        // holds the rows not yet releasable — a sliding window over the
+        // ascending lane, scanned with two cursors.  The same scan tracks
+        // the release floor each row would be admitted against, so rows
+        // the per-event path would reject as [`StreamError::SpanOverflow`]
+        // force the fallback (which reports the typed error with its
+        // exact prefix semantics).
+        let buffered_before = self.stats.buffered_windows;
+        let mut peak = 0usize;
+        let mut lo = 0usize;
+        for (i, &w) in ws.iter().enumerate() {
+            // `lo` reflects the releases rows `0..i` triggered, so this is
+            // the floor the per-event path would check row `i` against.
+            let floor_now = if lo == 0 { floor0 } else { ws[lo - 1] + 1 };
+            let span = w - floor_now;
+            if span >= self.cfg.max_span_windows || usize::try_from(span).is_err() {
+                return false;
+            }
+            let m = max_seen0.max(w);
+            while ws[lo].saturating_add(horizon) <= m {
+                lo += 1;
+            }
+            peak = peak.max(i - lo + 1);
+        }
+
         let node = block.node() as usize;
         let shard = &mut self.shards[node % nshards];
         let local = (node / nshards) * CHANNELS_PER_NODE + block.slot() as usize;
@@ -525,9 +772,6 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
                 vacant.insert(Channel::default())
             }
         };
-        if ch.buffered != 0 || ws[0] < ch.floor {
-            return false;
-        }
         debug_assert!(ch.ring.iter().all(|s| !s.is_present()));
         ch.ring.clear();
 
@@ -549,27 +793,6 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
         self.stats.rest_samples += rest;
         self.stats.gaps += n as u64 - samples - rest;
 
-        // Rows final once the whole block is seen: window + horizon at or
-        // below the final high-water mark.  Ascending windows make this a
-        // prefix, released by the per-event path in exactly row order.
-        let max_after = ch.max_seen.max(ws[n - 1]);
-        let split = ws.partition_point(|&w| w.saturating_add(horizon) <= max_after);
-
-        // Buffered-occupancy peaks the per-event path would have recorded:
-        // after ingesting row `i` (running high-water mark `m`), the ring
-        // holds the rows not yet releasable — a sliding window over the
-        // ascending lane, scanned with two cursors.
-        let buffered_before = self.stats.buffered_windows;
-        let mut peak = 0usize;
-        let mut lo = 0usize;
-        for (i, &w) in ws.iter().enumerate() {
-            let m = ch.max_seen.max(w);
-            while ws[lo].saturating_add(horizon) <= m {
-                lo += 1;
-            }
-            peak = peak.max(i - lo + 1);
-        }
-
         ch.max_seen = max_after;
         ch.partial.fold_rows(schedule, block, 0..split);
         self.stats.released_windows += split as u64;
@@ -577,8 +800,9 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
             ch.floor = ws[split - 1] + 1;
         }
         for (i, &w) in ws.iter().enumerate().skip(split) {
-            let idx =
-                usize::try_from(w - ch.floor).expect("reorder span exceeds addressable memory");
+            // In bounds: every row's span against its admission floor was
+            // validated above, and the floor only advanced since.
+            let idx = usize::try_from(w - ch.floor).expect("tail span validated before mutation");
             if idx >= ch.ring.len() {
                 ch.ring.resize(idx + 1, Slot::Empty);
             }
@@ -685,6 +909,9 @@ impl<'a, O: FleetObserver + Default + Clone> StreamEngine<'a, O> {
         m.add("stream.rest_samples", self.stats.rest_samples);
         m.add("stream.released_windows", self.stats.released_windows);
         m.add("stream.late_rejects", self.stats.late_rejects);
+        m.add("stream.channel_rejects", self.stats.channel_rejects);
+        m.add("stream.span_rejects", self.stats.span_rejects);
+        m.add("stream.job_rejects", self.stats.job_rejects);
         m.gauge_set("stream.shards", self.cfg.shards as f64);
         m.gauge_set("stream.reorder_horizon", self.cfg.reorder_horizon as f64);
         m.gauge_set(
@@ -732,13 +959,13 @@ mod tests {
     fn config_validation_rejects_degenerate_shapes() {
         assert!(StreamConfig {
             shards: 0,
-            reorder_horizon: 1
+            ..StreamConfig::default()
         }
         .validate()
         .is_err());
         assert!(StreamConfig {
-            shards: 1,
-            reorder_horizon: 0
+            reorder_horizon: 0,
+            ..StreamConfig::default()
         }
         .validate()
         .is_err());
@@ -751,8 +978,8 @@ mod tests {
         // the multiplication happens in u64 and saturates into usize.
         let sched = schedule();
         let cfg = StreamConfig {
-            shards: 1,
             reorder_horizon: u64::MAX,
+            ..StreamConfig::default()
         };
         let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(&sched, cfg).unwrap();
         assert_eq!(eng.buffer_bound(), 0); // no live channels yet
@@ -813,8 +1040,8 @@ mod tests {
         let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(
             &sched,
             StreamConfig {
-                shards: 1,
                 reorder_horizon: 2,
+                ..StreamConfig::default()
             },
         )
         .unwrap();
@@ -851,6 +1078,7 @@ mod tests {
             StreamConfig {
                 shards: 2,
                 reorder_horizon: horizon,
+                ..StreamConfig::default()
             },
         )
         .unwrap();
@@ -932,8 +1160,8 @@ mod tests {
         let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(
             &sched,
             StreamConfig {
-                shards: 1,
                 reorder_horizon: 3,
+                ..StreamConfig::default()
             },
         )
         .unwrap();
@@ -974,5 +1202,131 @@ mod tests {
         assert_eq!(m.counter("stream.events"), eng.stats().events);
         assert!(m.gauge("stream.shard_imbalance").unwrap() >= 1.0);
         assert_eq!(m.gauge("stream.shards"), Some(2.0));
+    }
+
+    fn sample(node: u32, slot: u8, window: u64, job: Option<usize>) -> WindowEvent {
+        WindowEvent {
+            node,
+            slot,
+            window,
+            rank: window,
+            t_s: window as f64 * 15.0,
+            span_s: 15.0,
+            kind: WindowKind::Sample {
+                power_w: 300.0,
+                job,
+            },
+        }
+    }
+
+    #[test]
+    fn adversarial_channel_is_rejected_with_prior_state_intact() {
+        let sched = schedule();
+        let mut eng: StreamEngine<'_, EnergyLedger> =
+            StreamEngine::new(&sched, StreamConfig::default()).unwrap();
+        eng.ingest(sample(0, 0, 0, None)).unwrap();
+        let before: EnergyLedger = eng.snapshot();
+        let stats_before = eng.stats();
+        // A slot past rest-of-node and a node past the fleet both name a
+        // channel the schedule does not have.
+        let err = eng.ingest(sample(0, REST_SLOT + 1, 0, None)).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidChannel { slot, .. } if slot == REST_SLOT + 1));
+        let err = eng.ingest(sample(u32::MAX, 0, 0, None)).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::InvalidChannel { node: u32::MAX, .. }
+        ));
+        assert_eq!(eng.stats().channel_rejects, 2);
+        assert_eq!(eng.snapshot(), before, "rejected frames touched state");
+        assert_eq!(
+            StreamStats {
+                channel_rejects: 0,
+                ..eng.stats()
+            },
+            stats_before
+        );
+    }
+
+    #[test]
+    fn far_future_window_is_rejected_as_span_overflow() {
+        let sched = schedule();
+        let cfg = StreamConfig {
+            max_span_windows: 8,
+            ..StreamConfig::default()
+        };
+        let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(&sched, cfg).unwrap();
+        eng.ingest(sample(0, 0, 7, None)).unwrap(); // span 7: buffered
+        let err = eng.ingest(sample(0, 0, 8, None)).unwrap_err(); // one past
+        assert!(matches!(
+            err,
+            StreamError::SpanOverflow {
+                window: 8,
+                max_span: 8,
+                ..
+            }
+        ));
+        let err = eng.ingest(sample(0, 0, u64::MAX, None)).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::SpanOverflow {
+                window: u64::MAX,
+                ..
+            }
+        ));
+        assert_eq!(eng.stats().span_rejects, 2);
+        // The rejected frames left the channel fully usable.
+        eng.ingest(sample(0, 0, 0, None)).unwrap();
+        let (ledger, stats) = eng.finish();
+        assert_eq!(stats.samples, 2);
+        assert_eq!(ledger.coverage().observed_s, 2.0 * 15.0);
+    }
+
+    #[test]
+    fn out_of_schedule_job_is_rejected_as_invalid_job() {
+        let sched = schedule();
+        let mut eng: StreamEngine<'_, EnergyLedger> =
+            StreamEngine::new(&sched, StreamConfig::default()).unwrap();
+        let err = eng
+            .ingest(sample(0, 0, 0, Some(sched.jobs.len())))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::InvalidJob { .. }));
+        assert_eq!(eng.stats().job_rejects, 1);
+        assert_eq!(eng.stats().events, 0, "rejected before any tally");
+    }
+
+    #[test]
+    fn adversarial_block_is_rejected_atomically() {
+        let sched = schedule();
+        let cfg = StreamConfig {
+            max_span_windows: 8,
+            ..StreamConfig::default()
+        };
+        let mut eng: StreamEngine<'_, EnergyLedger> = StreamEngine::new(&sched, cfg).unwrap();
+        // A block on an out-of-schedule channel is refused as a whole.
+        let mut bad_channel = ColumnBlock::new(u32::MAX, 0);
+        bad_channel.push(&sample(u32::MAX, 0, 0, None));
+        let err = eng.ingest_block(&bad_channel).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::InvalidChannel { node: u32::MAX, .. }
+        ));
+        assert_eq!(eng.stats().events, 0);
+        // A poisoned row mid-block falls back to the per-event path: the
+        // valid prefix lands, the bad row comes back as a typed error.
+        let mut bad_job = ColumnBlock::new(0, 0);
+        bad_job.push(&sample(0, 0, 0, None));
+        bad_job.push(&sample(0, 0, 1, Some(sched.jobs.len())));
+        let err = eng.ingest_block(&bad_job).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidJob { window: 1, .. }));
+        assert_eq!(eng.stats().job_rejects, 1);
+        assert_eq!(eng.stats().events, 1, "valid prefix was ingested");
+        // Same prefix semantics for a far-future row inside a block.
+        let mut far = ColumnBlock::new(1, 0);
+        far.push(&sample(1, 0, 0, None));
+        far.push(&sample(1, 0, 20, None));
+        let err = eng.ingest_block(&far).unwrap_err();
+        assert!(matches!(err, StreamError::SpanOverflow { window: 20, .. }));
+        assert_eq!(eng.stats().span_rejects, 1);
+        assert_eq!(eng.stats().events, 2);
     }
 }

@@ -46,6 +46,6 @@ pub use fleetpower::FleetPowerSeries;
 pub use hist::PowerHistogram;
 pub use join::{JobPowerIndex, JobPowerStats};
 pub use observers::{DomainHistograms, GpuCpuEnergy, Pair, SystemHistogram};
-pub use pmss_columns::{BlockGrid, CodecConfig, ColumnBlock, EncodedBlock, Tag};
+pub use pmss_columns::{BlockGrid, CodecConfig, ColumnBlock, EncodedBlock, Tag, NO_JOB};
 pub use resident::ResidentFleet;
 pub use smi::{compare_sensors, Comparison};

@@ -1,12 +1,18 @@
 //! The `pmss` binary: one CLI for every paper figure, table, and
-//! extension.  All logic lives in `pmss_pipeline::cli`; this shim only
-//! wires argv, stdout, and the exit code.
+//! extension.  All logic lives in `pmss_pipeline::cli` (batch artifacts)
+//! and `pmssd::cli` (the streaming daemon and its client); this shim
+//! only wires argv, stdout, and the exit code.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match pmss_pipeline::cli::run(&args) {
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => pmssd::cli::run_serve(&args[1..]),
+        Some("client") => pmssd::cli::run_client(&args[1..]),
+        _ => pmss_pipeline::cli::run(&args),
+    };
+    match result {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS

@@ -1,0 +1,258 @@
+//! The pmssd differential guard: every query answer the daemon serves is
+//! **byte-identical** to the batch CLI's answer over the same event
+//! prefix — clean and under fault presets — and adversarial frames
+//! bounce off with typed errors, leaving published answers untouched.
+//!
+//! The daemon runs in-process on a port-0 TCP listener; the client is
+//! the same synchronous client `pmss client` uses, so these tests cover
+//! the real wire path end to end: capture → encode → frame → decode →
+//! ingest → snapshot → query → render.
+
+use pmss_columns::{BlockGrid, CodecConfig, ColumnBlock, EncodedBlock};
+use pmss_core::EnergyLedger;
+use pmss_faults::FaultPlan;
+use pmss_pipeline::query::Query;
+use pmss_pipeline::{Pipeline, ScalePreset, ScenarioSpec};
+use pmss_stream::StreamState;
+use pmss_telemetry::{ResidentFleet, WindowEvent, WindowKind};
+use pmssd::client::{ingest_campaign, ClientError, Connection, Target};
+use pmssd::daemon::{Daemon, DaemonConfig, Listen};
+use pmssd::proto::code;
+
+/// An in-process daemon on a fresh port, plus its run thread.
+struct Harness {
+    target: Target,
+    metrics_addr: String,
+    thread: std::thread::JoinHandle<Result<(), pmss_error::PmssError>>,
+}
+
+fn start_daemon(queue_depth: usize, sync_interval: u64) -> Harness {
+    let cfg = DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".to_string()),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        queue_depth,
+        sync_interval,
+    };
+    let daemon = Daemon::bind(cfg).expect("bind on port 0");
+    let addr = daemon.local_addr().expect("tcp listener has an address");
+    let metrics_addr = daemon.metrics_addr().expect("metrics bound").to_string();
+    let thread = std::thread::spawn(move || daemon.run());
+    Harness {
+        target: Target::Tcp(addr.to_string()),
+        metrics_addr,
+        thread,
+    }
+}
+
+impl Harness {
+    fn stop(self) {
+        let mut conn = Connection::connect(&self.target).expect("connect for shutdown");
+        conn.shutdown().expect("shutdown acked");
+        self.thread
+            .join()
+            .expect("daemon thread joins")
+            .expect("daemon exits cleanly");
+    }
+}
+
+fn spec_for(faults: Option<&str>) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::preset(ScalePreset::Quick);
+    if let Some(name) = faults {
+        let plan = FaultPlan::preset(name).expect("known fault preset");
+        spec.faults = if plan.is_noop() { None } else { Some(plan) };
+    }
+    spec
+}
+
+/// The batch side of the differential: exactly the `pmss query` code
+/// path — capture, batch replay, shared answer renderer.
+fn batch_answers(spec: &ScenarioSpec, queries: &[Query]) -> Vec<String> {
+    let mut p = Pipeline::new(spec.clone()).expect("valid spec");
+    let cfg = p.fleet_config();
+    let (schedule, factor) = {
+        let fleet = p.fleet().expect("fleet stage");
+        (fleet.schedule.clone(), fleet.frontier_factor)
+    };
+    let t3 = p.table3().expect("table3 stage").clone();
+    let resident = ResidentFleet::capture(&schedule, &cfg).expect("capture");
+    let ledger: EnergyLedger = resident.replay(&schedule).expect("replay");
+    let state = StreamState::new(ledger, factor);
+    queries
+        .iter()
+        .map(|q| {
+            pmss_pipeline::query::answer(&state, &t3, q)
+                .expect("batch answer")
+                .to_string_pretty()
+        })
+        .collect()
+}
+
+/// Every query kind the daemon serves, including a what-if on a real
+/// ladder rung.
+fn all_queries(spec: &ScenarioSpec) -> Vec<Query> {
+    let t3 = Pipeline::new(spec.clone())
+        .expect("valid spec")
+        .table3()
+        .expect("table3")
+        .clone();
+    let whatif = t3.power_rows[t3.power_rows.len() / 2].setting;
+    vec![
+        Query::Projection,
+        Query::Coverage,
+        Query::Ledger,
+        Query::WhatIf(whatif),
+    ]
+}
+
+#[test]
+fn daemon_answers_are_byte_identical_to_batch() {
+    let h = start_daemon(64, 8);
+    for (tenant, faults) in [("clean", None), ("typical", Some("frontier-typical"))] {
+        let spec = spec_for(faults);
+        let mut conn = Connection::connect(&h.target).expect("connect");
+        conn.open(tenant, Some(&spec)).expect("open with spec");
+        let report = ingest_campaign(&mut conn, &spec).expect("ingest");
+        assert!(report.blocks > 0 && report.rows > 0);
+        let queries = all_queries(&spec);
+        let batch = batch_answers(&spec, &queries);
+        for (q, expected) in queries.iter().zip(&batch) {
+            let got = conn.query(q).expect("daemon answers");
+            assert_eq!(
+                &got, expected,
+                "daemon vs batch mismatch for {tenant}/{q:?}"
+            );
+        }
+    }
+    // The metrics endpoint reflects both tenants.
+    let scraped = pmssd::client::scrape_metrics(&h.metrics_addr).expect("scrape");
+    assert!(scraped.contains("tenant=\"clean\""));
+    assert!(scraped.contains("tenant=\"typical\""));
+    h.stop();
+}
+
+#[test]
+fn adversarial_frames_bounce_with_typed_errors_and_answers_hold() {
+    let h = start_daemon(64, 8);
+    let spec = spec_for(None);
+    let mut conn = Connection::connect(&h.target).expect("connect");
+    conn.open("victim", Some(&spec)).expect("open");
+    ingest_campaign(&mut conn, &spec).expect("ingest");
+    let baseline = conn.query(&Query::Projection).expect("baseline answer");
+
+    let reject_code = |r: Result<(), ClientError>| match r {
+        Err(ClientError::Rejected { code, .. }) => code,
+        other => panic!("expected a typed rejection, got {other:?}"),
+    };
+
+    // A block for a channel the fleet does not have.
+    let mut alien = ColumnBlock::new(u32::MAX, 0);
+    alien.push(&WindowEvent {
+        node: u32::MAX,
+        slot: 0,
+        window: 0,
+        rank: 0,
+        t_s: 7.5, // window center on the declared 15 s grid
+        span_s: 15.0,
+        kind: WindowKind::Sample {
+            power_w: 300.0,
+            job: None,
+        },
+    });
+    let grid = BlockGrid {
+        window_s: 15.0,
+        duration_s: 3600.0,
+        skew_s: 0.0,
+    };
+    let enc = EncodedBlock::encode(&alien, grid, CodecConfig::default()).expect("encode");
+    assert_eq!(reject_code(conn.send_block(&enc)), code::INVALID_CHANNEL);
+
+    // A structurally corrupt wire frame: NaN grid field.
+    let mut wire = enc.to_bytes();
+    wire[13..21].copy_from_slice(&f64::NAN.to_le_bytes());
+    let err = match conn.send_block_raw(&wire) {
+        Err(ClientError::Rejected { code, .. }) => code,
+        other => panic!("expected malformed rejection, got {other:?}"),
+    };
+    assert_eq!(err, code::MALFORMED);
+
+    // Frames for the protocol itself: BLOCK before OPEN is usage.
+    let mut fresh = Connection::connect(&h.target).expect("second connection");
+    assert_eq!(
+        reject_code(fresh.send_block(&enc)),
+        code::USAGE,
+        "BLOCK before OPEN"
+    );
+    // QUERY for a tenant that does not exist (OPEN without spec).
+    match fresh.open("nobody", None) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, code::UNKNOWN_TENANT),
+        other => panic!("expected unknown_tenant, got {other:?}"),
+    }
+
+    // After all of that, the published answer is bit-for-bit what it was.
+    assert_eq!(
+        conn.query(&Query::Projection).expect("still serving"),
+        baseline
+    );
+    h.stop();
+}
+
+#[test]
+fn concurrent_split_feeds_converge_and_backpressure_is_typed() {
+    // Queue depth 1 forces admission collisions between two feeder
+    // connections; both retry on the typed backpressure error, so the
+    // campaign still lands exactly once and answers match batch.
+    let h = start_daemon(1, 4);
+    let spec = spec_for(Some("frontier-typical"));
+    {
+        let mut conn = Connection::connect(&h.target).expect("connect");
+        conn.open("shared", Some(&spec)).expect("open");
+    }
+
+    let schedule = pmss_sched::generate(spec.trace_params(), &pmss_sched::catalog());
+    let cfg = Pipeline::new(spec.clone()).expect("spec").fleet_config();
+    let resident = ResidentFleet::capture(&schedule, &cfg).expect("capture");
+    let blocks: Vec<EncodedBlock> = resident.blocks().to_vec();
+
+    let feeders: Vec<_> = (0..2)
+        .map(|parity| {
+            let target = h.target.clone();
+            let mine: Vec<EncodedBlock> = blocks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == parity)
+                .map(|(_, b)| b.clone())
+                .collect();
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(&target).expect("feeder connect");
+                conn.open("shared", None).expect("bind existing tenant");
+                let mut retries = 0u64;
+                for enc in &mine {
+                    loop {
+                        match conn.send_block(enc) {
+                            Ok(()) => break,
+                            Err(ClientError::Rejected { code: c, .. })
+                                if c == code::BACKPRESSURE =>
+                            {
+                                retries += 1;
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("feeder failed: {e}"),
+                        }
+                    }
+                }
+                retries
+            })
+        })
+        .collect();
+    let _retries: u64 = feeders.into_iter().map(|f| f.join().expect("feeder")).sum();
+
+    let mut conn = Connection::connect(&h.target).expect("reader connect");
+    conn.open("shared", None).expect("bind");
+    conn.flush().expect("flush");
+    let queries = all_queries(&spec);
+    let batch = batch_answers(&spec, &queries);
+    for (q, expected) in queries.iter().zip(&batch) {
+        assert_eq!(&conn.query(q).expect("answer"), expected, "query {q:?}");
+    }
+    h.stop();
+}

@@ -198,7 +198,7 @@ proptest! {
         let sched = schedule(nodes as usize);
         let t3 = table();
         let evs = events(nodes, windows, seed);
-        let cfg = StreamConfig { shards: 1, reorder_horizon: 1 };
+        let cfg = StreamConfig::default();
         match plan.resolve(nodes as usize, CapSetting::FreqMhz(700.0)) {
             Err(_) => {} // typed rejection is the correct outcome
             Ok(resolved) => {
@@ -228,7 +228,7 @@ proptest! {
         let sched = schedule(nodes as usize);
         let t3 = table();
         let evs = events(nodes, windows, seed);
-        let cfg = StreamConfig { shards: 1, reorder_horizon: 1 };
+        let cfg = StreamConfig::default();
         let resolved = plan
             .resolve(nodes as usize, CapSetting::FreqMhz(700.0))
             .expect("valid plans resolve against any non-empty fleet");
@@ -250,7 +250,7 @@ proptest! {
         let sched = schedule(nodes as usize);
         let t3 = table();
         let evs = events(nodes, windows, seed);
-        let cfg = StreamConfig { shards: 1, reorder_horizon: 1 };
+        let cfg = StreamConfig::default();
         let mut saved = Vec::new();
         for name in pmss_govern::PRESETS {
             let resolved = GovernorPlan::preset(name)

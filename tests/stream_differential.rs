@@ -177,8 +177,8 @@ fn run_differential(preset: ScalePreset, faults: &str, t3: &Table3) {
     // Extra shuffled-within-horizon delivery on top of the plan's.
     let slack = 6u64;
     let shuffled_cfg = StreamConfig {
-        shards: 1,
         reorder_horizon: base.reorder_horizon + slack,
+        ..StreamConfig::default()
     };
     let shuffled = stream_ledger_shuffled(&schedule, &cfg, shuffled_cfg, slack);
     assert_ledger_identical(&shuffled, &batch, &format!("{ctx}: shuffled"));

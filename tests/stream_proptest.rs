@@ -108,6 +108,7 @@ proptest! {
         let stream_cfg = StreamConfig {
             shards,
             reorder_horizon: base.reorder_horizon + slack,
+            ..StreamConfig::default()
         };
         let mut eng: StreamEngine<'_, EnergyLedger> =
             StreamEngine::new(&schedule, stream_cfg).expect("valid config");
@@ -179,8 +180,8 @@ proptest! {
         };
         let base = StreamConfig::for_plan(cfg.faults.as_ref());
         let stream_cfg = StreamConfig {
-            shards: 1,
             reorder_horizon: base.reorder_horizon + slack,
+            ..StreamConfig::default()
         };
         let mut eng: StreamEngine<'_, EnergyLedger> =
             StreamEngine::new(&schedule, stream_cfg).expect("valid config");

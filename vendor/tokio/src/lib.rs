@@ -1,0 +1,447 @@
+//! Offline stand-in for `tokio`, implementing exactly the API subset
+//! `pmssd` uses.
+//!
+//! The execution model is thread-per-task: [`task::spawn`] runs each
+//! future to completion on its own OS thread, and the I/O types wrap
+//! their `std` counterparts with methods that *block inside the task's
+//! thread* but present tokio's `async` call shape (`accept().await`,
+//! `read_exact(&mut buf).await`).  Under thread-per-task, blocking a
+//! task blocks only its own thread — exactly the semantics tokio's
+//! `spawn_blocking` pool provides — so daemon code written against this
+//! stand-in keeps tokio's concurrency structure: many live connections,
+//! each a task, none stalling the others.
+//!
+//! [`runtime::Runtime::block_on`] is a real single-future executor (a
+//! parked-thread waker), because joining a [`task::JoinHandle`] is the
+//! one place a future here is genuinely pending before completion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Single-future executor entry point.
+pub mod runtime {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::{Condvar, Mutex};
+    use std::task::{Context, Poll, Wake, Waker};
+
+    /// Parker behind the waker: `wake` flips the flag and notifies the
+    /// blocked `block_on` thread.
+    struct Parker {
+        woken: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Wake for Parker {
+        fn wake(self: std::sync::Arc<Self>) {
+            *self.woken.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            self.cv.notify_one();
+        }
+    }
+
+    /// The stand-in runtime: construction is infallible (there is no
+    /// reactor to start), kept `Result`-shaped for tokio parity.
+    #[derive(Debug, Default)]
+    pub struct Runtime;
+
+    impl Runtime {
+        /// Creates a runtime.
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime)
+        }
+
+        /// Drives `future` to completion on the calling thread, parking
+        /// between polls until a waker fires.
+        pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+            let parker = std::sync::Arc::new(Parker {
+                woken: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let waker = Waker::from(parker.clone());
+            let mut cx = Context::from_waker(&waker);
+            let mut future = pin!(future);
+            loop {
+                if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+                    return out;
+                }
+                let mut woken = parker.woken.lock().unwrap_or_else(|e| e.into_inner());
+                while !*woken {
+                    woken = parker.cv.wait(woken).unwrap_or_else(|e| e.into_inner());
+                }
+                *woken = false;
+            }
+        }
+    }
+}
+
+/// Task spawning: one OS thread per task.
+pub mod task {
+    use std::fmt;
+    use std::future::Future;
+    use std::panic::AssertUnwindSafe;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Why a joined task produced no value: it panicked.  (The stand-in
+    /// has no cancellation, so panics are the only failure.)
+    #[derive(Debug)]
+    pub struct JoinError {
+        panic: String,
+    }
+
+    impl JoinError {
+        /// Whether the task failed by panicking (always true here).
+        pub fn is_panic(&self) -> bool {
+            true
+        }
+    }
+
+    impl fmt::Display for JoinError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "task panicked: {}", self.panic)
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    enum State<T> {
+        Pending(Option<Waker>),
+        Done(Result<T, JoinError>),
+        Taken,
+    }
+
+    /// Handle to a spawned task; a future resolving to the task's output
+    /// once its thread finishes.
+    pub struct JoinHandle<T> {
+        shared: Arc<Mutex<State<T>>>,
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+            match &mut *state {
+                State::Pending(waker) => {
+                    *waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+                done @ State::Done(_) => match std::mem::replace(done, State::Taken) {
+                    State::Done(result) => Poll::Ready(result),
+                    _ => unreachable!("matched Done above"),
+                },
+                State::Taken => panic!("JoinHandle polled after completion"),
+            }
+        }
+    }
+
+    /// Spawns `future` onto its own thread, driving it to completion
+    /// there.  Dropping the handle detaches the task (tokio semantics).
+    pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let shared = Arc::new(Mutex::new(State::Pending(None)));
+        let worker = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let rt = crate::runtime::Runtime;
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| rt.block_on(future)))
+                .map_err(|p| JoinError {
+                    panic: p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string()),
+                });
+            let mut state = worker.lock().unwrap_or_else(|e| e.into_inner());
+            if let State::Pending(waker) = std::mem::replace(&mut *state, State::Done(result)) {
+                drop(state);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }
+        });
+        JoinHandle { shared }
+    }
+}
+
+pub use task::spawn;
+
+/// Async-shaped extension traits over the blocking stream types.
+pub mod io {
+    use std::future::{ready, Ready};
+    use std::io::{Read, Write};
+
+    /// tokio's `AsyncReadExt` subset: exact reads.  The returned future
+    /// is already complete — the read blocks the task's own thread.
+    pub trait AsyncReadExt: Read {
+        /// Reads exactly `buf.len()` bytes.
+        fn read_exact_async(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<()>> {
+            ready(Read::read_exact(self, buf))
+        }
+    }
+
+    impl<T: Read> AsyncReadExt for T {}
+
+    /// tokio's `AsyncWriteExt` subset: whole-buffer writes and shutdown.
+    pub trait AsyncWriteExt: Write {
+        /// Writes the entire buffer.
+        fn write_all_async(&mut self, buf: &[u8]) -> Ready<std::io::Result<()>> {
+            ready(Write::write_all(self, buf).and_then(|()| self.flush()))
+        }
+    }
+
+    impl<T: Write> AsyncWriteExt for T {}
+}
+
+/// Networking: std sockets behind tokio's async call shape.
+pub mod net {
+    use std::future::{ready, Ready};
+    use std::io;
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    /// TCP listener; `accept` blocks the calling task's thread.
+    #[derive(Debug)]
+    pub struct TcpListener(std::net::TcpListener);
+
+    impl TcpListener {
+        /// Binds to `addr`.
+        pub fn bind<A: ToSocketAddrs>(addr: A) -> Ready<io::Result<TcpListener>> {
+            ready(std::net::TcpListener::bind(addr).map(TcpListener))
+        }
+
+        /// Accepts one connection.
+        pub fn accept(&self) -> Ready<io::Result<(TcpStream, SocketAddr)>> {
+            ready(self.0.accept().map(|(s, a)| (TcpStream(s), a)))
+        }
+
+        /// The bound local address (port 0 binds resolve here).
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.0.local_addr()
+        }
+    }
+
+    /// TCP stream; reads and writes block the calling task's thread.
+    #[derive(Debug)]
+    pub struct TcpStream(std::net::TcpStream);
+
+    impl TcpStream {
+        /// Connects to `addr`.
+        pub fn connect<A: ToSocketAddrs>(addr: A) -> Ready<io::Result<TcpStream>> {
+            ready(std::net::TcpStream::connect(addr).map(TcpStream))
+        }
+
+        /// Half-closes the write side, signalling end-of-stream.
+        pub fn shutdown_write(&self) -> io::Result<()> {
+            self.0.shutdown(std::net::Shutdown::Write)
+        }
+
+        /// Clones the handle (shared underlying socket) — lets another
+        /// task force-close a connection a reader is blocked on.
+        pub fn try_clone(&self) -> io::Result<TcpStream> {
+            self.0.try_clone().map(TcpStream)
+        }
+
+        /// Closes both directions, unblocking any pending read.
+        pub fn shutdown_both(&self) -> io::Result<()> {
+            self.0.shutdown(std::net::Shutdown::Both)
+        }
+    }
+
+    impl std::io::Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+
+    impl std::io::Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.0.flush()
+        }
+    }
+
+    /// Unix-domain listener.
+    #[derive(Debug)]
+    pub struct UnixListener(std::os::unix::net::UnixListener);
+
+    impl UnixListener {
+        /// Binds to the filesystem path `path`.
+        pub fn bind<P: AsRef<std::path::Path>>(path: P) -> Ready<io::Result<UnixListener>> {
+            ready(std::os::unix::net::UnixListener::bind(path).map(UnixListener))
+        }
+
+        /// Accepts one connection.
+        pub fn accept(&self) -> Ready<io::Result<UnixStream>> {
+            ready(self.0.accept().map(|(s, _)| UnixStream(s)))
+        }
+    }
+
+    /// Unix-domain stream.
+    #[derive(Debug)]
+    pub struct UnixStream(std::os::unix::net::UnixStream);
+
+    impl UnixStream {
+        /// Connects to the filesystem path `path`.
+        pub fn connect<P: AsRef<std::path::Path>>(path: P) -> Ready<io::Result<UnixStream>> {
+            ready(std::os::unix::net::UnixStream::connect(path).map(UnixStream))
+        }
+
+        /// Half-closes the write side, signalling end-of-stream.
+        pub fn shutdown_write(&self) -> io::Result<()> {
+            self.0.shutdown(std::net::Shutdown::Write)
+        }
+
+        /// Clones the handle (shared underlying socket) — lets another
+        /// task force-close a connection a reader is blocked on.
+        pub fn try_clone(&self) -> io::Result<UnixStream> {
+            self.0.try_clone().map(UnixStream)
+        }
+
+        /// Closes both directions, unblocking any pending read.
+        pub fn shutdown_both(&self) -> io::Result<()> {
+            self.0.shutdown(std::net::Shutdown::Both)
+        }
+    }
+
+    impl std::io::Read for UnixStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+
+    impl std::io::Write for UnixStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.0.flush()
+        }
+    }
+}
+
+/// Synchronization: the bounded mpsc channel.
+pub mod sync {
+    /// Bounded multi-producer single-consumer channel over
+    /// `std::sync::mpsc::sync_channel`, with tokio's `try_send` error
+    /// vocabulary (the daemon's backpressure seam).
+    pub mod mpsc {
+        use std::future::{ready, Ready};
+        use std::sync::mpsc as std_mpsc;
+
+        /// `try_send` failure: the queue is full (backpressure) or the
+        /// receiver is gone.
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// Queue at capacity; the caller should shed or retry.
+            Full(T),
+            /// Receiver dropped; no send can ever succeed again.
+            Closed(T),
+        }
+
+        /// Sending half; clonable across producer tasks.
+        #[derive(Debug)]
+        pub struct Sender<T>(std_mpsc::SyncSender<T>);
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                Sender(self.0.clone())
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Non-blocking send with typed rejection.
+            pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+                self.0.try_send(value).map_err(|e| match e {
+                    std_mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    std_mpsc::TrySendError::Disconnected(v) => TrySendError::Closed(v),
+                })
+            }
+        }
+
+        /// Receiving half.
+        #[derive(Debug)]
+        pub struct Receiver<T>(std_mpsc::Receiver<T>);
+
+        impl<T> Receiver<T> {
+            /// Receives the next value; `None` once every sender is gone
+            /// and the queue is drained.  Blocks the task's own thread.
+            pub fn recv(&mut self) -> Ready<Option<T>> {
+                ready(self.0.recv().ok())
+            }
+        }
+
+        /// Creates a channel holding at most `buffer` queued values.
+        pub fn channel<T>(buffer: usize) -> (Sender<T>, Receiver<T>) {
+            let (tx, rx) = std_mpsc::sync_channel(buffer);
+            (Sender(tx), Receiver(rx))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::io::{AsyncReadExt, AsyncWriteExt};
+    use super::net::{TcpListener, TcpStream};
+    use super::runtime::Runtime;
+    use super::sync::mpsc;
+    use super::task;
+
+    #[test]
+    fn spawned_tasks_join_with_their_output() {
+        let rt = Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let a = task::spawn(async { 19 });
+            let b = task::spawn(async { 23 });
+            a.await.unwrap() + b.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panicking_task_surfaces_a_join_error() {
+        let rt = Runtime::new().unwrap();
+        let err = rt
+            .block_on(task::spawn(async { panic!("boom") }))
+            .unwrap_err();
+        assert!(err.is_panic());
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn bounded_channel_reports_backpressure() {
+        let (tx, mut rx) = mpsc::channel(1);
+        tx.try_send(1u32).unwrap();
+        assert!(matches!(tx.try_send(2), Err(mpsc::TrySendError::Full(2))));
+        let rt = Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { rx.recv().await }), Some(1));
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(mpsc::TrySendError::Closed(3))));
+    }
+
+    #[test]
+    fn tcp_round_trip_across_tasks() {
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = task::spawn(async move {
+                let (mut conn, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 4];
+                conn.read_exact_async(&mut buf).await.unwrap();
+                conn.write_all_async(&buf).await.unwrap();
+                buf
+            });
+            let mut client = TcpStream::connect(addr).await.unwrap();
+            client.write_all_async(b"ping").await.unwrap();
+            let mut echo = [0u8; 4];
+            client.read_exact_async(&mut echo).await.unwrap();
+            assert_eq!(&echo, b"ping");
+            assert_eq!(server.await.unwrap(), *b"ping");
+        });
+    }
+}
