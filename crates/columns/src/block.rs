@@ -59,6 +59,7 @@ impl Tag {
 pub struct ColumnBlock {
     node: u32,
     slot: u8,
+    sku: u8,
     windows: Vec<u64>,
     ranks: Vec<u64>,
     t_s: Vec<f64>,
@@ -83,6 +84,7 @@ impl ColumnBlock {
         ColumnBlock {
             node,
             slot,
+            sku: 0,
             windows: Vec::with_capacity(cap),
             ranks: Vec::with_capacity(cap),
             t_s: Vec::with_capacity(cap),
@@ -98,6 +100,7 @@ impl ColumnBlock {
     pub fn reset(&mut self, node: u32, slot: u8) {
         self.node = node;
         self.slot = slot;
+        self.sku = 0;
         self.windows.clear();
         self.ranks.clear();
         self.t_s.clear();
@@ -114,6 +117,7 @@ impl ColumnBlock {
     pub(crate) fn from_columns(
         node: u32,
         slot: u8,
+        sku: u8,
         windows: Vec<u64>,
         ranks: Vec<u64>,
         t_s: Vec<f64>,
@@ -137,6 +141,7 @@ impl ColumnBlock {
         ColumnBlock {
             node,
             slot,
+            sku,
             windows,
             ranks,
             t_s,
@@ -175,6 +180,13 @@ impl ColumnBlock {
     /// The block's channel slot.
     pub fn slot(&self) -> u8 {
         self.slot
+    }
+
+    /// SKU index of the channel's node class.  A channel's rows all share
+    /// one SKU; the block adopts it from the first pushed event (0 while
+    /// empty, matching homogeneous fleets).
+    pub fn sku(&self) -> u8 {
+        self.sku
     }
 
     /// The `(node, slot)` channel this block belongs to.
@@ -221,6 +233,11 @@ impl ColumnBlock {
     #[inline]
     pub fn push(&mut self, ev: &WindowEvent) {
         debug_assert_eq!(ev.channel(), self.channel());
+        if self.windows.is_empty() {
+            self.sku = ev.sku;
+        } else {
+            debug_assert_eq!(ev.sku, self.sku, "one SKU per channel block");
+        }
         let (tag, value, job) = match ev.kind {
             WindowKind::Sample { power_w, job } => (Tag::Sample, power_w, job),
             WindowKind::Gap { fill, job } => match fill {
@@ -276,6 +293,7 @@ impl ColumnBlock {
         WindowEvent {
             node: self.node,
             slot: self.slot,
+            sku: self.sku,
             window: self.windows[i],
             rank: self.ranks[i],
             t_s: self.t_s[i],
@@ -338,6 +356,7 @@ mod tests {
         WindowEvent {
             node: 3,
             slot: 1,
+            sku: 0,
             window,
             rank,
             t_s: window as f64 * 15.0 + 7.5,
@@ -403,6 +422,7 @@ mod tests {
         let e = WindowEvent {
             node: 0,
             slot: crate::events::REST_SLOT,
+            sku: 0,
             window: 9,
             rank: 9,
             t_s: 142.5,
@@ -461,6 +481,7 @@ mod tests {
         b.push(&WindowEvent {
             node: 0,
             slot: 0,
+            sku: 0,
             window: 0,
             rank: 0,
             t_s: 7.5,

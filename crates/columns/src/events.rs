@@ -54,6 +54,9 @@ pub struct WindowEvent {
     pub node: u32,
     /// Channel slot: GPU slots `0..4`, or [`REST_SLOT`] for rest-of-node.
     pub slot: u8,
+    /// SKU index of the node's class (0 for homogeneous fleets; bounded by
+    /// `pmss_gpu::MAX_SKUS` so the resident codec can pack it).
+    pub sku: u8,
     /// Window index within the channel (time order).
     pub window: u64,
     /// Delivery rank under the fault plan's bounded reorder buffer
@@ -84,6 +87,7 @@ pub fn apply_event<O: FleetObserver>(observer: &mut O, schedule: &Schedule, ev: 
             let ctx = SampleCtx {
                 node: ev.node,
                 slot: ev.slot,
+                sku: ev.sku,
                 job: job.map(|j| &schedule.jobs[j]),
             };
             observer.gpu_sample(&ctx, ev.t_s, power_w);
@@ -92,10 +96,19 @@ pub fn apply_event<O: FleetObserver>(observer: &mut O, schedule: &Schedule, ev: 
             let ctx = SampleCtx {
                 node: ev.node,
                 slot: ev.slot,
+                sku: ev.sku,
                 job: job.map(|j| &schedule.jobs[j]),
             };
             observer.gpu_gap(&ctx, ev.t_s, ev.span_s, fill);
         }
-        WindowKind::NodeRest { rest_w } => observer.node_sample(ev.node, ev.t_s, rest_w),
+        WindowKind::NodeRest { rest_w } => {
+            let ctx = SampleCtx {
+                node: ev.node,
+                slot: ev.slot,
+                sku: ev.sku,
+                job: None,
+            };
+            observer.node_sample(&ctx, ev.t_s, ev.span_s, rest_w);
+        }
     }
 }

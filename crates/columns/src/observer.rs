@@ -16,6 +16,11 @@ pub struct SampleCtx<'a> {
     pub node: u32,
     /// GPU slot within the node (0–3).
     pub slot: u8,
+    /// SKU index of the node's class in the active [`SkuCatalog`]
+    /// (0 for homogeneous fleets).
+    ///
+    /// [`SkuCatalog`]: pmss_gpu::SkuCatalog
+    pub sku: u8,
     /// Job occupying the node at the sample time, if any.
     pub job: Option<&'a Job>,
 }
@@ -68,7 +73,10 @@ pub trait FleetObserver: Send + Sized {
         }
     }
     /// One rest-of-node (CPU package + board) power sample per window.
-    fn node_sample(&mut self, _node: u32, _t_s: f64, _rest_w: f64) {}
+    /// `ctx.slot` is the rest channel ([`crate::REST_SLOT`]) and
+    /// `ctx.job` is `None`; `span_s` is the seconds the window covers
+    /// (shorter than the telemetry window for a partial tail window).
+    fn node_sample(&mut self, _ctx: &SampleCtx<'_>, _t_s: f64, _span_s: f64, _rest_w: f64) {}
     /// Folds a contiguous row range of one channel block into this
     /// observer, in the block's stored order.  The default replays every
     /// row through [`apply_event`], so a fold is *definitionally* the same

@@ -79,6 +79,7 @@ impl BlockGrid {
 pub struct EncodedBlock {
     node: u32,
     slot: u8,
+    sku: u8,
     rows: u64,
     grid: BlockGrid,
     payload: Vec<u8>,
@@ -101,6 +102,15 @@ impl EncodedBlock {
     ) -> Result<EncodedBlock, PmssError> {
         let n = block.len();
         let rest_channel = block.slot() == REST_SLOT;
+        // The wire format packs the SKU into the slot byte's high nibble,
+        // so only 16 node classes are representable at rest.
+        if block.sku() >= 16 {
+            return Err(PmssError::invalid_value(
+                "block sku",
+                block.sku().to_string(),
+                "SKU indices below 16 (wire nibble)",
+            ));
+        }
         for i in 0..n {
             let w = block.windows()[i];
             let r = block.ranks()[i];
@@ -165,6 +175,7 @@ impl EncodedBlock {
         Ok(EncodedBlock {
             node: block.node(),
             slot: block.slot(),
+            sku: block.sku(),
             rows: n as u64,
             grid,
             payload,
@@ -271,7 +282,7 @@ impl EncodedBlock {
             span_s.push(s);
         }
         Ok(ColumnBlock::from_columns(
-            self.node, self.slot, windows, ranks, t_s, span_s, tags, values, jobs,
+            self.node, self.slot, self.sku, windows, ranks, t_s, span_s, tags, values, jobs,
         ))
     }
 
@@ -283,6 +294,11 @@ impl EncodedBlock {
     /// The block's channel slot.
     pub fn slot(&self) -> u8 {
         self.slot
+    }
+
+    /// SKU index of the channel's node class.
+    pub fn sku(&self) -> u8 {
+        self.sku
     }
 
     /// Number of window rows the block decodes to.
@@ -303,11 +319,14 @@ impl EncodedBlock {
     /// Serializes the block for the wire: a fixed little-endian header
     /// (node, slot, row count, grid) followed by the compressed payload.
     /// The frame carries no length of its own — the transport's framing
-    /// delimits it.
+    /// delimits it.  The slot byte's low nibble is the channel slot
+    /// (`0..=4`) and its high nibble the SKU index, so homogeneous fleets
+    /// (SKU 0) produce byte-identical frames to the pre-SKU format and
+    /// old frames decode as SKU 0.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(WIRE_HEADER + self.payload.len());
         out.extend_from_slice(&self.node.to_le_bytes());
-        out.push(self.slot);
+        out.push(self.slot | (self.sku << 4));
         out.extend_from_slice(&self.rows.to_le_bytes());
         out.extend_from_slice(&self.grid.window_s.to_le_bytes());
         out.extend_from_slice(&self.grid.duration_s.to_le_bytes());
@@ -330,7 +349,8 @@ impl EncodedBlock {
         }
         let le8 = |at: usize| -> [u8; 8] { data[at..at + 8].try_into().expect("8-byte slice") };
         let node = u32::from_le_bytes(data[0..4].try_into().expect("4-byte slice"));
-        let slot = data[4];
+        let slot = data[4] & 0x0f;
+        let sku = data[4] >> 4;
         let rows = u64::from_le_bytes(le8(5));
         let grid = BlockGrid {
             window_s: f64::from_le_bytes(le8(13)),
@@ -349,6 +369,7 @@ impl EncodedBlock {
         Ok(EncodedBlock {
             node,
             slot,
+            sku,
             rows,
             grid,
             payload: data[WIRE_HEADER..].to_vec(),
@@ -449,6 +470,7 @@ mod tests {
         WindowEvent {
             node: 2,
             slot: 1,
+            sku: 0,
             window: w,
             rank,
             t_s,
@@ -558,6 +580,7 @@ mod tests {
         let ev = WindowEvent {
             node: 0,
             slot: REST_SLOT,
+            sku: 0,
             window: 5,
             rank: 5,
             t_s,
@@ -640,6 +663,53 @@ mod tests {
             bad[at..at + 8].copy_from_slice(&bits);
             assert!(EncodedBlock::from_bytes(&bad).is_err(), "offset {at}");
         }
+    }
+
+    #[test]
+    fn sku_rides_the_slot_nibble_and_zero_is_byte_identical() {
+        let mk = |sku: u8| {
+            let events: Vec<WindowEvent> = (0..8)
+                .map(|w| {
+                    let mut e = gpu_event(
+                        w,
+                        w,
+                        WindowKind::Sample {
+                            power_w: 380.0,
+                            job: None,
+                        },
+                    );
+                    e.sku = sku;
+                    e
+                })
+                .collect();
+            let block = ColumnBlock::from_events(2, 1, &events);
+            EncodedBlock::encode(&block, grid(), CodecConfig::default()).expect("encode")
+        };
+        // SKU 0 frames carry a bare slot byte — the pre-SKU wire format.
+        let clean = mk(0).to_bytes();
+        assert_eq!(clean[4], 1);
+        // Non-zero SKUs pack into the high nibble and round-trip.
+        let enc = mk(3);
+        let wire = enc.to_bytes();
+        assert_eq!(wire[4], 1 | (3 << 4));
+        let back = EncodedBlock::from_bytes(&wire).expect("from_bytes");
+        assert_eq!(back.sku(), 3);
+        assert_eq!(back.slot(), 1);
+        let dec = back.decode(CodecConfig::default()).expect("decode");
+        assert_eq!(dec.sku(), 3);
+        assert_eq!(dec.event(0).sku, 3);
+        // Catalog indices beyond the nibble are refused at encode time.
+        let mut e = gpu_event(
+            0,
+            0,
+            WindowKind::Sample {
+                power_w: 100.0,
+                job: None,
+            },
+        );
+        e.sku = 16;
+        let block = ColumnBlock::from_events(2, 1, &[e]);
+        assert!(EncodedBlock::encode(&block, grid(), CodecConfig::default()).is_err());
     }
 
     #[test]

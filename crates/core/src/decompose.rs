@@ -109,6 +109,14 @@ pub struct EnergyLedger {
     domains: Vec<[[Cell; N_REGIONS]; N_SIZES]>,
     /// Samples outside any job (idle nodes), by region.
     unattributed: [Cell; N_REGIONS],
+    /// GPU cells per SKU index and region — the heterogeneous-fleet lane.
+    /// Sums over SKUs reproduce [`EnergyLedger::region_totals`] (same
+    /// addends, different grouping).  Homogeneous fleets keep everything
+    /// in index 0.
+    sku_gpu: Vec<[Cell; N_REGIONS]>,
+    /// Rest-of-node (CPU package + board) cells per SKU index — the
+    /// CPU-side power domain, kept out of the GPU decomposition.
+    sku_rest: Vec<Cell>,
     /// Per-mode accounting of observed vs reconstructed vs lost time.
     coverage: Coverage,
     window_s: f64,
@@ -121,6 +129,8 @@ impl EnergyLedger {
         EnergyLedger {
             domains: Vec::new(),
             unattributed: Default::default(),
+            sku_gpu: Vec::new(),
+            sku_rest: Vec::new(),
             coverage: Coverage::default(),
             window_s,
         }
@@ -145,9 +155,43 @@ impl EnergyLedger {
         }
     }
 
+    fn ensure_sku(&mut self, sku: usize) {
+        while self.sku_gpu.len() <= sku {
+            self.sku_gpu.push(Default::default());
+        }
+        while self.sku_rest.len() <= sku {
+            self.sku_rest.push(Default::default());
+        }
+    }
+
     /// Number of domains seen.
     pub fn num_domains(&self) -> usize {
         self.domains.len()
+    }
+
+    /// Number of SKU lanes seen (1 for homogeneous fleets).
+    pub fn num_skus(&self) -> usize {
+        self.sku_gpu.len().max(self.sku_rest.len())
+    }
+
+    /// GPU cells per region for SKU index `sku` (all-zero when the SKU
+    /// was never observed).
+    pub fn sku_gpu_totals(&self, sku: usize) -> [Cell; N_REGIONS] {
+        self.sku_gpu.get(sku).copied().unwrap_or_default()
+    }
+
+    /// Rest-of-node (CPU-side) cell for SKU index `sku`.
+    pub fn sku_rest_total(&self, sku: usize) -> Cell {
+        self.sku_rest.get(sku).copied().unwrap_or_default()
+    }
+
+    /// Whole-fleet rest-of-node total across SKUs.
+    pub fn rest_total(&self) -> Cell {
+        let mut t = Cell::default();
+        for c in &self.sku_rest {
+            t.merge(c);
+        }
+        t
     }
 
     /// Cell for (domain, size, region).
@@ -256,11 +300,21 @@ impl EnergyLedger {
             c.seconds *= factor;
             c.joules *= factor;
         }
+        for lane in &mut out.sku_gpu {
+            for c in lane.iter_mut() {
+                c.seconds *= factor;
+                c.joules *= factor;
+            }
+        }
+        for c in &mut out.sku_rest {
+            c.seconds *= factor;
+            c.joules *= factor;
+        }
         out.coverage.scale(factor);
         Ok(out)
     }
 
-    fn record(&mut self, job: Option<&pmss_sched::Job>, power_w: f64, span_s: f64) {
+    fn record(&mut self, sku: u8, job: Option<&pmss_sched::Job>, power_w: f64, span_s: f64) {
         let region = Region::of_power(power_w).index();
         let joules = power_w * span_s;
         match job {
@@ -270,6 +324,8 @@ impl EnergyLedger {
             }
             None => self.unattributed[region].add(span_s, joules),
         }
+        self.ensure_sku(sku as usize);
+        self.sku_gpu[sku as usize][region].add(span_s, joules);
     }
 }
 
@@ -288,7 +344,7 @@ impl FleetObserver for EnergyLedger {
             return;
         }
         self.coverage.observed_s += w;
-        self.record(ctx.job, power_w, w);
+        self.record(ctx.sku, ctx.job, power_w, w);
     }
 
     fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, _t_s: f64, span_s: f64, fill: GapFill) {
@@ -296,13 +352,23 @@ impl FleetObserver for EnergyLedger {
             GapFill::Excluded => self.coverage.excluded_s += span_s,
             GapFill::Interpolated(w) => {
                 self.coverage.interpolated_s += span_s;
-                self.record(ctx.job, w, span_s);
+                self.record(ctx.sku, ctx.job, w, span_s);
             }
             GapFill::Idle(w) => {
                 self.coverage.attributed_idle_s += span_s;
-                self.record(None, w, span_s);
+                self.record(ctx.sku, None, w, span_s);
             }
         }
+    }
+
+    // The rest-of-node channel feeds only the per-SKU CPU-side lane; the
+    // GPU decomposition (domains, regions, coverage) never sees it.
+    fn node_sample(&mut self, ctx: &SampleCtx<'_>, _t_s: f64, span_s: f64, rest_w: f64) {
+        if !rest_w.is_finite() {
+            return;
+        }
+        self.ensure_sku(ctx.sku as usize);
+        self.sku_rest[ctx.sku as usize].add(span_s, rest_w * span_s);
     }
 
     // Columnar fold: one pass over the block's tag/value/span/job lanes
@@ -324,6 +390,7 @@ impl FleetObserver for EnergyLedger {
         const GAP_INTERPOLATED: u8 = Tag::GapInterpolated as u8;
         const GAP_IDLE: u8 = Tag::GapIdle as u8;
         let w = self.window();
+        let sku = block.sku();
         let tags = block.tags();
         let values = block.values();
         let spans = block.spans();
@@ -347,6 +414,8 @@ impl FleetObserver for EnergyLedger {
                             self.domains[job.domain][job.size_class.index()][region].add(w, joules);
                         }
                     }
+                    self.ensure_sku(sku as usize);
+                    self.sku_gpu[sku as usize][region].add(w, joules);
                 }
                 GAP_EXCLUDED => self.coverage.excluded_s += spans[i],
                 GAP_INTERPOLATED => {
@@ -356,15 +425,23 @@ impl FleetObserver for EnergyLedger {
                         NO_JOB => None,
                         j => Some(&schedule.jobs[j as usize]),
                     };
-                    self.record(job, values[i], span);
+                    self.record(sku, job, values[i], span);
                 }
                 GAP_IDLE => {
                     let span = spans[i];
                     self.coverage.attributed_idle_s += span;
-                    self.record(None, values[i], span);
+                    self.record(sku, None, values[i], span);
                 }
-                // NodeRest: the ledger only accounts GPU channels.
-                _ => {}
+                // NodeRest: only the per-SKU CPU-side lane, identical
+                // operations to `node_sample` above.
+                _ => {
+                    let span = spans[i];
+                    let v = values[i];
+                    if v.is_finite() {
+                        self.ensure_sku(sku as usize);
+                        self.sku_rest[sku as usize].add(span, v * span);
+                    }
+                }
             }
         }
     }
@@ -382,6 +459,17 @@ impl FleetObserver for EnergyLedger {
         }
         for (a, b) in self.unattributed.iter_mut().zip(&other.unattributed) {
             a.merge(b);
+        }
+        if !other.sku_gpu.is_empty() || !other.sku_rest.is_empty() {
+            self.ensure_sku(other.num_skus().saturating_sub(1));
+        }
+        for (i, lane) in other.sku_gpu.iter().enumerate() {
+            for (a, b) in self.sku_gpu[i].iter_mut().zip(lane) {
+                a.merge(b);
+            }
+        }
+        for (i, c) in other.sku_rest.iter().enumerate() {
+            self.sku_rest[i].merge(c);
         }
         if self.window_s == 0.0 {
             self.window_s = other.window_s;
@@ -413,6 +501,7 @@ mod tests {
         SampleCtx {
             node: 0,
             slot: 0,
+            sku: 0,
             job,
         }
     }
@@ -545,6 +634,7 @@ mod tests {
         let mk = |window: u64, kind: WindowKind| WindowEvent {
             node: 0,
             slot: 1,
+            sku: 0,
             window,
             rank: window,
             t_s: window as f64 * 15.0 + 7.5,

@@ -112,6 +112,7 @@ mod tests {
                 &SampleCtx {
                     node: 0,
                     slot: 0,
+                    sku: 0,
                     job: Some(&job),
                 },
                 i as f64 * 15.0,

@@ -164,6 +164,7 @@ mod tests {
                 &SampleCtx {
                     node: 0,
                     slot: 0,
+                    sku: 0,
                     job: Some(&big),
                 },
                 i as f64,
@@ -175,6 +176,7 @@ mod tests {
                 &SampleCtx {
                     node: 0,
                     slot: 0,
+                    sku: 0,
                     job: Some(&small),
                 },
                 i as f64,

@@ -156,6 +156,7 @@ mod tests {
                 &SampleCtx {
                     node: 0,
                     slot: 0,
+                    sku: 0,
                     job: Some(&jobs[0]),
                 },
                 0.0,
@@ -165,6 +166,7 @@ mod tests {
                 &SampleCtx {
                     node: 0,
                     slot: 0,
+                    sku: 0,
                     job: Some(&jobs[1]),
                 },
                 0.0,
@@ -174,6 +176,7 @@ mod tests {
                 &SampleCtx {
                     node: 0,
                     slot: 0,
+                    sku: 0,
                     job: Some(&jobs[2]),
                 },
                 0.0,

@@ -34,6 +34,7 @@ fn build_ledger(samples: &[(usize, usize, f64)]) -> EnergyLedger {
             &SampleCtx {
                 node: 0,
                 slot: 0,
+                sku: 0,
                 job: Some(&j),
             },
             0.0,

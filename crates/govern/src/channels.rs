@@ -188,6 +188,7 @@ mod tests {
         SampleCtx {
             node,
             slot,
+            sku: 0,
             job: None,
         }
     }
@@ -246,6 +247,7 @@ mod tests {
         let mk = |window: u64, kind: WindowKind| WindowEvent {
             node: 4,
             slot: 2,
+            sku: 0,
             window,
             rank: window,
             t_s: window as f64 * 15.0 + 7.5,

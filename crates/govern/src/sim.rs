@@ -595,6 +595,7 @@ mod tests {
         WindowEvent {
             node,
             slot,
+            sku: 0,
             window,
             rank: window,
             t_s: window as f64 * WINDOW_S,

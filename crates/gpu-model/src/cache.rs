@@ -12,7 +12,10 @@
 //!
 //! The cache key ([`ExecKey`]) is the *exact bit pattern* of every numeric
 //! input: all nine `f64` fields of [`KernelProfile`] plus the frequency cap
-//! and power cap of [`GpuSettings`], each taken through [`f64::to_bits`].
+//! and power cap of [`GpuSettings`], each taken through [`f64::to_bits`],
+//! plus the executing [`Engine`]'s calibration fingerprint — heterogeneous
+//! SKU catalogs run differently-calibrated engines through one shared
+//! cache, and executions must never leak across calibrations.
 //! Exact-bit keying is deliberately the *finest* possible quantization:
 //! two inputs collide only when `execute` would compute bit-identical
 //! outputs anyway, so a cached lookup is indistinguishable from a fresh
@@ -48,10 +51,10 @@ use crate::engine::{Engine, Execution, GpuSettings};
 use crate::kernel::KernelProfile;
 
 /// Number of `f64` inputs captured in the key: nine kernel fields, the
-/// frequency cap, and the power cap.
-const KEY_WORDS: usize = 11;
+/// frequency cap, the power cap, and the engine calibration fingerprint.
+const KEY_WORDS: usize = 12;
 
-/// Exact-bit cache key for one (kernel, settings) pair.
+/// Exact-bit cache key for one (engine, kernel, settings) triple.
 ///
 /// Carries the numeric inputs bit-for-bit and the kernel name as a 64-bit
 /// fingerprint; building one never allocates.
@@ -72,8 +75,9 @@ fn name_fingerprint(name: &str) -> u64 {
 }
 
 impl ExecKey {
-    /// Builds the key from the exact bit patterns of every numeric input.
-    pub fn new(kernel: &KernelProfile, settings: GpuSettings) -> Self {
+    /// Builds the key from the exact bit patterns of every numeric input,
+    /// including the engine's calibration fingerprint.
+    pub fn new(engine: &Engine, kernel: &KernelProfile, settings: GpuSettings) -> Self {
         ExecKey {
             name_fp: name_fingerprint(&kernel.name),
             bits: [
@@ -88,6 +92,7 @@ impl ExecKey {
                 kernel.stall_s.to_bits(),
                 settings.freq_cap.mhz().to_bits(),
                 settings.power_cap_w.map_or(u64::MAX, f64::to_bits),
+                engine.calibration_fingerprint(),
             ],
         }
     }
@@ -263,16 +268,17 @@ impl ExecCache {
         &self.shards[(h >> shift) as usize & (self.shards.len() - 1)]
     }
 
-    /// Looks up `(kernel, settings)`, running `compute` under the shard
-    /// write lock on a miss so concurrent requests for the same key run it
-    /// once.  The hit path performs no allocation.
+    /// Looks up `(engine, kernel, settings)`, running `compute` under the
+    /// shard write lock on a miss so concurrent requests for the same key
+    /// run it once.  The hit path performs no allocation.
     pub fn get_or_insert_with(
         &self,
+        engine: &Engine,
         kernel: &KernelProfile,
         settings: GpuSettings,
         compute: impl FnOnce() -> Execution,
     ) -> Arc<Execution> {
-        let key = ExecKey::new(kernel, settings);
+        let key = ExecKey::new(engine, kernel, settings);
         let shard = self.shard(&key);
         if let Some(bucket) = shard.read().get(&key) {
             if let Some((_, ex)) = bucket.iter().find(|(n, _)| *n == kernel.name) {
@@ -372,7 +378,7 @@ impl Engine {
         kernel: &KernelProfile,
         settings: GpuSettings,
     ) -> Arc<Execution> {
-        cache.get_or_insert_with(kernel, settings, || self.execute(kernel, settings))
+        cache.get_or_insert_with(self, kernel, settings, || self.execute(kernel, settings))
     }
 }
 
@@ -472,10 +478,11 @@ mod tests {
 
     #[test]
     fn key_distinguishes_every_numeric_field() {
+        let eng = Engine::default();
         let base = kernel(1.0);
         let s = GpuSettings::uncapped();
-        let k0 = ExecKey::new(&base, s);
-        assert_eq!(k0, ExecKey::new(&base.clone(), s));
+        let k0 = ExecKey::new(&eng, &base, s);
+        assert_eq!(k0, ExecKey::new(&eng, &base.clone(), s));
 
         let mut variants = Vec::new();
         for f in 0..9 {
@@ -491,16 +498,21 @@ mod tests {
                 7 => k.serial_at_fmax_s = 1.0,
                 _ => k.stall_s = 1.0,
             }
-            variants.push(ExecKey::new(&k, s));
+            variants.push(ExecKey::new(&eng, &k, s));
         }
         variants.push(ExecKey::new(
+            &eng,
             &base,
             GpuSettings {
                 freq_cap: Freq::from_mhz(900.0),
                 power_cap_w: None,
             },
         ));
-        variants.push(ExecKey::new(&base, GpuSettings::power_capped(300.0)));
+        variants.push(ExecKey::new(&eng, &base, GpuSettings::power_capped(300.0)));
+        // A differently-calibrated engine keys separately too: the SKU
+        // catalog shares one cache across node classes.
+        let hot = Engine::new(crate::power::PowerModel::default(), eng.ppt_w() + 10.0);
+        variants.push(ExecKey::new(&hot, &base, s));
         for v in &variants {
             assert_ne!(&k0, v);
         }
@@ -528,9 +540,14 @@ mod tests {
 
     #[test]
     fn none_power_cap_cannot_collide_with_a_finite_cap() {
+        let eng = Engine::default();
         let k = kernel(1.0);
-        let none = ExecKey::new(&k, GpuSettings::uncapped());
-        let some = ExecKey::new(&k, GpuSettings::power_capped(f64::from_bits(u64::MAX - 1)));
+        let none = ExecKey::new(&eng, &k, GpuSettings::uncapped());
+        let some = ExecKey::new(
+            &eng,
+            &k,
+            GpuSettings::power_capped(f64::from_bits(u64::MAX - 1)),
+        );
         // Any *finite* cap differs from the None sentinel by construction;
         // even this NaN-pattern cap differs because the sentinel is MAX.
         assert_ne!(none, some);

@@ -54,8 +54,10 @@ pub mod kernel;
 pub mod perf;
 pub mod power;
 pub mod roofline;
+pub mod sku;
 pub mod thermal;
 pub mod trace;
+pub mod tuner;
 
 pub use boost::BoostBudget;
 pub use cache::{CacheStats, EngineStats, ExecCache, ExecKey, FxBuildHasher, FxHasher};
@@ -68,5 +70,7 @@ pub use kernel::{KernelBuilder, KernelProfile};
 pub use perf::{Bottleneck, PerfEstimate};
 pub use power::{PowerBreakdown, PowerModel, Utilization};
 pub use roofline::Roofline;
+pub use sku::{Component, FleetMix, SkuCatalog, SkuSpec, MAX_SKUS};
 pub use thermal::ThermalModel;
 pub use trace::{PowerSample, TraceConfig};
+pub use tuner::{sweet_spot_for, sweet_spots, SweetSpot};

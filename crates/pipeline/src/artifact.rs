@@ -14,7 +14,9 @@ use pmss_core::{Coverage, EnergyLedger, Region, SavingsBounds};
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, GapPolicy, PRESETS};
 use pmss_govern::{run_governor, GovernOutcome, GovernorPlan};
-use pmss_gpu::{DvfsLadder, GovernedTotals, Governor, GpuSettings};
+use pmss_gpu::{
+    sweet_spots, DvfsLadder, GovernedTotals, Governor, GpuSettings, SkuCatalog, SweetSpot,
+};
 use pmss_graph::case_study::{networks, CaseStudy};
 use pmss_obs::{edges, Stopwatch};
 use pmss_sched::{catalog, generate, log, JobSizeClass, TraceParams};
@@ -91,11 +93,14 @@ pub enum ArtifactId {
     /// Extension: online cluster power governor measured against the
     /// projection's static no-slowdown ceiling.
     Govern,
+    /// Extension: per-SKU, per-component energy attribution with tuned
+    /// sweet-spot frequencies for heterogeneous fleets.
+    Components,
 }
 
 impl ArtifactId {
     /// Every artifact, in paper order.
-    pub fn all() -> [ArtifactId; 24] {
+    pub fn all() -> [ArtifactId; 25] {
         use ArtifactId::*;
         [
             Fig2,
@@ -122,6 +127,7 @@ impl ArtifactId {
             Faults,
             Stream,
             Govern,
+            Components,
         ]
     }
 
@@ -153,6 +159,7 @@ impl ArtifactId {
             Faults => "faults",
             Stream => "stream",
             Govern => "govern",
+            Components => "components",
         }
     }
 
@@ -184,6 +191,7 @@ impl ArtifactId {
             Faults => "telemetry fault-injection sensitivity sweep",
             Stream => "streaming ingest replay with periodic snapshots",
             Govern => "online cluster governor vs the static savings ceiling",
+            Components => "per-SKU component energy attribution and tuned sweet spots",
         }
     }
 
@@ -196,7 +204,7 @@ impl ArtifactId {
                 PmssError::invalid_value(
                     "artifact",
                     name,
-                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults | stream | govern",
+                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults | stream | govern | components",
                 )
             })
     }
@@ -840,6 +848,60 @@ pub struct GovernArtifact {
     pub rows: Vec<GovernRow>,
 }
 
+/// One SKU's share of the fleet and its component-level energy split.
+#[derive(Debug, Clone)]
+pub struct ComponentsRow {
+    /// Catalog index of the node class.
+    pub sku: u8,
+    /// Catalog display name (`mi250x`, …).
+    pub name: &'static str,
+    /// Nodes of this class in the scenario fleet.
+    pub nodes: usize,
+    /// Device (GPU) energy attributed to this class, MWh at Frontier scale.
+    pub gpu_mwh: f64,
+    /// HBM-lane share of the device energy, MWh.
+    pub hbm_mwh: f64,
+    /// L2/on-die-lane share, MWh.
+    pub l2_mwh: f64,
+    /// ALU-lane share, MWh.
+    pub alu_mwh: f64,
+    /// Clock-tree + uncore remainder lane, MWh.
+    pub clock_mwh: f64,
+    /// CPU-side (rest-of-node) power-domain energy, MWh.
+    pub rest_mwh: f64,
+    /// `|sum(component lanes) − device| / device`; pinned near zero by the
+    /// property suite (the clock lane is an exact remainder).
+    pub conservation_err: f64,
+    /// Auto-tuned per-mode sweet spots for this class's engine.
+    pub sweet_spots: Vec<SweetSpot>,
+}
+
+/// Component-attribution artifact: the fleet decomposition re-cut along
+/// the SKU lanes the ledger records, split into per-component energies by
+/// each class's power model, with the sweet-spot tuner replacing the
+/// paper's fixed frequency grid.
+#[derive(Debug, Clone)]
+pub struct ComponentsArtifact {
+    /// Resolved mix preset name (`single-sku` for homogeneous runs).
+    pub mix: String,
+    /// Fleet size, nodes.
+    pub nodes: usize,
+    /// Tuner slowdown bound (1.01 = the paper's no-slowdown regime with
+    /// 1 % tolerance).
+    pub max_slowdown: f64,
+    /// Projected best no-slowdown savings under this mix, percent — the
+    /// headline that moves with the SKU mix.
+    pub best_free_pct: f64,
+    /// The cap achieving that projection row.
+    pub best_free_setting: CapSetting,
+    /// Device energy summed over every class, MWh.
+    pub total_gpu_mwh: f64,
+    /// CPU-domain energy summed over every class, MWh.
+    pub total_rest_mwh: f64,
+    /// One row per node class present in the fleet, by catalog index.
+    pub rows: Vec<ComponentsRow>,
+}
+
 /// One computed artifact value.
 #[derive(Debug, Clone)]
 pub enum Artifact {
@@ -891,6 +953,8 @@ pub enum Artifact {
     Stream(StreamArtifact),
     /// Online cluster governor.
     Govern(GovernArtifact),
+    /// Per-SKU component energy attribution.
+    Components(ComponentsArtifact),
 }
 
 impl Artifact {
@@ -921,6 +985,7 @@ impl Artifact {
             Artifact::Faults(_) => ArtifactId::Faults,
             Artifact::Stream(_) => ArtifactId::Stream,
             Artifact::Govern(_) => ArtifactId::Govern,
+            Artifact::Components(_) => ArtifactId::Components,
         }
     }
 
@@ -996,6 +1061,7 @@ impl Pipeline {
             ArtifactId::Faults => Artifact::Faults(faults(self)?),
             ArtifactId::Stream => Artifact::Stream(stream(self)?),
             ArtifactId::Govern => Artifact::Govern(govern(self)?),
+            ArtifactId::Components => Artifact::Components(components(self)?),
         };
         if let Some(m) = self.metrics.as_mut() {
             m.inc("artifacts.computed");
@@ -1882,6 +1948,89 @@ fn govern(p: &mut Pipeline) -> Result<GovernArtifact, PmssError> {
         interval_s,
         nodes,
         reorder_horizon: stream_cfg.reorder_horizon,
+        rows,
+    })
+}
+
+/// Tuner slowdown bound for the components artifact: the paper's
+/// no-slowdown regime with 1 % tolerance.
+const TUNER_MAX_SLOWDOWN: f64 = 1.01;
+
+/// Joules per megawatt-hour.
+const J_PER_MWH: f64 = 3.6e9;
+
+fn components(p: &mut Pipeline) -> Result<ComponentsArtifact, PmssError> {
+    // The savings headline under this mix: mixed fleets shift the region
+    // masses, so the projection's best no-slowdown row moves with the mix.
+    let projection = p.projection()?;
+    let best = projection.best_free();
+
+    let mix = p.spec.resolved_mix();
+    let mix_name = p.spec.active_mix().unwrap_or("single-sku").to_string();
+    let nodes = p.spec.nodes;
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let catalog = SkuCatalog::standard();
+    let ledger = fleet.ledger.scaled(fleet.frontier_factor)?;
+
+    // The fleet simulation folds every node's SKU into catalog range, so
+    // counting through the same reduction keeps rows and lanes aligned.
+    let mut node_counts = vec![0usize; catalog.len()];
+    for node in 0..nodes {
+        node_counts[mix.sku_of(node) as usize % catalog.len()] += 1;
+    }
+
+    let mut rows = Vec::new();
+    let mut total_gpu_mwh = 0.0;
+    let mut total_rest_mwh = 0.0;
+    for (sku, &count) in node_counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let spec = catalog.spec(sku as u8);
+        let regions = ledger.sku_gpu_totals(sku);
+        let gpu_j: f64 = regions.iter().map(|c| c.joules).sum();
+        // Split each region's energy by the class's component fractions at
+        // the region's representative operating point; the clock-tree lane
+        // is the exact remainder, so the four lanes conserve the device
+        // total by construction (pinned by the property suite).
+        let mut lanes = [0.0f64; 4];
+        for (region, cell) in regions.iter().enumerate() {
+            let frac = spec.region_component_fractions(region);
+            for (lane, f) in lanes.iter_mut().zip(frac) {
+                *lane += cell.joules * f;
+            }
+        }
+        let rest_j = ledger.sku_rest_total(sku).joules;
+        let conservation_err = if gpu_j > 0.0 {
+            (lanes.iter().sum::<f64>() - gpu_j).abs() / gpu_j
+        } else {
+            0.0
+        };
+        total_gpu_mwh += gpu_j / J_PER_MWH;
+        total_rest_mwh += rest_j / J_PER_MWH;
+        rows.push(ComponentsRow {
+            sku: sku as u8,
+            name: spec.name,
+            nodes: count,
+            gpu_mwh: gpu_j / J_PER_MWH,
+            hbm_mwh: lanes[0] / J_PER_MWH,
+            l2_mwh: lanes[1] / J_PER_MWH,
+            alu_mwh: lanes[2] / J_PER_MWH,
+            clock_mwh: lanes[3] / J_PER_MWH,
+            rest_mwh: rest_j / J_PER_MWH,
+            conservation_err,
+            sweet_spots: sweet_spots(&spec.engine, TUNER_MAX_SLOWDOWN).to_vec(),
+        });
+    }
+
+    Ok(ComponentsArtifact {
+        mix: mix_name,
+        nodes,
+        max_slowdown: TUNER_MAX_SLOWDOWN,
+        best_free_pct: best.savings_dt0_pct,
+        best_free_setting: best.setting,
+        total_gpu_mwh,
+        total_rest_mwh,
         rows,
     })
 }

@@ -11,7 +11,7 @@ use std::time::Instant;
 use pmss_core::EnergyLedger;
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, PRESETS};
-use pmss_gpu::GpuSettings;
+use pmss_gpu::{FleetMix, GpuSettings};
 use pmss_obs::Stopwatch;
 use pmss_sched::{catalog, generate, TraceParams};
 use pmss_stream::{StreamConfig, StreamEngine, StreamState};
@@ -37,6 +37,7 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     let mut scale: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut faults_arg: Option<String> = None;
+    let mut mix_arg: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -47,6 +48,7 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
             "--scale" => scale = Some(flag_value(&mut it, "--scale")?),
             "--spec" => spec_path = Some(flag_value(&mut it, "--spec")?),
             "--faults" => faults_arg = Some(flag_value(&mut it, "--faults")?),
+            "--mix" => mix_arg = Some(flag_value(&mut it, "--mix")?),
             "-h" | "--help" | "help" => return Ok(help_text()),
             other if other.starts_with('-') => {
                 return Err(PmssError::Usage(format!(
@@ -68,6 +70,16 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     let mut spec = resolve_spec(scale.as_deref(), spec_path.as_deref())?;
     if let Some(value) = faults_arg.as_deref() {
         spec.faults = Some(resolve_fault_plan(value)?);
+    }
+    if let Some(value) = mix_arg {
+        if FleetMix::preset(&value).is_none() {
+            return Err(PmssError::invalid_value(
+                "--mix",
+                &value,
+                FleetMix::preset_names().join(" | "),
+            ));
+        }
+        spec.fleet_mix = Some(value);
     }
     if positional[0] == "query" {
         return query_cmd(&positional[1..], spec);
@@ -283,6 +295,16 @@ fn render_spec(spec: &ScenarioSpec) -> String {
         spec.boundaries.mi_ci_w,
         spec.boundaries.ci_boost_w,
     );
+    if let Some(name) = spec.active_mix() {
+        let pattern = spec
+            .resolved_mix()
+            .pattern()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("  fleet mix: {name} (SKU pattern [{pattern}])\n"));
+    }
     if let Some(p) = spec.active_faults() {
         out.push_str(&format!(
             "  faults: seed {}, drop {:.4}, dup {:.4}, glitch {:.4}, \
@@ -307,7 +329,7 @@ fn help_text() -> String {
          USAGE:\n\
          \x20   pmss fig <2..10> [OPTIONS]       a paper figure\n\
          \x20   pmss table <1..7> [OPTIONS]      a paper table\n\
-         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity | faults | stream | govern\n\
+         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity | faults | stream | govern | components\n\
          \x20   pmss list                        list every artifact\n\
          \x20   pmss spec [OPTIONS]              print the resolved scenario\n\
          \x20   pmss stats [OPTIONS]             run the full pipeline, report metrics only\n\
@@ -328,6 +350,9 @@ fn help_text() -> String {
          \x20   --faults <PLAN>  inject seeded telemetry faults into every fleet run:\n\
          \x20                    none | mild | frontier-typical | harsh, or a FaultPlan\n\
          \x20                    JSON file (`none` is bit-identical to omitting the flag)\n\
+         \x20   --mix <NAME>     heterogeneous SKU mix for every fleet run:\n\
+         \x20                    single-sku | mixed-50-50 | mixed-datacenter\n\
+         \x20                    (`single-sku` is bit-identical to omitting the flag)\n\
          \x20   -h, --help       this help\n"
     )
 }

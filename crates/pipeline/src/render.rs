@@ -73,6 +73,7 @@ pub(crate) fn ascii(a: &Artifact) -> String {
         Artifact::Faults(v) => ascii_faults(v),
         Artifact::Stream(v) => ascii_stream(v),
         Artifact::Govern(v) => ascii_govern(v),
+        Artifact::Components(v) => ascii_components(v),
     }
 }
 
@@ -103,6 +104,7 @@ pub(crate) fn json(a: &Artifact) -> Json {
         Artifact::Faults(v) => json_faults(v),
         Artifact::Stream(v) => json_stream(v),
         Artifact::Govern(v) => json_govern(v),
+        Artifact::Components(v) => json_components(v),
     }
 }
 
@@ -938,6 +940,93 @@ fn ascii_govern(a: &GovernArtifact) -> String {
     out
 }
 
+fn ascii_components(a: &ComponentsArtifact) -> String {
+    let mut out = String::new();
+    wl!(
+        out,
+        "per-component energy attribution (heterogeneous SKU catalog):"
+    );
+    wl!(
+        out,
+        "  mix {}, {} nodes; projected best no-slowdown savings {:.2}% at {}",
+        a.mix,
+        a.nodes,
+        a.best_free_pct,
+        cap_label(a.best_free_setting)
+    );
+    wl!(out);
+    wl!(
+        out,
+        "  {:<10} {:>5} {:>11} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "sku",
+        "nodes",
+        "GPU MWh",
+        "HBM",
+        "L2",
+        "ALU",
+        "clock",
+        "rest MWh"
+    );
+    for r in &a.rows {
+        wl!(
+            out,
+            "  {:<10} {:>5} {:>11.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            format!("{} {}", r.sku, r.name),
+            r.nodes,
+            r.gpu_mwh,
+            r.hbm_mwh,
+            r.l2_mwh,
+            r.alu_mwh,
+            r.clock_mwh,
+            r.rest_mwh
+        );
+    }
+    wl!(
+        out,
+        "  {:<10} {:>5} {:>11.3} {:>43} {:>10.3}",
+        "fleet",
+        a.nodes,
+        a.total_gpu_mwh,
+        "",
+        a.total_rest_mwh
+    );
+    wl!(out);
+    wl!(
+        out,
+        "  tuned sweet spots (max slowdown {:.0}%):",
+        100.0 * (a.max_slowdown - 1.0)
+    );
+    for r in &a.rows {
+        let spots = r
+            .sweet_spots
+            .iter()
+            .map(|s| {
+                format!(
+                    "{} {:.0} MHz (energy {:.2}x, dT {:+.1}%)",
+                    s.mode,
+                    s.freq.mhz(),
+                    s.energy_ratio,
+                    100.0 * (s.slowdown - 1.0)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        wl!(out, "  {:<10} {}", format!("{} {}", r.sku, r.name), spots);
+    }
+    wl!(out);
+    let max_err = a
+        .rows
+        .iter()
+        .map(|r| r.conservation_err)
+        .fold(0.0, f64::max);
+    wl!(
+        out,
+        "  component lanes conserve device energy to max rel err {:.1e}",
+        max_err
+    );
+    out
+}
+
 // ---------------------------------------------------------------------------
 // JSON renderers
 // ---------------------------------------------------------------------------
@@ -1620,6 +1709,57 @@ fn json_govern(a: &GovernArtifact) -> Json {
                             .field("peak_budget_utilization", r.peak_budget_utilization)
                             .field("budget_exceeded", r.budget_exceeded)
                             .field("late_rejects", r.late_rejects)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+fn json_components(a: &ComponentsArtifact) -> Json {
+    Json::obj()
+        .field("mix", a.mix.clone())
+        .field("nodes", a.nodes)
+        .field("max_slowdown", a.max_slowdown)
+        .field("best_free_pct", a.best_free_pct)
+        .field("best_free_setting", setting_json(a.best_free_setting))
+        .field("total_gpu_mwh", a.total_gpu_mwh)
+        .field("total_rest_mwh", a.total_rest_mwh)
+        .field(
+            "skus",
+            Json::Arr(
+                a.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("sku", r.sku as u64)
+                            .field("name", r.name)
+                            .field("nodes", r.nodes)
+                            .field("gpu_mwh", r.gpu_mwh)
+                            .field(
+                                "components_mwh",
+                                Json::obj()
+                                    .field("hbm", r.hbm_mwh)
+                                    .field("l2", r.l2_mwh)
+                                    .field("alu", r.alu_mwh)
+                                    .field("clock_tree", r.clock_mwh),
+                            )
+                            .field("rest_mwh", r.rest_mwh)
+                            .field("conservation_err", r.conservation_err)
+                            .field(
+                                "sweet_spots",
+                                Json::Arr(
+                                    r.sweet_spots
+                                        .iter()
+                                        .map(|s| {
+                                            Json::obj()
+                                                .field("mode", s.mode)
+                                                .field("freq_mhz", s.freq.mhz())
+                                                .field("energy_ratio", s.energy_ratio)
+                                                .field("slowdown", s.slowdown)
+                                        })
+                                        .collect(),
+                                ),
+                            )
                     })
                     .collect(),
             ),

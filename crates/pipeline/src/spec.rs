@@ -13,6 +13,7 @@ use pmss_core::sensitivity::Boundaries;
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, GapPolicy};
 use pmss_govern::{GovernorPlan, Policy};
+use pmss_gpu::FleetMix;
 use pmss_graph::case_study::CaseScale;
 use pmss_sched::TraceParams;
 use pmss_workloads::sweep::{CapSetting, FREQ_CAPS_MHZ, POWER_CAPS_W};
@@ -99,6 +100,10 @@ pub struct ScenarioSpec {
     /// the built-in presets; `None` (the presets' value) runs the presets
     /// only.
     pub govern: Option<GovernorPlan>,
+    /// Named [`FleetMix`] preset assigning a SKU-catalog node class to
+    /// every node; `None` (the presets' value) is the homogeneous fleet —
+    /// every node is SKU 0, bit-identical to the pre-catalog simulator.
+    pub fleet_mix: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -117,6 +122,7 @@ impl ScenarioSpec {
             boundaries: Boundaries::default(),
             faults: None,
             govern: None,
+            fleet_mix: None,
         }
     }
 
@@ -195,12 +201,41 @@ impl ScenarioSpec {
         if let Some(plan) = &self.govern {
             plan.validate()?;
         }
+        if let Some(name) = &self.fleet_mix {
+            if FleetMix::preset(name).is_none() {
+                return Err(PmssError::invalid_value(
+                    "spec field `fleet_mix`",
+                    name,
+                    FleetMix::preset_names().join(" | "),
+                ));
+            }
+        }
         Ok(())
     }
 
     /// The fault plan in force, when it actually injects something.
     pub fn active_faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().filter(|p| !p.is_noop())
+    }
+
+    /// The fleet mix in force, when it actually mixes SKUs (the
+    /// `single-sku` preset is spelled-out homogeneity, so it stays as
+    /// inert as `None`).
+    pub fn active_mix(&self) -> Option<&str> {
+        self.fleet_mix
+            .as_deref()
+            .filter(|name| FleetMix::preset(name).is_some_and(|m| !m.is_homogeneous()))
+    }
+
+    /// Resolves the named mix to the node→SKU mapping the fleet stage
+    /// simulates under; `None` and unknown names resolve homogeneous
+    /// (unknown names never pass [`ScenarioSpec::validate`], so the
+    /// fallback is belt and braces, not policy).
+    pub fn resolved_mix(&self) -> FleetMix {
+        self.fleet_mix
+            .as_deref()
+            .and_then(FleetMix::preset)
+            .unwrap_or_default()
     }
 
     /// Trace-generation parameters for the fleet stage.
@@ -254,8 +289,14 @@ impl ScenarioSpec {
             Some(plan) => j.field("faults", fault_plan_to_json(plan)),
             None => j,
         };
-        match &self.govern {
+        let j = match &self.govern {
             Some(plan) => j.field("govern", governor_plan_to_json(plan)),
+            None => j,
+        };
+        // Like `faults`, the mix is emitted only when it changes anything,
+        // so homogeneous specs keep their historical byte-exact JSON shape.
+        match self.active_mix() {
+            Some(name) => j.field("fleet_mix", name),
             None => j,
         }
     }
@@ -329,6 +370,16 @@ impl ScenarioSpec {
             None => None,
             Some(j) => Some(governor_plan_from_json(j)?),
         };
+        let fleet_mix = match v.get("fleet_mix") {
+            None => None,
+            Some(j) => Some(
+                j.as_str()
+                    .ok_or_else(|| {
+                        PmssError::malformed("json", "spec field `fleet_mix` must be a string")
+                    })?
+                    .to_string(),
+            ),
+        };
         let spec = ScenarioSpec {
             name,
             nodes: int("nodes", base.nodes as u64)? as usize,
@@ -344,6 +395,7 @@ impl ScenarioSpec {
             },
             faults,
             govern,
+            fleet_mix,
         };
         spec.validate()?;
         Ok(spec)
@@ -681,6 +733,42 @@ mod tests {
             noop.to_json().to_string_pretty(),
             "a no-op plan must not change the serialized spec"
         );
+    }
+
+    #[test]
+    fn fleet_mix_round_trips_through_spec_json() {
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.fleet_mix = Some("mixed-50-50".to_string());
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.resolved_mix(), FleetMix::new(vec![0, 1]));
+        assert!(matches!(
+            ScenarioSpec::from_json(&Json::parse(r#"{"fleet_mix": "mixed-99"}"#).unwrap())
+                .unwrap_err(),
+            PmssError::InvalidValue { .. }
+        ));
+        assert!(ScenarioSpec::from_json(&Json::parse(r#"{"fleet_mix": 7}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn homogeneous_mixes_keep_the_historical_spec_json() {
+        let clean = ScenarioSpec::preset(ScalePreset::Quick);
+        assert!(
+            !clean.to_json().to_string_pretty().contains("fleet_mix"),
+            "preset specs must keep their historical JSON shape"
+        );
+        // `single-sku` is spelled-out homogeneity: same bytes as omission,
+        // and it resolves to the same mix `None` does.
+        let mut single = clean.clone();
+        single.fleet_mix = Some("single-sku".to_string());
+        single.validate().unwrap();
+        assert_eq!(
+            clean.to_json().to_string_pretty(),
+            single.to_json().to_string_pretty(),
+            "a homogeneous mix must not change the serialized spec"
+        );
+        assert_eq!(single.resolved_mix(), clean.resolved_mix());
+        assert!(single.active_mix().is_none());
     }
 
     #[test]

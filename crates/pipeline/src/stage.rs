@@ -226,14 +226,15 @@ impl Pipeline {
     }
 
     /// The fleet configuration every simulation of this pipeline uses:
-    /// defaults plus the spec's fault plan.  All per-artifact fleet runs
-    /// must build on this so `--faults` degrades them consistently —
-    /// and so must external campaign producers (the `pmssd` client's
-    /// resident capture), or their telemetry diverges from the batch
-    /// comparator's.
+    /// defaults plus the spec's fault plan and SKU mix.  All per-artifact
+    /// fleet runs must build on this so `--faults` / `--mix` degrade and
+    /// diversify them consistently — and so must external campaign
+    /// producers (the `pmssd` client's resident capture), or their
+    /// telemetry diverges from the batch comparator's.
     pub fn fleet_config(&self) -> FleetConfig {
         FleetConfig {
             faults: self.spec.faults.clone(),
+            mix: self.spec.resolved_mix(),
             ..FleetConfig::default()
         }
     }

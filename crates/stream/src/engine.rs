@@ -1048,6 +1048,7 @@ mod tests {
         let mk = |window: u64| WindowEvent {
             node: 0,
             slot: 0,
+            sku: 0,
             window,
             rank: window,
             t_s: window as f64 * 15.0,
@@ -1168,6 +1169,7 @@ mod tests {
         let mk = |window: u64, power_w: f64| WindowEvent {
             node: 0,
             slot: 0,
+            sku: 0,
             window,
             rank: window,
             t_s: window as f64 * 15.0,
@@ -1208,6 +1210,7 @@ mod tests {
         WindowEvent {
             node,
             slot,
+            sku: 0,
             window,
             rank: window,
             t_s: window as f64 * 15.0,

@@ -15,7 +15,7 @@ use pmss_faults::{FaultLane, FaultPlan, GapPolicy, Glitch};
 
 use pmss_gpu::consts::GPUS_PER_NODE;
 use pmss_gpu::trace::standard_normal;
-use pmss_gpu::{BoostBudget, Engine, GpuSettings, NodeRestModel};
+use pmss_gpu::{BoostBudget, Engine, FleetMix, GpuSettings, NodeRestModel, SkuCatalog};
 use pmss_sched::Schedule;
 use pmss_workloads::phases::synthesize_app;
 use pmss_workloads::AppClass;
@@ -57,6 +57,12 @@ pub struct FleetConfig {
     /// is the exact pre-fault code path, which is what the differential
     /// harness pins.
     pub faults: Option<FaultPlan>,
+    /// Node-class assignment over the standard [`SkuCatalog`].  The
+    /// default homogeneous mix maps every node to SKU 0 (the paper's
+    /// MI250X blade) and reproduces the single-SKU simulation bit for
+    /// bit; mixed patterns give each node class its own engine
+    /// calibration, rest-of-node power domain, and boost envelope.
+    pub mix: FleetMix,
 }
 
 impl Default for FleetConfig {
@@ -69,6 +75,7 @@ impl Default for FleetConfig {
             seed: 1,
             use_exec_cache: true,
             faults: None,
+            mix: FleetMix::homogeneous(),
         }
     }
 }
@@ -244,10 +251,14 @@ struct Segment {
 }
 
 /// Builds the segment timeline of one GPU slot under `settings`.
+/// `engine` is the calibration of the node's SKU; `sku` keys the template
+/// cache so classes never share memoized executions.
+#[allow(clippy::too_many_arguments)]
 fn slot_segments(
     schedule: &Schedule,
     node: usize,
     slot: usize,
+    sku: u8,
     engine: &Engine,
     cache: Option<&FleetCache>,
     cfg: &FleetConfig,
@@ -280,8 +291,14 @@ fn slot_segments(
                 // resolved through the shared cache, and the cycle loop
                 // replays it instead of re-running the engine every
                 // iteration.
-                let tmpl =
-                    cache.template(engine, slot_seed, job.app_class, job.duration_s(), settings);
+                let tmpl = cache.template(
+                    engine,
+                    sku,
+                    slot_seed,
+                    job.app_class,
+                    job.duration_s(),
+                    settings,
+                );
                 if !tmpl.is_empty() {
                     'fill: loop {
                         let cursor_at_cycle_start = cursor;
@@ -394,10 +411,12 @@ fn slot_window_events<M: FleetSink>(
     segments: &[Segment],
     node: u32,
     slot: u8,
+    sku: u8,
     cfg: &FleetConfig,
     boost: &mut BoostBudget,
     rng: &mut StdRng,
     idle_power_w: f64,
+    boosted_w: f64,
     lane: &mut FaultLane,
     emit: &mut impl FnMut(WindowEvent),
 ) {
@@ -454,9 +473,7 @@ fn slot_window_events<M: FleetSink>(
                     if boost.stored_s() >= BURST_MIN_S {
                         let granted = boost.spend(overlap.min(10.0));
                         sink.boost_engaged(granted);
-                        let boosted = pmss_gpu::consts::GPU_TDP_W
-                            + 0.5 * (pmss_gpu::consts::GPU_BOOST_W - pmss_gpu::consts::GPU_TDP_W);
-                        p = (granted * boosted + (overlap - granted) * s.power_w) / overlap;
+                        p = (granted * boosted_w + (overlap - granted) * s.power_w) / overlap;
                     } else {
                         sink.boost_denied();
                         boost.recharge(overlap);
@@ -482,6 +499,7 @@ fn slot_window_events<M: FleetSink>(
             emit(WindowEvent {
                 node,
                 slot,
+                sku,
                 window,
                 rank: window,
                 t_s: center,
@@ -511,6 +529,7 @@ fn slot_window_events<M: FleetSink>(
             emit(WindowEvent {
                 node,
                 slot,
+                sku,
                 window,
                 rank: window,
                 t_s: center + skew,
@@ -532,6 +551,7 @@ fn slot_window_events<M: FleetSink>(
         let ev = WindowEvent {
             node,
             slot,
+            sku,
             window,
             rank,
             t_s: center + skew,
@@ -574,10 +594,12 @@ fn slot_window_events<M: FleetSink>(
 /// Emits the per-window rest-of-node power samples as [`WindowEvent`]s on
 /// the node's [`REST_SLOT`] channel.  Dropped-out windows emit nothing at
 /// all (a silent node is a hole in the stream, not a gap record).
+#[allow(clippy::too_many_arguments)] // one bundle of per-node channel context
 fn node_rest_events<M: FleetSink>(
     sink: &mut M,
     schedule: &Schedule,
     node: u32,
+    sku: u8,
     cfg: &FleetConfig,
     rest: &NodeRestModel,
     dropout: &mut Vec<bool>,
@@ -625,6 +647,7 @@ fn node_rest_events<M: FleetSink>(
         emit(WindowEvent {
             node,
             slot: REST_SLOT,
+            sku,
             window: w as u64,
             rank: w as u64,
             t_s: t + skew,
@@ -658,9 +681,9 @@ where
 
 /// [`simulate_fleet`] with a caller-owned cache.
 ///
-/// The cache must only be reused across runs with the same engine
-/// calibration (the fleet simulation always uses `Engine::default()`, so
-/// any two `simulate_fleet_with_cache` calls may share one cache).  Output
+/// The cache may be shared by any two `simulate_fleet_with_cache` calls:
+/// engines are resolved through the standard [`SkuCatalog`] and the SKU
+/// index is part of every template key, so mixes never collide.  Output
 /// is bit-identical to the uncached path regardless of the cache's prior
 /// contents, because cache keys are exact (see [`FleetCache`]).
 pub fn simulate_fleet_with_cache<O>(schedule: &Schedule, cfg: &FleetConfig, cache: &FleetCache) -> O
@@ -690,6 +713,43 @@ where
     simulate_fleet_impl::<O, FleetRunStats>(schedule, cfg, Some(cache))
 }
 
+/// Per-SKU values the window loop reads constantly, resolved once per run
+/// from the catalog.  For SKU 0 every value is bit-identical to what the
+/// homogeneous simulation computed inline (`Engine::default()`,
+/// `NodeRestModel::default()`, the TDP/boost midpoint).
+struct SkuRuntime {
+    engine: Engine,
+    rest: NodeRestModel,
+    idle_power_w: f64,
+    boosted_w: f64,
+}
+
+impl SkuRuntime {
+    fn resolve(catalog: &SkuCatalog) -> Vec<SkuRuntime> {
+        catalog
+            .skus()
+            .iter()
+            .map(|spec| SkuRuntime {
+                engine: spec.engine.clone(),
+                rest: spec.rest,
+                idle_power_w: spec
+                    .engine
+                    .power_model()
+                    .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX),
+                boosted_w: spec.boosted_w(),
+            })
+            .collect()
+    }
+}
+
+/// The SKU index of `node` under `mix`, folded into the catalog's range so
+/// arbitrary mix patterns can never index out of bounds (and so energy
+/// lanes stay dense: two pattern values naming the same catalog entry land
+/// in the same lane).
+fn canonical_sku(mix: &FleetMix, catalog: &SkuCatalog, node: usize) -> u8 {
+    (mix.sku_of(node) as usize % catalog.len().max(1)) as u8
+}
+
 fn simulate_fleet_impl<O, M>(
     schedule: &Schedule,
     cfg: &FleetConfig,
@@ -699,11 +759,8 @@ where
     O: FleetObserver + Default,
     M: FleetSink,
 {
-    let engine = Engine::default();
-    let rest = NodeRestModel::default();
-    let idle_power_w = engine
-        .power_model()
-        .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
+    let catalog = SkuCatalog::standard();
+    let runtime = SkuRuntime::resolve(&catalog);
 
     // One scratch block per worker, reset per channel: generation writes
     // the channel's windows into SoA columns, then the observer folds the
@@ -718,6 +775,8 @@ where
         .fold(
             || (O::default(), M::default()),
             |(mut obs, mut sink), node| {
+                let sku = canonical_sku(&cfg.mix, &catalog, node);
+                let rt = &runtime[sku as usize];
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
                 let mut block = ColumnBlock::with_capacity(node as u32, 0, windows_hint);
                 let mut lane = FaultLane::new();
@@ -738,8 +797,16 @@ where
                     }
                 };
                 for slot in 0..GPUS_PER_NODE {
-                    let segs =
-                        slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
+                    let segs = slot_segments(
+                        schedule,
+                        node,
+                        slot,
+                        sku,
+                        &rt.engine,
+                        cache,
+                        cfg,
+                        rt.idle_power_w,
+                    );
                     let mut boost = BoostBudget::default();
                     block.reset(node as u32, slot as u8);
                     slot_window_events(
@@ -748,10 +815,12 @@ where
                         &segs,
                         node as u32,
                         slot as u8,
+                        sku,
                         cfg,
                         &mut boost,
                         &mut rng,
-                        idle_power_w,
+                        rt.idle_power_w,
+                        rt.boosted_w,
                         &mut lane,
                         &mut |ev| block.push(&ev),
                     );
@@ -762,8 +831,9 @@ where
                     &mut sink,
                     schedule,
                     node as u32,
+                    sku,
                     cfg,
-                    &rest,
+                    &rt.rest,
                     &mut dropout,
                     &mut |ev| block.push(&ev),
                 );
@@ -840,11 +910,8 @@ fn fleet_window_blocks_impl(
     cache: Option<&FleetCache>,
     emit: &mut impl FnMut(&ColumnBlock),
 ) {
-    let engine = Engine::default();
-    let rest = NodeRestModel::default();
-    let idle_power_w = engine
-        .power_model()
-        .demand_w(pmss_gpu::Utilization::idle(), pmss_gpu::Freq::MAX);
+    let catalog = SkuCatalog::standard();
+    let runtime = SkuRuntime::resolve(&catalog);
     let reordering = cfg
         .faults
         .as_ref()
@@ -855,9 +922,20 @@ fn fleet_window_blocks_impl(
     let mut dropout = Vec::new();
 
     for node in 0..schedule.per_node.len() {
+        let sku = canonical_sku(&cfg.mix, &catalog, node);
+        let rt = &runtime[sku as usize];
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((node as u64) << 20));
         for slot in 0..GPUS_PER_NODE {
-            let segs = slot_segments(schedule, node, slot, &engine, cache, cfg, idle_power_w);
+            let segs = slot_segments(
+                schedule,
+                node,
+                slot,
+                sku,
+                &rt.engine,
+                cache,
+                cfg,
+                rt.idle_power_w,
+            );
             let mut boost = BoostBudget::default();
             block.reset(node as u32, slot as u8);
             slot_window_events(
@@ -866,10 +944,12 @@ fn fleet_window_blocks_impl(
                 &segs,
                 node as u32,
                 slot as u8,
+                sku,
                 cfg,
                 &mut boost,
                 &mut rng,
-                idle_power_w,
+                rt.idle_power_w,
+                rt.boosted_w,
                 &mut lane,
                 &mut |ev| block.push(&ev),
             );
@@ -885,8 +965,9 @@ fn fleet_window_blocks_impl(
             &mut (),
             schedule,
             node as u32,
+            sku,
             cfg,
-            &rest,
+            &rt.rest,
             &mut dropout,
             &mut |ev| block.push(&ev),
         );
@@ -925,8 +1006,8 @@ mod tests {
             self.gpu
                 .push((ctx.node, ctx.slot, t_s, power_w, ctx.job.map(|j| j.id)));
         }
-        fn node_sample(&mut self, node: u32, t_s: f64, rest_w: f64) {
-            self.node.push((node, t_s, rest_w));
+        fn node_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, _span_s: f64, rest_w: f64) {
+            self.node.push((ctx.node, t_s, rest_w));
         }
         fn merge(&mut self, mut other: Self) {
             self.gpu.append(&mut other.gpu);
@@ -1249,8 +1330,8 @@ mod fault_tests {
         fn gpu_gap(&mut self, ctx: &SampleCtx<'_>, t_s: f64, span_s: f64, fill: GapFill) {
             self.gaps.push((ctx.node, ctx.slot, t_s, span_s, fill));
         }
-        fn node_sample(&mut self, node: u32, t_s: f64, rest_w: f64) {
-            self.node.push((node, t_s, rest_w));
+        fn node_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, _span_s: f64, rest_w: f64) {
+            self.node.push((ctx.node, t_s, rest_w));
         }
         fn merge(&mut self, mut other: Self) {
             self.gpu.append(&mut other.gpu);

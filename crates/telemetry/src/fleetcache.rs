@@ -51,6 +51,10 @@ pub(crate) struct PhaseSeg {
 struct TemplateKey {
     /// Per-(job, node, slot) synthesis seed.
     seed: u64,
+    /// SKU index of the node class executing the template: each SKU's
+    /// engine calibration produces different phase powers/durations, so
+    /// templates must never be shared across classes.
+    sku: u8,
     class: AppClass,
     /// `f64::to_bits` of the synthesized app duration.
     dur_bits: u64,
@@ -65,9 +69,10 @@ type TemplateShard = CachePadded<RwLock<HashMap<TemplateKey, Arc<[PhaseSeg]>, Fx
 /// Sharded concurrent cache of fleet slot templates plus the kernel-level
 /// [`ExecCache`] that fills them on misses.
 ///
-/// Shareable across any runs that use the same engine calibration (the
-/// fleet simulation always runs `Engine::default()`), including
-/// concurrently from all rayon workers.
+/// Shareable across any runs that resolve engines through the standard
+/// [`pmss_gpu::SkuCatalog`]: the SKU index is part of the template key, so
+/// every node class keeps its own templates.  Safe to use concurrently
+/// from all rayon workers.
 #[derive(Debug)]
 pub struct FleetCache {
     exec: ExecCache,
@@ -88,7 +93,7 @@ impl FleetCache {
     /// The process-wide shared cache used by the cache-less entry points
     /// (`simulate_fleet`, `fleet_window_events`, `fleet_window_blocks`)
     /// when [`crate::FleetConfig::use_exec_cache`] is set.  Keys are
-    /// exact and the fleet simulation always runs `Engine::default()`,
+    /// exact — including the SKU index selecting the engine calibration —
     /// so sharing across every run in the process is bit-safe; it
     /// amortizes template synthesis across benchmark iterations, repeated
     /// artifacts, and what-if sweeps.
@@ -151,9 +156,10 @@ impl FleetCache {
         &self.shards[(h >> shift) as usize & (self.shards.len() - 1)]
     }
 
-    /// Returns the slot template for (`seed`, `class`, `duration_s`,
-    /// `settings`), synthesizing and executing it through the kernel cache
-    /// on first sight.
+    /// Returns the slot template for (`sku`, `seed`, `class`,
+    /// `duration_s`, `settings`), synthesizing and executing it through
+    /// the kernel cache on first sight.  `engine` must be the calibration
+    /// of SKU `sku` — the key carries only the index.
     ///
     /// The miss path computes outside the shard lock: template keys are
     /// unique per (job, node, slot), so duplicated work from a concurrent
@@ -161,6 +167,7 @@ impl FleetCache {
     pub(crate) fn template(
         &self,
         engine: &Engine,
+        sku: u8,
         seed: u64,
         class: AppClass,
         duration_s: f64,
@@ -168,6 +175,7 @@ impl FleetCache {
     ) -> Arc<[PhaseSeg]> {
         let key = TemplateKey {
             seed,
+            sku,
             class,
             dur_bits: duration_s.to_bits(),
             freq_bits: settings.freq_cap.mhz().to_bits(),
@@ -217,6 +225,7 @@ mod tests {
         let engine = Engine::default();
         let a = cache.template(
             &engine,
+            0,
             42,
             AppClass::Mixed,
             3600.0,
@@ -224,6 +233,7 @@ mod tests {
         );
         let b = cache.template(
             &engine,
+            0,
             42,
             AppClass::Mixed,
             3600.0,
@@ -241,23 +251,38 @@ mod tests {
     fn distinct_inputs_get_distinct_templates() {
         let cache = FleetCache::new();
         let engine = Engine::default();
-        let base = cache.template(&engine, 7, AppClass::Mixed, 1800.0, GpuSettings::uncapped());
-        for (seed, class, dur, settings) in [
-            (8, AppClass::Mixed, 1800.0, GpuSettings::uncapped()),
+        let base = cache.template(
+            &engine,
+            0,
+            7,
+            AppClass::Mixed,
+            1800.0,
+            GpuSettings::uncapped(),
+        );
+        for (sku, seed, class, dur, settings) in [
+            (0, 8, AppClass::Mixed, 1800.0, GpuSettings::uncapped()),
             (
+                0,
                 7,
                 AppClass::ComputeIntensive,
                 1800.0,
                 GpuSettings::uncapped(),
             ),
-            (7, AppClass::Mixed, 1801.0, GpuSettings::uncapped()),
-            (7, AppClass::Mixed, 1800.0, GpuSettings::power_capped(300.0)),
+            (0, 7, AppClass::Mixed, 1801.0, GpuSettings::uncapped()),
+            (
+                0,
+                7,
+                AppClass::Mixed,
+                1800.0,
+                GpuSettings::power_capped(300.0),
+            ),
+            (1, 7, AppClass::Mixed, 1800.0, GpuSettings::uncapped()),
         ] {
-            let t = cache.template(&engine, seed, class, dur, settings);
+            let t = cache.template(&engine, sku, seed, class, dur, settings);
             assert!(!Arc::ptr_eq(&base, &t));
         }
-        assert_eq!(cache.template_len(), 5);
-        assert_eq!(cache.template_stats().misses, 5);
+        assert_eq!(cache.template_len(), 6);
+        assert_eq!(cache.template_stats().misses, 6);
     }
 
     #[test]
@@ -266,6 +291,7 @@ mod tests {
         let engine = Engine::default();
         cache.template(
             &engine,
+            0,
             1,
             AppClass::MemoryIntensive,
             600.0,

@@ -95,7 +95,7 @@ impl FleetObserver for FleetPowerSeries {
         }
     }
 
-    fn node_sample(&mut self, _node: u32, t_s: f64, rest_w: f64) {
+    fn node_sample(&mut self, _ctx: &SampleCtx<'_>, t_s: f64, _span_s: f64, rest_w: f64) {
         if rest_w.is_finite() {
             *self.slot(t_s) += rest_w;
         }

@@ -229,6 +229,7 @@ mod tests {
                 &crate::fleet::SampleCtx {
                     node: 0,
                     slot: 0,
+                    sku: 0,
                     job: Some(job),
                 },
                 i as f64 * 15.0,
@@ -256,6 +257,7 @@ mod tests {
         let ctx = crate::fleet::SampleCtx {
             node: 0,
             slot: 0,
+            sku: 0,
             job: Some(&job),
         };
         let powers = [100.0, 200.0, 300.0, 400.0, 150.0, 250.0];

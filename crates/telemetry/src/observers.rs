@@ -125,7 +125,7 @@ impl FleetObserver for GpuCpuEnergy {
         }
         self.gpu_hist.record(power_w);
     }
-    fn node_sample(&mut self, _node: u32, _t_s: f64, rest_w: f64) {
+    fn node_sample(&mut self, _ctx: &SampleCtx<'_>, _t_s: f64, _span_s: f64, rest_w: f64) {
         if rest_w.is_finite() {
             self.rest_energy_j += rest_w * self.window_s;
         }
@@ -165,9 +165,9 @@ impl<A: FleetObserver, B: FleetObserver> FleetObserver for Pair<A, B> {
         self.a.gpu_gap(ctx, t_s, span_s, fill);
         self.b.gpu_gap(ctx, t_s, span_s, fill);
     }
-    fn node_sample(&mut self, node: u32, t_s: f64, rest_w: f64) {
-        self.a.node_sample(node, t_s, rest_w);
-        self.b.node_sample(node, t_s, rest_w);
+    fn node_sample(&mut self, ctx: &SampleCtx<'_>, t_s: f64, span_s: f64, rest_w: f64) {
+        self.a.node_sample(ctx, t_s, span_s, rest_w);
+        self.b.node_sample(ctx, t_s, span_s, rest_w);
     }
     fn merge(&mut self, other: Self) {
         self.a.merge(other.a);

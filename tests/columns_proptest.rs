@@ -51,7 +51,7 @@ fn arb_rows(n_full: u64) -> impl Strategy<Value = Vec<RowSpec>> {
 /// Materializes a row spec on `grid` as a [`WindowEvent`] whose power
 /// values sit on the codec's 1 W quantization grid (so the resident round
 /// trip must be *exact*, not merely within half a quantum).
-fn stamp_event(grid: &BlockGrid, node: u32, slot: u8, spec: &RowSpec) -> WindowEvent {
+fn stamp_event(grid: &BlockGrid, node: u32, slot: u8, sku: u8, spec: &RowSpec) -> WindowEvent {
     let rest = slot == REST_SLOT;
     let (t_s, span_s) = {
         // Reproduce the generator's stamp through the public encode
@@ -103,6 +103,7 @@ fn stamp_event(grid: &BlockGrid, node: u32, slot: u8, spec: &RowSpec) -> WindowE
     WindowEvent {
         node,
         slot,
+        sku,
         window: spec.window,
         rank: spec.window.saturating_add_signed(i64::from(spec.rank_off)),
         t_s,
@@ -113,7 +114,7 @@ fn stamp_event(grid: &BlockGrid, node: u32, slot: u8, spec: &RowSpec) -> WindowE
 
 /// A bitwise comparison key for one event (plain `==` is false for the
 /// NaN power values glitch faults produce).
-fn event_key(ev: &WindowEvent) -> (u32, u8, u64, u64, u64, u64, u8, u64, Option<usize>) {
+fn event_key(ev: &WindowEvent) -> (u32, u8, u8, u64, u64, u64, u64, u8, u64, Option<usize>) {
     let (kind, bits, job) = match ev.kind {
         WindowKind::Sample { power_w, job } => (0u8, power_w.to_bits(), job),
         WindowKind::Gap { fill, job } => match fill {
@@ -126,6 +127,7 @@ fn event_key(ev: &WindowEvent) -> (u32, u8, u64, u64, u64, u64, u8, u64, Option<
     (
         ev.node,
         ev.slot,
+        ev.sku,
         ev.window,
         ev.rank,
         ev.t_s.to_bits(),
@@ -190,6 +192,7 @@ proptest! {
         skew_s in -5.0..5.0f64,
         node in 0u32..64,
         slot in 0u8..5,
+        sku in 0u8..16,
     ) {
         let grid = BlockGrid {
             window_s,
@@ -198,7 +201,7 @@ proptest! {
         };
         let events: Vec<WindowEvent> = rows
             .iter()
-            .map(|r| stamp_event(&grid, node, slot, r))
+            .map(|r| stamp_event(&grid, node, slot, sku, r))
             .collect();
         let block = ColumnBlock::from_events(node, slot, &events);
         let enc = EncodedBlock::encode(&block, grid, CodecConfig::default()).expect("encode");

@@ -149,6 +149,7 @@ fn adversarial_frames_bounce_with_typed_errors_and_answers_hold() {
     alien.push(&WindowEvent {
         node: u32::MAX,
         slot: 0,
+        sku: 0,
         window: 0,
         rank: 0,
         t_s: 7.5, // window center on the declared 15 s grid

@@ -49,7 +49,15 @@ fn ascii_matches_the_pre_refactor_binaries() {
 /// The CLI `--json` envelope for the seeded headline artifacts is stable.
 #[test]
 fn json_matches_the_golden_captures() {
-    for name in ["fig2", "table3", "table5", "validate", "stream", "govern"] {
+    for name in [
+        "fig2",
+        "table3",
+        "table5",
+        "validate",
+        "stream",
+        "govern",
+        "components",
+    ] {
         let args: Vec<String> = [name, "--json", "--scale", "quick"]
             .iter()
             .map(|s| s.to_string())

@@ -89,6 +89,7 @@ fn events(nodes: u32, windows: u64, seed: u64) -> Vec<WindowEvent> {
                 evs.push(WindowEvent {
                     node: n,
                     slot: s,
+                    sku: 0,
                     window: w,
                     rank: w,
                     t_s: w as f64 * WINDOW_S,

@@ -63,9 +63,16 @@ fn arb_hostile_event() -> impl Strategy<Value = WindowEvent> {
             1 => Some((d / 3 % 10_000) as usize),
             _ => Some(usize::MAX),
         };
+        // SKU bands: in-catalog, past the wire-format ceiling, type max.
+        let sku = match (a ^ d) % 3 {
+            0 => ((a ^ d) / 3 % 3) as u8,
+            1 => 16 + ((a ^ d) / 3 % 100) as u8,
+            _ => u8::MAX,
+        };
         WindowEvent {
             node,
             slot,
+            sku,
             window,
             rank: window,
             t_s: window as f64 * 15.0,
