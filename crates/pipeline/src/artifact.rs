@@ -11,6 +11,7 @@ use pmss_core::project::{project, Projection, ProjectionInput};
 use pmss_core::sensitivity::{boundary_sweep, input_from_histogram, Boundaries};
 use pmss_core::whatif::{best_uniform, optimize_per_domain};
 use pmss_core::{Coverage, EnergyLedger, Region, SavingsBounds};
+use pmss_econ::{shift, EconTrace, ShiftOutcome};
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, GapPolicy, PRESETS};
 use pmss_govern::{run_governor, GovernOutcome, GovernorPlan};
@@ -96,11 +97,14 @@ pub enum ArtifactId {
     /// Extension: per-SKU, per-component energy attribution with tuned
     /// sweet-spot frequencies for heterogeneous fleets.
     Components,
+    /// Extension: price- and carbon-aware economics of the fleet energy,
+    /// with the temporal-shifting what-if.
+    Econ,
 }
 
 impl ArtifactId {
     /// Every artifact, in paper order.
-    pub fn all() -> [ArtifactId; 25] {
+    pub fn all() -> [ArtifactId; 26] {
         use ArtifactId::*;
         [
             Fig2,
@@ -128,6 +132,7 @@ impl ArtifactId {
             Stream,
             Govern,
             Components,
+            Econ,
         ]
     }
 
@@ -160,6 +165,7 @@ impl ArtifactId {
             Stream => "stream",
             Govern => "govern",
             Components => "components",
+            Econ => "econ",
         }
     }
 
@@ -192,6 +198,9 @@ impl ArtifactId {
             Stream => "streaming ingest replay with periodic snapshots",
             Govern => "online cluster governor vs the static savings ceiling",
             Components => "per-SKU component energy attribution and tuned sweet spots",
+            Econ => {
+                "cost and CO2 of the fleet energy by price/carbon trace, with temporal shifting"
+            }
         }
     }
 
@@ -204,7 +213,7 @@ impl ArtifactId {
                 PmssError::invalid_value(
                     "artifact",
                     name,
-                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults | stream | govern | components",
+                    "fig2..fig10 | table1..table7 | validate | whatif | governor | peakpower | sensitivity | faults | stream | govern | components | econ",
                 )
             })
     }
@@ -617,6 +626,31 @@ pub struct WhatifAssignment {
     pub choice: Option<(f64, f64)>,
 }
 
+/// One slowdown budget's savings valued under the spec's econ trace.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatifEconRow {
+    /// Per-domain slowdown budget, percent.
+    pub budget_pct: f64,
+    /// The mixed assignment's savings valued at the trace, dollars.
+    pub mixed_saving_usd: f64,
+    /// The mixed assignment's carbon avoidance, tonnes CO₂.
+    pub mixed_saving_t: f64,
+}
+
+/// Econ valuation of the what-if (present only when the scenario carries
+/// an active econ trace, so historical artifacts keep their bytes).
+#[derive(Debug, Clone)]
+pub struct WhatifEcon {
+    /// The trace the savings are valued under.
+    pub trace: String,
+    /// Total GPU energy cost under the trace, dollars at Frontier scale.
+    pub total_cost_usd: f64,
+    /// Total GPU carbon under the trace, tonnes at Frontier scale.
+    pub total_carbon_t: f64,
+    /// One valuation per budget row.
+    pub rows: Vec<WhatifEconRow>,
+}
+
 /// What-if extension data.
 #[derive(Debug, Clone)]
 pub struct Whatif {
@@ -624,6 +658,8 @@ pub struct Whatif {
     pub budget_rows: Vec<WhatifBudgetRow>,
     /// Assignment at the 10 % budget.
     pub assignment: Vec<WhatifAssignment>,
+    /// Econ valuation of each budget's savings, when a trace is active.
+    pub econ: Option<WhatifEcon>,
 }
 
 /// One governor policy's outcome on a workload class.
@@ -902,6 +938,92 @@ pub struct ComponentsArtifact {
     pub rows: Vec<ComponentsRow>,
 }
 
+/// One price/carbon trace's view of the fleet energy (econ extension).
+#[derive(Debug, Clone)]
+pub struct EconTraceRow {
+    /// Trace label (`flat`, `diurnal`, …, or `custom:<name>`).
+    pub trace: String,
+    /// GPU energy cost under this trace, dollars at Frontier scale.
+    pub cost_usd: f64,
+    /// GPU carbon under this trace, tonnes CO₂ at Frontier scale.
+    pub carbon_t: f64,
+    /// Cost delta versus the flat reference price, dollars.
+    pub delta_cost_usd: f64,
+    /// Carbon delta versus the flat reference intensity, tonnes.
+    pub delta_carbon_t: f64,
+    /// Dollars saved by the temporal-shifting what-if under this trace.
+    pub shift_saving_usd: f64,
+    /// Tonnes of CO₂ avoided by the shift.
+    pub shift_saving_t: f64,
+    /// The shift's edge over the uniform-placement strawman, dollars.
+    pub shift_edge_usd: f64,
+    /// Boosted energy the shift deferred, MWh.
+    pub moved_mwh: f64,
+}
+
+/// One SKU lane priced under the econ artifact's focus trace.
+#[derive(Debug, Clone)]
+pub struct EconSkuRow {
+    /// Catalog index of the node class.
+    pub sku: u8,
+    /// Catalog display name (`mi250x`, …).
+    pub name: &'static str,
+    /// GPU energy in this lane, MWh at Frontier scale.
+    pub gpu_mwh: f64,
+    /// Its cost under the focus trace, dollars.
+    pub cost_usd: f64,
+    /// Its carbon under the focus trace, tonnes.
+    pub carbon_t: f64,
+}
+
+/// The focus trace's temporal-shifting what-if in full.
+#[derive(Debug, Clone)]
+pub struct EconShiftDetail {
+    /// Deferral deadline, 15-minute slots.
+    pub deadline_slots: usize,
+    /// Cluster power budget the shift honored, megawatts.
+    pub budget_mw: f64,
+    /// Boosted energy deferred, MWh.
+    pub moved_mwh: f64,
+    /// Deferral decisions made.
+    pub moves: usize,
+    /// Unshifted placement cost, dollars.
+    pub baseline_cost_usd: f64,
+    /// Price-aware shifted cost, dollars.
+    pub shifted_cost_usd: f64,
+    /// Uniform-placement strawman cost, dollars.
+    pub uniform_cost_usd: f64,
+    /// Unshifted carbon, tonnes.
+    pub baseline_carbon_t: f64,
+    /// Shifted carbon, tonnes.
+    pub shifted_carbon_t: f64,
+}
+
+/// Economics artifact: the fleet energy integrated against price/carbon
+/// traces, with the temporal-shifting what-if under the focus trace.
+#[derive(Debug, Clone)]
+pub struct EconArtifact {
+    /// The focus trace (the spec's active trace, else `diurnal`).
+    pub focus: String,
+    /// 15-minute accounting slots the campaign spans.
+    pub slots: usize,
+    /// GPU energy across all slots, MWh at Frontier scale.
+    pub total_gpu_mwh: f64,
+    /// Rest-of-node energy across all slots, MWh at Frontier scale.
+    pub total_rest_mwh: f64,
+    /// Reference (flat-trace) GPU cost, dollars.
+    pub ref_cost_usd: f64,
+    /// Reference GPU carbon, tonnes.
+    pub ref_carbon_t: f64,
+    /// One row per preset trace, plus `custom:<name>` when the spec's
+    /// active trace is not a preset.
+    pub rows: Vec<EconTraceRow>,
+    /// Per-SKU lanes priced under the focus trace.
+    pub sku_rows: Vec<EconSkuRow>,
+    /// The focus trace's shift what-if in full.
+    pub shift: EconShiftDetail,
+}
+
 /// One computed artifact value.
 #[derive(Debug, Clone)]
 pub enum Artifact {
@@ -955,6 +1077,8 @@ pub enum Artifact {
     Govern(GovernArtifact),
     /// Per-SKU component energy attribution.
     Components(ComponentsArtifact),
+    /// Price/carbon economics with temporal shifting.
+    Econ(EconArtifact),
 }
 
 impl Artifact {
@@ -986,6 +1110,7 @@ impl Artifact {
             Artifact::Stream(_) => ArtifactId::Stream,
             Artifact::Govern(_) => ArtifactId::Govern,
             Artifact::Components(_) => ArtifactId::Components,
+            Artifact::Econ(_) => ArtifactId::Econ,
         }
     }
 
@@ -1062,6 +1187,7 @@ impl Pipeline {
             ArtifactId::Stream => Artifact::Stream(stream(self)?),
             ArtifactId::Govern => Artifact::Govern(govern(self)?),
             ArtifactId::Components => Artifact::Components(components(self)?),
+            ArtifactId::Econ => Artifact::Econ(econ(self)?),
         };
         if let Some(m) = self.metrics.as_mut() {
             m.inc("artifacts.computed");
@@ -1581,9 +1707,34 @@ fn whatif(p: &mut Pipeline) -> Result<Whatif, PmssError> {
             choice: choice.as_ref().map(|e| (e.setting.value(), e.delta_t_pct)),
         })
         .collect();
+    // Value each budget's savings under the active econ trace.  Savings
+    // scale the whole placement, so a saved fraction of the energy is the
+    // same fraction of the trace-priced cost.
+    let econ = match p.spec.active_econ() {
+        None => None,
+        Some(trace) => {
+            let series = fleet.econ.scaled(fleet.frontier_factor)?;
+            let total_cost_usd = series.cost_usd(trace);
+            let total_carbon_t = series.carbon_kg(trace) / 1e3;
+            Some(WhatifEcon {
+                trace: trace.name.clone(),
+                total_cost_usd,
+                total_carbon_t,
+                rows: budget_rows
+                    .iter()
+                    .map(|r| WhatifEconRow {
+                        budget_pct: r.budget_pct,
+                        mixed_saving_usd: r.mixed_saves_pct / 100.0 * total_cost_usd,
+                        mixed_saving_t: r.mixed_saves_pct / 100.0 * total_carbon_t,
+                    })
+                    .collect(),
+            })
+        }
+    };
     Ok(Whatif {
         budget_rows,
         assignment,
+        econ,
     })
 }
 
@@ -2032,5 +2183,94 @@ fn components(p: &mut Pipeline) -> Result<ComponentsArtifact, PmssError> {
         total_gpu_mwh,
         total_rest_mwh,
         rows,
+    })
+}
+
+fn econ(p: &mut Pipeline) -> Result<EconArtifact, PmssError> {
+    p.ensure_fleet()?;
+    let active = p.spec.active_econ().cloned();
+    let fleet = p.fleet.as_ref().expect("fleet stage ran");
+    let series = fleet.econ.scaled(fleet.frontier_factor)?;
+    let flat = EconTrace::flat();
+    let ref_cost_usd = series.cost_usd(&flat);
+    let ref_carbon_t = series.carbon_kg(&flat) / 1e3;
+
+    // The preset sweep, plus the active trace as `custom:<name>` when it
+    // is not one of the presets verbatim.
+    let mut traces: Vec<(String, EconTrace)> = EconTrace::preset_names()
+        .iter()
+        .map(|&n| {
+            (
+                n.to_string(),
+                EconTrace::preset(n).expect("preset names resolve"),
+            )
+        })
+        .collect();
+    if let Some(t) = &active {
+        if !traces.iter().any(|(_, preset)| preset == t) {
+            traces.push((format!("custom:{}", t.name), t.clone()));
+        }
+    }
+    let rows = traces
+        .iter()
+        .map(|(label, trace)| {
+            let out = shift(&series, trace)?;
+            Ok(EconTraceRow {
+                trace: label.clone(),
+                cost_usd: out.baseline_cost_usd,
+                carbon_t: out.baseline_carbon_kg / 1e3,
+                delta_cost_usd: out.baseline_cost_usd - ref_cost_usd,
+                delta_carbon_t: out.baseline_carbon_kg / 1e3 - ref_carbon_t,
+                shift_saving_usd: out.cost_saving_usd(),
+                shift_saving_t: out.carbon_saving_kg() / 1e3,
+                shift_edge_usd: out.edge_over_uniform_usd(),
+                moved_mwh: out.moved_mwh,
+            })
+        })
+        .collect::<Result<Vec<_>, PmssError>>()?;
+
+    // Per-SKU lanes and the full shift detail are reported under the
+    // focus trace: the spec's active trace when set, else `diurnal`.
+    let (focus, focus_trace) = match &active {
+        Some(t) => (t.name.clone(), t.clone()),
+        None => (
+            "diurnal".to_string(),
+            EconTrace::preset("diurnal").expect("diurnal is a preset"),
+        ),
+    };
+    let catalog = SkuCatalog::standard();
+    let sku_rows = (0..series.num_skus().min(catalog.len()))
+        .filter(|&sku| series.sku_gpu_j(sku) > 0.0)
+        .map(|sku| EconSkuRow {
+            sku: sku as u8,
+            name: catalog.spec(sku as u8).name,
+            gpu_mwh: series.sku_gpu_j(sku) / J_PER_MWH,
+            cost_usd: series.sku_cost_usd(sku, &focus_trace),
+            carbon_t: series.sku_carbon_kg(sku, &focus_trace) / 1e3,
+        })
+        .collect();
+    let out: ShiftOutcome = shift(&series, &focus_trace)?;
+    let shift_detail = EconShiftDetail {
+        deadline_slots: out.deadline_slots,
+        budget_mw: out.budget_w / 1e6,
+        moved_mwh: out.moved_mwh,
+        moves: out.moves.len(),
+        baseline_cost_usd: out.baseline_cost_usd,
+        shifted_cost_usd: out.shifted_cost_usd,
+        uniform_cost_usd: out.uniform_cost_usd,
+        baseline_carbon_t: out.baseline_carbon_kg / 1e3,
+        shifted_carbon_t: out.shifted_carbon_kg / 1e3,
+    };
+
+    Ok(EconArtifact {
+        focus,
+        slots: series.num_slots(),
+        total_gpu_mwh: series.total_gpu_j() / J_PER_MWH,
+        total_rest_mwh: series.total_rest_j() / J_PER_MWH,
+        ref_cost_usd,
+        ref_carbon_t,
+        rows,
+        sku_rows,
+        shift: shift_detail,
     })
 }

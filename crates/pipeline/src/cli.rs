@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use pmss_core::EnergyLedger;
+use pmss_econ::{EconSeries, EconTrace};
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, PRESETS};
 use pmss_gpu::{FleetMix, GpuSettings};
@@ -17,14 +18,17 @@ use pmss_sched::{catalog, generate, TraceParams};
 use pmss_stream::{StreamConfig, StreamEngine, StreamState};
 use pmss_telemetry::{
     fleet_window_blocks, simulate_fleet, simulate_fleet_with_cache, FleetCache, FleetConfig,
-    FleetObserver, ResidentFleet,
+    FleetObserver, Pair, ResidentFleet,
 };
 
 use crate::artifact::ArtifactId;
 use crate::json::Json;
 use crate::metrics::{manifest, manifest_to_json, metrics_env_enabled, metrics_to_json};
 use crate::render::{bounds_json, coverage_json};
-use crate::spec::{fault_plan_from_json, fault_plan_to_json, ScalePreset, ScenarioSpec, SCALE_ENV};
+use crate::spec::{
+    econ_trace_from_json, econ_trace_to_json, fault_plan_from_json, fault_plan_to_json,
+    ScalePreset, ScenarioSpec, SCALE_ENV,
+};
 use crate::stage::Pipeline;
 
 /// Runs the CLI for `args` (argv without the program name) and returns
@@ -38,6 +42,7 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     let mut spec_path: Option<String> = None;
     let mut faults_arg: Option<String> = None;
     let mut mix_arg: Option<String> = None;
+    let mut econ_arg: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -49,6 +54,7 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
             "--spec" => spec_path = Some(flag_value(&mut it, "--spec")?),
             "--faults" => faults_arg = Some(flag_value(&mut it, "--faults")?),
             "--mix" => mix_arg = Some(flag_value(&mut it, "--mix")?),
+            "--econ" => econ_arg = Some(flag_value(&mut it, "--econ")?),
             "-h" | "--help" | "help" => return Ok(help_text()),
             other if other.starts_with('-') => {
                 return Err(PmssError::Usage(format!(
@@ -80,6 +86,9 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
             ));
         }
         spec.fleet_mix = Some(value);
+    }
+    if let Some(value) = econ_arg.as_deref() {
+        spec.econ = Some(resolve_econ_trace(value)?);
     }
     if positional[0] == "query" {
         return query_cmd(&positional[1..], spec);
@@ -118,6 +127,11 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
     } else {
         None
     };
+    let econ_section = if json {
+        econ_envelope(&mut pipeline)?
+    } else {
+        None
+    };
     let report = metrics_flag.then(|| {
         let man = manifest(&positional.join(" "), pipeline.spec(), sw.elapsed_s());
         let m = pipeline.metrics_report().expect("metrics enabled");
@@ -130,6 +144,9 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
             .field("data", artifact.to_json());
         if let Some(f) = faults_section {
             envelope = envelope.field("faults", f);
+        }
+        if let Some(e) = econ_section {
+            envelope = envelope.field("econ", e);
         }
         if let Some((man, m)) = &report {
             envelope = envelope
@@ -157,16 +174,21 @@ pub fn run(args: &[String]) -> Result<String, PmssError> {
 /// accumulation order, same bytes.
 fn query_cmd(rest: &[String], spec: ScenarioSpec) -> Result<String, PmssError> {
     let q = crate::query::Query::from_args(rest)?;
+    let econ = spec.active_econ().cloned();
     let mut p = Pipeline::new(spec)?;
     p.fleet()?;
     p.table3()?;
     let cfg = p.fleet_config();
     let fleet = p.fleet.as_ref().expect("fleet stage just ran");
     let resident = ResidentFleet::capture(&fleet.schedule, &cfg)?;
-    let ledger: EnergyLedger = resident.replay(&fleet.schedule)?;
-    let state = StreamState::new(ledger, fleet.frontier_factor);
+    // Replay into the same paired observer the daemon's ingest engine
+    // runs: the ledger member's fold is unchanged by pairing, and the
+    // econ series rides along so `pmss query econ` answers from the
+    // identical per-slot accumulation the daemon snapshots.
+    let pair: Pair<EnergyLedger, EconSeries> = resident.replay(&fleet.schedule)?;
+    let state = StreamState::with_econ(pair.a, pair.b, fleet.frontier_factor);
     let t3 = p.table3.as_ref().expect("table3 stage just ran");
-    Ok(crate::query::answer(&state, t3, &q)?.to_string_pretty())
+    Ok(crate::query::answer(&state, t3, econ.as_ref(), &q)?.to_string_pretty())
 }
 
 /// The `stats` subcommand: run the full staged pipeline (fleet, benchmark,
@@ -204,6 +226,51 @@ pub fn resolve_fault_plan(value: &str) -> Result<FaultPlan, PmssError> {
         )
     })?;
     fault_plan_from_json(&Json::parse(&text)?)
+}
+
+/// Resolves an `--econ` value: a trace preset name, or the path of a
+/// JSON file holding a full [`EconTrace`].  Shared with the `pmssd`
+/// client so both front ends accept the same vocabulary.
+pub fn resolve_econ_trace(value: &str) -> Result<EconTrace, PmssError> {
+    if let Some(trace) = EconTrace::preset(value) {
+        return Ok(trace);
+    }
+    let text = std::fs::read_to_string(value).map_err(|_| {
+        PmssError::invalid_value(
+            "--econ",
+            value,
+            "flat | diurnal | duck-curve | grid-2024 | a readable EconTrace JSON file",
+        )
+    })?;
+    econ_trace_from_json(&Json::parse(&text)?)
+}
+
+/// The JSON envelope's `econ` section: the active trace and the
+/// trace-priced cost/carbon of the fleet energy, next to the flat-trace
+/// reference.  `None` when no active trace is set (or it is a no-op
+/// flat trace) or the artifact never ran the fleet stage — omission
+/// keeps every historical JSON envelope byte-identical.
+fn econ_envelope(p: &mut Pipeline) -> Result<Option<Json>, PmssError> {
+    let Some(trace) = p.spec().active_econ().cloned() else {
+        return Ok(None);
+    };
+    let Some((series, factor)) = p
+        .fleet
+        .as_ref()
+        .map(|f| (f.econ.clone(), f.frontier_factor))
+    else {
+        return Ok(None);
+    };
+    let scaled = series.scaled(factor)?;
+    let flat = EconTrace::flat();
+    Ok(Some(
+        Json::obj()
+            .field("trace", econ_trace_to_json(&trace))
+            .field("cost_usd", scaled.cost_usd(&trace))
+            .field("carbon_t", scaled.carbon_kg(&trace) / 1e3)
+            .field("ref_cost_usd", scaled.cost_usd(&flat))
+            .field("ref_carbon_t", scaled.carbon_kg(&flat) / 1e3),
+    ))
 }
 
 /// The JSON envelope's `faults` section: the active plan, the per-mode
@@ -329,13 +396,13 @@ fn help_text() -> String {
          USAGE:\n\
          \x20   pmss fig <2..10> [OPTIONS]       a paper figure\n\
          \x20   pmss table <1..7> [OPTIONS]      a paper table\n\
-         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity | faults | stream | govern | components\n\
+         \x20   pmss <EXTENSION> [OPTIONS]       validate | whatif | governor | peakpower | sensitivity | faults | stream | govern | components | econ\n\
          \x20   pmss list                        list every artifact\n\
          \x20   pmss spec [OPTIONS]              print the resolved scenario\n\
          \x20   pmss stats [OPTIONS]             run the full pipeline, report metrics only\n\
          \x20   pmss query <WHAT> [OPTIONS]      batch-replay query (the pmssd differential\n\
          \x20                                    comparator): projection | coverage | ledger |\n\
-         \x20                                    whatif <freq_mhz|power_w> <VALUE>\n\
+         \x20                                    econ | whatif <freq_mhz|power_w> <VALUE>\n\
          \x20   pmss serve [OPTIONS]             run the pmssd analysis daemon (see pmss serve --help)\n\
          \x20   pmss client <CMD> [OPTIONS]      drive a running daemon (ingest, query, metrics)\n\
          \x20   pmss bench-fleet [PATH]          fleet-simulation throughput benchmark\n\
@@ -353,6 +420,10 @@ fn help_text() -> String {
          \x20   --mix <NAME>     heterogeneous SKU mix for every fleet run:\n\
          \x20                    single-sku | mixed-50-50 | mixed-datacenter\n\
          \x20                    (`single-sku` is bit-identical to omitting the flag)\n\
+         \x20   --econ <TRACE>   price/carbon trace for cost and CO2 accounting:\n\
+         \x20                    flat | diurnal | duck-curve | grid-2024, or an\n\
+         \x20                    EconTrace JSON file (`flat` is bit-identical to\n\
+         \x20                    omitting the flag)\n\
          \x20   -h, --help       this help\n"
     )
 }
@@ -682,6 +753,28 @@ mod tests {
                 .len(),
             5
         );
+    }
+
+    #[test]
+    fn econ_artifact_and_query_share_the_trace_vocabulary() {
+        let ascii = run(&args(&["econ", "--scale", "quick", "--econ", "diurnal"])).unwrap();
+        assert!(ascii.contains("diurnal"), "{ascii}");
+        let q = run(&args(&[
+            "query", "econ", "--scale", "quick", "--econ", "diurnal",
+        ]))
+        .unwrap();
+        let v = Json::parse(&q).unwrap();
+        assert_eq!(v.get("trace").unwrap().as_str(), Some("diurnal"));
+        // No active trace: the query is a typed error, not a panic.
+        assert!(matches!(
+            run(&args(&["query", "econ", "--scale", "quick"])),
+            Err(PmssError::Missing { .. })
+        ));
+        // Unknown trace vocabulary is rejected up front.
+        assert!(matches!(
+            run(&args(&["econ", "--scale", "quick", "--econ", "bogus"])),
+            Err(PmssError::InvalidValue { .. })
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! resident-store replay (`pmss query …`); the daemon builds its from the
 //! ingest engine's published snapshot; both then call [`answer`].
 
+use pmss_econ::{shift, EconTrace};
 use pmss_error::PmssError;
 use pmss_stream::StreamState;
 use pmss_workloads::{CapSetting, Table3};
@@ -30,6 +31,9 @@ pub enum Query {
     /// What-if reprojection: the projection row for one cap setting on
     /// the spec's ladder.
     WhatIf(CapSetting),
+    /// Cost/CO₂ of the ingested energy under the scenario's econ trace,
+    /// with the temporal-shifting what-if.
+    Econ,
 }
 
 impl Query {
@@ -40,21 +44,23 @@ impl Query {
             Query::Coverage => "coverage",
             Query::Ledger => "ledger",
             Query::WhatIf(_) => "whatif",
+            Query::Econ => "econ",
         }
     }
 
     /// Parses the CLI positional form: `projection | coverage | ledger |
-    /// whatif <freq_mhz|power_w> <VALUE>`.
+    /// econ | whatif <freq_mhz|power_w> <VALUE>`.
     pub fn from_args(args: &[String]) -> Result<Query, PmssError> {
         match args {
             [kind] if kind == "projection" => Ok(Query::Projection),
             [kind] if kind == "coverage" => Ok(Query::Coverage),
             [kind] if kind == "ledger" => Ok(Query::Ledger),
+            [kind] if kind == "econ" => Ok(Query::Econ),
             [kind, knob, value] if kind == "whatif" => {
                 Ok(Query::WhatIf(parse_setting(knob, value)?))
             }
             _ => Err(PmssError::Usage(
-                "query takes: projection | coverage | ledger | \
+                "query takes: projection | coverage | ledger | econ | \
                  whatif <freq_mhz|power_w> <VALUE>"
                     .to_string(),
             )),
@@ -73,6 +79,7 @@ impl Query {
             "projection" => Ok(Query::Projection),
             "coverage" => Ok(Query::Coverage),
             "ledger" => Ok(Query::Ledger),
+            "econ" => Ok(Query::Econ),
             "whatif" => {
                 let knob = v
                     .get("knob")
@@ -124,9 +131,52 @@ fn parse_setting(knob: &str, value: &str) -> Result<CapSetting, PmssError> {
 }
 
 /// Answers `query` against `state` — the single render path both the
-/// batch CLI and the daemon go through (see module docs).
-pub fn answer(state: &StreamState, table3: &Table3, query: &Query) -> Result<Json, PmssError> {
+/// batch CLI and the daemon go through (see module docs).  `econ` is the
+/// scenario's active trace; `Query::Econ` needs both it and a state whose
+/// ingest path accumulated the per-slot series.
+pub fn answer(
+    state: &StreamState,
+    table3: &Table3,
+    econ: Option<&EconTrace>,
+    query: &Query,
+) -> Result<Json, PmssError> {
     match query {
+        Query::Econ => {
+            let trace = econ.ok_or_else(|| {
+                PmssError::missing(
+                    "econ trace",
+                    "the scenario carries no active econ trace (pass --econ)",
+                )
+            })?;
+            let series = state.econ().ok_or_else(|| {
+                PmssError::missing(
+                    "econ series",
+                    "this state's ingest path accumulated no per-slot series",
+                )
+            })?;
+            let scaled = series.scaled(state.frontier_factor())?;
+            let flat = EconTrace::flat();
+            let out = shift(&scaled, trace)?;
+            Ok(Json::obj()
+                .field("trace", trace.name.as_str())
+                .field("slots", scaled.num_slots())
+                .field("total_gpu_mwh", scaled.total_gpu_j() / 3.6e9)
+                .field("cost_usd", out.baseline_cost_usd)
+                .field("carbon_t", out.baseline_carbon_kg / 1e3)
+                .field("ref_cost_usd", scaled.cost_usd(&flat))
+                .field("ref_carbon_t", scaled.carbon_kg(&flat) / 1e3)
+                .field(
+                    "shift",
+                    Json::obj()
+                        .field("deadline_slots", out.deadline_slots)
+                        .field("budget_mw", out.budget_w / 1e6)
+                        .field("moved_mwh", out.moved_mwh)
+                        .field("moves", out.moves.len())
+                        .field("shifted_cost_usd", out.shifted_cost_usd)
+                        .field("uniform_cost_usd", out.uniform_cost_usd)
+                        .field("shifted_carbon_t", out.shifted_carbon_kg / 1e3),
+                ))
+        }
         Query::Projection => Ok(projection_json(&state.projection(table3)?)),
         Query::Coverage => Ok(Json::obj()
             .field("coverage", coverage_json(&state.coverage()))
@@ -187,10 +237,11 @@ mod tests {
 
     #[test]
     fn cli_and_wire_forms_agree() {
-        let cases: [(&[&str], Query); 4] = [
+        let cases: [(&[&str], Query); 5] = [
             (&["projection"], Query::Projection),
             (&["coverage"], Query::Coverage),
             (&["ledger"], Query::Ledger),
+            (&["econ"], Query::Econ),
             (
                 &["whatif", "power_w", "400"],
                 Query::WhatIf(CapSetting::PowerW(400.0)),

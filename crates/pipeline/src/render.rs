@@ -74,6 +74,7 @@ pub(crate) fn ascii(a: &Artifact) -> String {
         Artifact::Stream(v) => ascii_stream(v),
         Artifact::Govern(v) => ascii_govern(v),
         Artifact::Components(v) => ascii_components(v),
+        Artifact::Econ(v) => ascii_econ(v),
     }
 }
 
@@ -105,6 +106,7 @@ pub(crate) fn json(a: &Artifact) -> Json {
         Artifact::Stream(v) => json_stream(v),
         Artifact::Govern(v) => json_govern(v),
         Artifact::Components(v) => json_components(v),
+        Artifact::Econ(v) => json_econ(v),
     }
 }
 
@@ -640,6 +642,25 @@ fn ascii_whatif(a: &Whatif) -> String {
             None => wl!(out, "  {:<4} -> uncapped", d.code),
         }
     }
+    if let Some(e) = &a.econ {
+        wl!(out);
+        wl!(
+            out,
+            "savings valued under the `{}` trace (total ${:.0}, {:.1} t CO2):",
+            e.trace,
+            e.total_cost_usd,
+            e.total_carbon_t
+        );
+        let mut tb = Table::new(&["dT budget %", "mixed saves $", "mixed saves t CO2"]);
+        for r in &e.rows {
+            tb.row(vec![
+                format!("{:.0}", r.budget_pct),
+                format!("{:.0}", r.mixed_saving_usd),
+                format!("{:.1}", r.mixed_saving_t),
+            ]);
+        }
+        wl!(out, "{}", tb.render());
+    }
     out
 }
 
@@ -1023,6 +1044,88 @@ fn ascii_components(a: &ComponentsArtifact) -> String {
         out,
         "  component lanes conserve device energy to max rel err {:.1e}",
         max_err
+    );
+    out
+}
+
+fn ascii_econ(a: &EconArtifact) -> String {
+    let mut out = String::new();
+    wl!(
+        out,
+        "price/carbon economics of the fleet energy (Frontier scale):"
+    );
+    wl!(
+        out,
+        "  {} GPU MWh + {} rest-of-node MWh over {} slots; flat reference ${:.0} / {:.1} t CO2",
+        format!("{:.1}", a.total_gpu_mwh),
+        format!("{:.1}", a.total_rest_mwh),
+        a.slots,
+        a.ref_cost_usd,
+        a.ref_carbon_t
+    );
+    wl!(out);
+    let mut tb = Table::new(&[
+        "trace",
+        "cost $",
+        "d cost $",
+        "CO2 t",
+        "d CO2 t",
+        "shift $",
+        "shift t",
+        "vs uniform $",
+        "moved MWh",
+    ]);
+    for r in &a.rows {
+        tb.row(vec![
+            r.trace.clone(),
+            format!("{:.0}", r.cost_usd),
+            format!("{:+.0}", r.delta_cost_usd),
+            format!("{:.1}", r.carbon_t),
+            format!("{:+.1}", r.delta_carbon_t),
+            format!("{:.0}", r.shift_saving_usd),
+            format!("{:.1}", r.shift_saving_t),
+            format!("{:+.0}", r.shift_edge_usd),
+            format!("{:.1}", r.moved_mwh),
+        ]);
+    }
+    wl!(out, "{}", tb.render());
+    wl!(out, "per-SKU lanes under the `{}` trace:", a.focus);
+    for r in &a.sku_rows {
+        wl!(
+            out,
+            "  {:<10} {:>11.3} MWh  ${:>12.0}  {:>9.1} t CO2",
+            format!("{} {}", r.sku, r.name),
+            r.gpu_mwh,
+            r.cost_usd,
+            r.carbon_t
+        );
+    }
+    wl!(out);
+    wl!(
+        out,
+        "temporal shift under `{}` (deadline {} slots, budget {:.1} MW):",
+        a.focus,
+        a.shift.deadline_slots,
+        a.shift.budget_mw
+    );
+    wl!(
+        out,
+        "  moved {:.1} MWh in {} moves: ${:.0} -> ${:.0} (uniform ${:.0}); {:.1} -> {:.1} t CO2",
+        a.shift.moved_mwh,
+        a.shift.moves,
+        a.shift.baseline_cost_usd,
+        a.shift.shifted_cost_usd,
+        a.shift.uniform_cost_usd,
+        a.shift.baseline_carbon_t,
+        a.shift.shifted_carbon_t
+    );
+    wl!(
+        out,
+        "Extension result: the same MWh are worth different money by trace;"
+    );
+    wl!(
+        out,
+        "deferring boosted work inside its deadline beats uniform spreading."
     );
     out
 }
@@ -1494,7 +1597,7 @@ fn json_validate(a: &Validate) -> Json {
 }
 
 fn json_whatif(a: &Whatif) -> Json {
-    Json::obj()
+    let j = Json::obj()
         .field(
             "budgets",
             Json::Arr(
@@ -1524,7 +1627,33 @@ fn json_whatif(a: &Whatif) -> Json {
                     })
                     .collect(),
             ),
-        )
+        );
+    // The econ section is emitted only when a trace was active, so the
+    // historical whatif JSON keeps its exact bytes otherwise.
+    match &a.econ {
+        None => j,
+        Some(e) => j.field(
+            "econ",
+            Json::obj()
+                .field("trace", e.trace.as_str())
+                .field("total_cost_usd", e.total_cost_usd)
+                .field("total_carbon_t", e.total_carbon_t)
+                .field(
+                    "budgets",
+                    Json::Arr(
+                        e.rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj()
+                                    .field("budget_pct", r.budget_pct)
+                                    .field("mixed_saving_usd", r.mixed_saving_usd)
+                                    .field("mixed_saving_t", r.mixed_saving_t)
+                            })
+                            .collect(),
+                    ),
+                ),
+        ),
+    }
 }
 
 fn json_governor(a: &GovernorArtifact) -> Json {
@@ -1712,6 +1841,65 @@ fn json_govern(a: &GovernArtifact) -> Json {
                     })
                     .collect(),
             ),
+        )
+}
+
+fn json_econ(a: &EconArtifact) -> Json {
+    Json::obj()
+        .field("focus", a.focus.as_str())
+        .field("slots", a.slots)
+        .field("total_gpu_mwh", a.total_gpu_mwh)
+        .field("total_rest_mwh", a.total_rest_mwh)
+        .field("ref_cost_usd", a.ref_cost_usd)
+        .field("ref_carbon_t", a.ref_carbon_t)
+        .field(
+            "traces",
+            Json::Arr(
+                a.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("trace", r.trace.as_str())
+                            .field("cost_usd", r.cost_usd)
+                            .field("delta_cost_usd", r.delta_cost_usd)
+                            .field("carbon_t", r.carbon_t)
+                            .field("delta_carbon_t", r.delta_carbon_t)
+                            .field("shift_saving_usd", r.shift_saving_usd)
+                            .field("shift_saving_t", r.shift_saving_t)
+                            .field("shift_edge_over_uniform_usd", r.shift_edge_usd)
+                            .field("moved_mwh", r.moved_mwh)
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "skus",
+            Json::Arr(
+                a.sku_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("sku", r.sku as u64)
+                            .field("name", r.name)
+                            .field("gpu_mwh", r.gpu_mwh)
+                            .field("cost_usd", r.cost_usd)
+                            .field("carbon_t", r.carbon_t)
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "shift",
+            Json::obj()
+                .field("deadline_slots", a.shift.deadline_slots)
+                .field("budget_mw", a.shift.budget_mw)
+                .field("moved_mwh", a.shift.moved_mwh)
+                .field("moves", a.shift.moves)
+                .field("baseline_cost_usd", a.shift.baseline_cost_usd)
+                .field("shifted_cost_usd", a.shift.shifted_cost_usd)
+                .field("uniform_cost_usd", a.shift.uniform_cost_usd)
+                .field("baseline_carbon_t", a.shift.baseline_carbon_t)
+                .field("shifted_carbon_t", a.shift.shifted_carbon_t),
         )
 }
 

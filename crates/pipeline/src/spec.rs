@@ -10,6 +10,7 @@
 //! silent fall back to `quick`.
 
 use pmss_core::sensitivity::Boundaries;
+use pmss_econ::EconTrace;
 use pmss_error::PmssError;
 use pmss_faults::{FaultPlan, GapPolicy};
 use pmss_govern::{GovernorPlan, Policy};
@@ -104,6 +105,11 @@ pub struct ScenarioSpec {
     /// every node; `None` (the presets' value) is the homogeneous fleet —
     /// every node is SKU 0, bit-identical to the pre-catalog simulator.
     pub fleet_mix: Option<String>,
+    /// Price/carbon trace the economics layer integrates fleet energy
+    /// against; `None` (the presets' value) computes no economics, and a
+    /// `flat` trace at the reference price is treated identically (it
+    /// prices every slot the same, so every delta it reports is zero).
+    pub econ: Option<EconTrace>,
 }
 
 impl ScenarioSpec {
@@ -123,6 +129,7 @@ impl ScenarioSpec {
             faults: None,
             govern: None,
             fleet_mix: None,
+            econ: None,
         }
     }
 
@@ -210,6 +217,9 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if let Some(trace) = &self.econ {
+            trace.validate()?;
+        }
         Ok(())
     }
 
@@ -225,6 +235,13 @@ impl ScenarioSpec {
         self.fleet_mix
             .as_deref()
             .filter(|name| FleetMix::preset(name).is_some_and(|m| !m.is_homogeneous()))
+    }
+
+    /// The econ trace in force, when it actually varies price or carbon
+    /// (a `flat` trace at the reference values is spelled-out inertness,
+    /// so it stays as inert as `None`).
+    pub fn active_econ(&self) -> Option<&EconTrace> {
+        self.econ.as_ref().filter(|t| !t.is_noop())
     }
 
     /// Resolves the named mix to the node→SKU mapping the fleet stage
@@ -295,8 +312,14 @@ impl ScenarioSpec {
         };
         // Like `faults`, the mix is emitted only when it changes anything,
         // so homogeneous specs keep their historical byte-exact JSON shape.
-        match self.active_mix() {
+        let j = match self.active_mix() {
             Some(name) => j.field("fleet_mix", name),
+            None => j,
+        };
+        // Same rule for the econ trace: a no-op (flat reference) trace
+        // serializes as omission.
+        match self.active_econ() {
+            Some(trace) => j.field("econ", econ_trace_to_json(trace)),
             None => j,
         }
     }
@@ -380,6 +403,10 @@ impl ScenarioSpec {
                     .to_string(),
             ),
         };
+        let econ = match v.get("econ") {
+            None => None,
+            Some(j) => Some(econ_trace_from_json(j)?),
+        };
         let spec = ScenarioSpec {
             name,
             nodes: int("nodes", base.nodes as u64)? as usize,
@@ -396,6 +423,7 @@ impl ScenarioSpec {
             faults,
             govern,
             fleet_mix,
+            econ,
         };
         spec.validate()?;
         Ok(spec)
@@ -471,6 +499,98 @@ pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, PmssError> {
     };
     plan.validate()?;
     Ok(plan)
+}
+
+/// Serializes an econ trace to a JSON value.
+pub fn econ_trace_to_json(trace: &EconTrace) -> Json {
+    Json::obj()
+        .field("name", trace.name.as_str())
+        .field("bucket_s", trace.bucket_s)
+        .field("price_usd_per_mwh", trace.price_usd_per_mwh.as_slice())
+        .field("carbon_g_per_kwh", trace.carbon_g_per_kwh.as_slice())
+        .field("shift_deadline_slots", trace.shift_deadline_slots as u64)
+        .field("shift_budget_frac", trace.shift_budget_frac)
+}
+
+/// Deserializes and validates an econ trace from a JSON value.  A bare
+/// `{"preset": "diurnal"}` expands the named preset (shift knobs may
+/// still be overridden alongside it); otherwise missing fields fall back
+/// to the `flat` trace's values, so a file may spell out only the series
+/// it changes.
+pub fn econ_trace_from_json(v: &Json) -> Result<EconTrace, PmssError> {
+    let base = match v.get("preset") {
+        None => EconTrace::flat(),
+        Some(j) => {
+            let name = j.as_str().ok_or_else(|| {
+                PmssError::malformed("json", "econ field `preset` must be a string")
+            })?;
+            EconTrace::preset(name).ok_or_else(|| {
+                PmssError::invalid_value(
+                    "econ field `preset`",
+                    name,
+                    EconTrace::preset_names().join(" | "),
+                )
+            })?
+        }
+    };
+    let num = |key: &str, fallback: f64| -> Result<f64, PmssError> {
+        match v.get(key) {
+            None => Ok(fallback),
+            Some(j) => j.as_f64().ok_or_else(|| {
+                PmssError::malformed("json", format!("econ field `{key}` must be a number"))
+            }),
+        }
+    };
+    let arr = |key: &str, fallback: &[f64]| -> Result<Vec<f64>, PmssError> {
+        match v.get(key) {
+            None => Ok(fallback.to_vec()),
+            Some(j) => j
+                .as_arr()
+                .and_then(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<_>>>())
+                .ok_or_else(|| {
+                    PmssError::malformed(
+                        "json",
+                        format!("econ field `{key}` must be an array of numbers"),
+                    )
+                }),
+        }
+    };
+    // Counts must not wrap through an `as u32` cast before validation.
+    let deadline = {
+        let n = num("shift_deadline_slots", base.shift_deadline_slots as f64)?;
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        if !(n.fract() == 0.0 && (0.0..=MAX_EXACT).contains(&n)) {
+            return Err(PmssError::invalid_value(
+                "econ field `shift_deadline_slots`",
+                format!("{n}"),
+                "a non-negative integer representable exactly in JSON (<= 2^53)",
+            ));
+        }
+        u32::try_from(n as u64).map_err(|_| {
+            PmssError::invalid_value(
+                "econ field `shift_deadline_slots`",
+                "overflow",
+                "a u32 count",
+            )
+        })?
+    };
+    let name = match v.get("name") {
+        None => base.name.clone(),
+        Some(j) => j
+            .as_str()
+            .ok_or_else(|| PmssError::malformed("json", "econ field `name` must be a string"))?
+            .to_string(),
+    };
+    let trace = EconTrace {
+        name,
+        bucket_s: num("bucket_s", base.bucket_s)?,
+        price_usd_per_mwh: arr("price_usd_per_mwh", &base.price_usd_per_mwh)?,
+        carbon_g_per_kwh: arr("carbon_g_per_kwh", &base.carbon_g_per_kwh)?,
+        shift_deadline_slots: deadline,
+        shift_budget_frac: num("shift_budget_frac", base.shift_budget_frac)?,
+    };
+    trace.validate()?;
+    Ok(trace)
 }
 
 /// Serializes a governor plan to a JSON value.  Optional fields (`budget_w`,
@@ -769,6 +889,71 @@ mod tests {
         );
         assert_eq!(single.resolved_mix(), clean.resolved_mix());
         assert!(single.active_mix().is_none());
+    }
+
+    #[test]
+    fn econ_trace_round_trips_through_spec_json() {
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.econ = Some(EconTrace::preset("duck-curve").unwrap());
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // A bare preset reference expands, and shift knobs override it.
+        let j =
+            Json::parse(r#"{"econ": {"preset": "diurnal", "shift_deadline_slots": 8}}"#).unwrap();
+        let s = ScenarioSpec::from_json(&j).unwrap();
+        let trace = s.econ.unwrap();
+        assert_eq!(trace.name, "diurnal");
+        assert_eq!(trace.shift_deadline_slots, 8);
+        assert_eq!(
+            trace.price_usd_per_mwh,
+            EconTrace::preset("diurnal").unwrap().price_usd_per_mwh
+        );
+    }
+
+    #[test]
+    fn noop_econ_traces_keep_the_historical_spec_json() {
+        let clean = ScenarioSpec::preset(ScalePreset::Quick);
+        assert!(
+            !clean.to_json().to_string_pretty().contains("econ"),
+            "preset specs must keep their historical JSON shape"
+        );
+        // A flat trace at the reference price is spelled-out inertness:
+        // same bytes as omission, and `active_econ` treats it as absent.
+        let mut flat = clean.clone();
+        flat.econ = Some(EconTrace::flat());
+        flat.validate().unwrap();
+        assert_eq!(
+            clean.to_json().to_string_pretty(),
+            flat.to_json().to_string_pretty(),
+            "a no-op trace must not change the serialized spec"
+        );
+        assert!(flat.active_econ().is_none());
+        let mut active = clean;
+        active.econ = Some(EconTrace::preset("diurnal").unwrap());
+        assert!(active.active_econ().is_some());
+    }
+
+    #[test]
+    fn invalid_econ_traces_are_rejected() {
+        for body in [
+            r#"{"econ": {"preset": "tou-winter"}}"#,
+            r#"{"econ": {"price_usd_per_mwh": []}}"#,
+            r#"{"econ": {"price_usd_per_mwh": [60.0, -5.0]}}"#,
+            r#"{"econ": {"bucket_s": 1000.0}}"#,
+            r#"{"econ": {"shift_deadline_slots": 2.5}}"#,
+            r#"{"econ": {"shift_deadline_slots": -1}}"#,
+            r#"{"econ": {"shift_budget_frac": 0.0}}"#,
+            r#"{"econ": {"carbon_g_per_kwh": "low"}}"#,
+        ] {
+            let j = Json::parse(body).unwrap();
+            assert!(ScenarioSpec::from_json(&j).is_err(), "{body}");
+        }
+        let mut s = ScenarioSpec::preset(ScalePreset::Quick);
+        s.econ = Some(EconTrace {
+            price_usd_per_mwh: vec![f64::NAN],
+            ..EconTrace::flat()
+        });
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use pmss_core::project::{project, Projection, ProjectionInput};
 use pmss_core::EnergyLedger;
+use pmss_econ::EconSeries;
 use pmss_error::PmssError;
 use pmss_gpu::Engine;
 use pmss_obs::{edges, Metrics, Stopwatch};
@@ -34,6 +35,10 @@ pub struct FleetArtifacts {
     pub per_domain: DomainHistograms,
     /// Tables IV–VI / Fig. 10: the modal-decomposition ledger.
     pub ledger: EnergyLedger,
+    /// Per-slot economics lanes accumulated alongside the ledger (always
+    /// collected — integrating it against a trace happens at render time,
+    /// so the fleet stage stays scenario-shaped, not trace-shaped).
+    pub econ: EconSeries,
     /// Extrapolation factor to full-Frontier three-month MWh.
     pub frontier_factor: f64,
 }
@@ -281,7 +286,10 @@ impl Pipeline {
         let sw = Stopwatch::start();
         let domains = catalog();
         let schedule = generate(self.spec.trace_params(), &domains);
-        type Obs = Pair<Pair<SystemHistogram, DomainHistograms>, EnergyLedger>;
+        // Pairing the econ series changes no ledger/histogram operation:
+        // `Pair` forwards each event to both members independently, so the
+        // historical observers stay bit-identical with the series along.
+        type Obs = Pair<Pair<SystemHistogram, DomainHistograms>, Pair<EnergyLedger, EconSeries>>;
         let cfg = self.fleet_config();
         let obs: Obs = metered_sim(&schedule, &cfg, &self.cache, self.metrics.as_mut());
         self.fleet = Some(FleetArtifacts {
@@ -289,7 +297,8 @@ impl Pipeline {
             domains,
             system: obs.a.a,
             per_domain: obs.a.b,
-            ledger: obs.b,
+            ledger: obs.b.a,
+            econ: obs.b.b,
             frontier_factor: self.spec.frontier_factor(),
         });
         if let Some(m) = self.metrics.as_mut() {

@@ -7,7 +7,7 @@
 //! CLI is the smoke test.
 
 use pmss_error::PmssError;
-use pmss_pipeline::cli::{resolve_fault_plan, resolve_spec};
+use pmss_pipeline::cli::{resolve_econ_trace, resolve_fault_plan, resolve_spec};
 use pmss_pipeline::query::Query;
 use pmss_pipeline::spec::ScenarioSpec;
 
@@ -25,11 +25,11 @@ pmssd — streaming multi-tenant analysis daemon
       address is 127.0.0.1:7878.
 
   pmss client ingest --tenant NAME [--addr ADDR] [--scale PRESET]
-             [--spec FILE] [--faults PRESET]
+             [--spec FILE] [--faults PRESET] [--econ TRACE]
       Create/bind the tenant and stream its campaign telemetry.
 
   pmss client query --tenant NAME [--addr ADDR] \
-projection|coverage|ledger|whatif KNOB VALUE
+projection|coverage|ledger|econ|whatif KNOB VALUE
       Query the tenant's published snapshot (byte-identical to
       `pmss query` over the same events).
 
@@ -101,6 +101,7 @@ pub fn run_client(args: &[String]) -> Result<String, PmssError> {
     let mut scale: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut faults: Option<String> = None;
+    let mut econ: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -110,6 +111,7 @@ pub fn run_client(args: &[String]) -> Result<String, PmssError> {
             "--scale" => scale = Some(flag_value(&mut it, "--scale")?),
             "--spec" => spec_path = Some(flag_value(&mut it, "--spec")?),
             "--faults" => faults = Some(flag_value(&mut it, "--faults")?),
+            "--econ" => econ = Some(flag_value(&mut it, "--econ")?),
             "-h" | "--help" => return Ok(help_text()),
             other if other.starts_with('-') => {
                 return Err(PmssError::Usage(format!(
@@ -130,6 +132,9 @@ pub fn run_client(args: &[String]) -> Result<String, PmssError> {
             if let Some(value) = faults.as_deref() {
                 spec.faults = Some(resolve_fault_plan(value)?);
             }
+            if let Some(value) = econ.as_deref() {
+                spec.econ = Some(resolve_econ_trace(value)?);
+            }
             let mut conn = connect(&target)?;
             conn.open(&tenant, Some(&spec)).map_err(PmssError::from)?;
             let report = client::ingest_campaign(&mut conn, &spec)?;
@@ -142,7 +147,7 @@ pub fn run_client(args: &[String]) -> Result<String, PmssError> {
             let tenant = require_tenant(tenant)?;
             let q = Query::from_args(&positional[1..])?;
             let mut conn = connect(&target)?;
-            conn.open(&tenant, open_spec(scale, spec_path, faults)?.as_ref())
+            conn.open(&tenant, open_spec(scale, spec_path, faults, econ)?.as_ref())
                 .map_err(PmssError::from)?;
             Ok(conn.query(&q).map_err(PmssError::from)?)
         }
@@ -178,6 +183,7 @@ fn open_spec(
     scale: Option<String>,
     spec_path: Option<String>,
     faults: Option<String>,
+    econ: Option<String>,
 ) -> Result<Option<ScenarioSpec>, PmssError> {
     if scale.is_none() && spec_path.is_none() {
         return Ok(None);
@@ -185,6 +191,9 @@ fn open_spec(
     let mut spec = resolve_spec(scale.as_deref(), spec_path.as_deref())?;
     if let Some(value) = faults.as_deref() {
         spec.faults = Some(resolve_fault_plan(value)?);
+    }
+    if let Some(value) = econ.as_deref() {
+        spec.econ = Some(resolve_econ_trace(value)?);
     }
     Ok(Some(spec))
 }

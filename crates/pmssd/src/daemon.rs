@@ -436,7 +436,7 @@ fn handle_query(
     // Clone the published snapshot out from under the lock; the answer
     // is computed without blocking the writer.
     let state = shared.state.read().clone();
-    let answer = pmss_pipeline::query::answer(&state, &shared.table3, &q)
+    let answer = pmss_pipeline::query::answer(&state, &shared.table3, shared.econ.as_ref(), &q)
         .map_err(|e| (code::MALFORMED, e.to_string()))?;
     Ok(answer.to_string_pretty().into_bytes())
 }

@@ -22,12 +22,14 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use pmss_columns::{CodecConfig, EncodedBlock};
 use pmss_core::EnergyLedger;
+use pmss_econ::{EconSeries, EconTrace};
 use pmss_error::PmssError;
 use pmss_obs::Metrics;
 use pmss_pipeline::spec::ScenarioSpec;
 use pmss_pipeline::stage::Pipeline;
 use pmss_sched::{catalog, generate};
 use pmss_stream::{StreamConfig, StreamEngine, StreamState, StreamStats};
+use pmss_telemetry::Pair;
 use pmss_workloads::Table3;
 use tokio::sync::mpsc;
 
@@ -53,6 +55,9 @@ pub struct TenantShared {
     pub name: String,
     /// The tenant's Table III — what-if and projection queries need it.
     pub table3: Table3,
+    /// The spec's active econ trace — `econ` queries price the ingested
+    /// energy against it (`None` when the scenario carries no trace).
+    pub econ: Option<EconTrace>,
     /// The published snapshot slot.  Readers `read().clone()` the `Arc`
     /// and drop the guard immediately.
     pub state: RwLock<Arc<StreamState>>,
@@ -112,6 +117,7 @@ pub fn spawn(name: &str, spec: &ScenarioSpec, cfg: TenantConfig) -> Result<Tenan
     let shared = Arc::new(TenantShared {
         name: name.to_string(),
         table3,
+        econ: spec.active_econ().cloned(),
         state: RwLock::new(Arc::new(StreamState::new(
             EnergyLedger::default(),
             frontier_factor,
@@ -124,14 +130,21 @@ pub fn spawn(name: &str, spec: &ScenarioSpec, cfg: TenantConfig) -> Result<Tenan
 
     let worker_shared = Arc::clone(&shared);
     let handle = tokio::task::spawn(async move {
-        let schedule = schedule; // owned by the worker; the engine borrows it
-        let Ok(mut engine) = StreamEngine::<EnergyLedger>::new(&schedule, stream_cfg) else {
+        // Owned by the worker; the engine borrows it.  The worker always
+        // runs the paired observer: the ledger member's accumulation is
+        // bit-identical to a ledger-only engine (each `Pair` member folds
+        // independently), and the econ series rides along so snapshots
+        // can answer `econ` queries.
+        let schedule = schedule;
+        let Ok(mut engine) =
+            StreamEngine::<Pair<EnergyLedger, EconSeries>>::new(&schedule, stream_cfg)
+        else {
             return; // validated above; unreachable in practice
         };
         let codec = CodecConfig::default();
         let mut since_publish = 0u64;
-        let publish = |engine: &StreamEngine<'_, EnergyLedger>| {
-            let state = Arc::new(StreamState::capture(engine, frontier_factor));
+        let publish = |engine: &StreamEngine<'_, Pair<EnergyLedger, EconSeries>>| {
+            let state = Arc::new(StreamState::capture_pair(engine, frontier_factor));
             *worker_shared.state.write() = state;
             *worker_shared.stats.write() = engine.stats();
             let mut m = Metrics::new();

@@ -9,7 +9,9 @@
 
 use pmss_core::project::{project, Projection, ProjectionInput, SavingsBounds};
 use pmss_core::{Coverage, EnergyLedger};
+use pmss_econ::EconSeries;
 use pmss_error::PmssError;
+use pmss_telemetry::Pair;
 use pmss_workloads::Table3;
 
 use crate::engine::{StreamEngine, StreamStats};
@@ -18,6 +20,7 @@ use crate::engine::{StreamEngine, StreamStats};
 #[derive(Debug, Clone)]
 pub struct StreamState {
     ledger: EnergyLedger,
+    econ: Option<EconSeries>,
     frontier_factor: f64,
 }
 
@@ -28,6 +31,17 @@ impl StreamState {
     pub fn new(ledger: EnergyLedger, frontier_factor: f64) -> StreamState {
         StreamState {
             ledger,
+            econ: None,
+            frontier_factor,
+        }
+    }
+
+    /// Wraps a snapshotted ledger plus the per-slot economics series
+    /// accumulated alongside it.
+    pub fn with_econ(ledger: EnergyLedger, econ: EconSeries, frontier_factor: f64) -> StreamState {
+        StreamState {
+            ledger,
+            econ: Some(econ),
             frontier_factor,
         }
     }
@@ -37,9 +51,33 @@ impl StreamState {
         StreamState::new(engine.snapshot(), frontier_factor)
     }
 
+    /// Snapshots a paired ledger + econ-series engine.  The ledger
+    /// component is bit-identical to what [`StreamState::capture`] yields
+    /// from a ledger-only engine over the same windows: `Pair` forwards
+    /// each event to both members independently and both are
+    /// channel-grouped, so pairing changes no ledger operation.
+    pub fn capture_pair(
+        engine: &StreamEngine<'_, Pair<EnergyLedger, EconSeries>>,
+        frontier_factor: f64,
+    ) -> StreamState {
+        let pair = engine.snapshot();
+        StreamState::with_econ(pair.a, pair.b, frontier_factor)
+    }
+
     /// The decomposition ledger over every ingested window.
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
+    }
+
+    /// The per-slot economics series, when the ingest path accumulated
+    /// one (see [`StreamState::capture_pair`]).
+    pub fn econ(&self) -> Option<&EconSeries> {
+        self.econ.as_ref()
+    }
+
+    /// The full-Frontier extrapolation factor this state projects with.
+    pub fn frontier_factor(&self) -> f64 {
+        self.frontier_factor
     }
 
     /// Per-mode coverage accounting of the ingested telemetry.
@@ -120,6 +158,36 @@ mod tests {
         // Clean telemetry: full coverage collapses the interval.
         assert_eq!(b.coverage, 1.0);
         assert_eq!(b.lo_pct, b.hi_pct);
+    }
+
+    #[test]
+    fn pairing_an_econ_series_leaves_the_ledger_bits_unchanged() {
+        let sched = generate(
+            TraceParams {
+                nodes: 3,
+                duration_s: 2.0 * 3600.0,
+                seed: 11,
+                ..TraceParams::default()
+            },
+            &catalog(),
+        );
+        let mut solo: StreamEngine<'_, EnergyLedger> =
+            StreamEngine::new(&sched, StreamConfig::default()).unwrap();
+        let mut paired: StreamEngine<'_, Pair<EnergyLedger, EconSeries>> =
+            StreamEngine::new(&sched, StreamConfig::default()).unwrap();
+        fleet_window_events(&sched, &FleetConfig::default(), |ev| {
+            solo.ingest(ev).unwrap();
+            paired.ingest(ev).unwrap();
+        });
+        solo.flush();
+        paired.flush();
+        let a = StreamState::capture(&solo, 2.0);
+        let b = StreamState::capture_pair(&paired, 2.0);
+        assert_eq!(format!("{:?}", a.ledger()), format!("{:?}", b.ledger()));
+        let econ = b.econ().expect("paired capture carries the series");
+        assert!(econ.total_gpu_j() > 0.0);
+        assert_eq!(b.frontier_factor(), 2.0);
+        assert!(a.econ().is_none());
     }
 
     #[test]

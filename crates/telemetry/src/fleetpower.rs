@@ -17,6 +17,11 @@ pub struct FleetPowerSeries {
 }
 
 impl FleetPowerSeries {
+    /// Hard ceiling on the window index: 1e9 fifteen-second windows is
+    /// ~475 simulated years, far past any real campaign.  A glitched
+    /// timestamp must not be able to demand an unbounded `resize`.
+    const MAX_SLOT: f64 = 1e9;
+
     fn slot(&mut self, t_s: f64) -> &mut f64 {
         let w = if self.window_s > 0.0 {
             self.window_s
@@ -24,11 +29,24 @@ impl FleetPowerSeries {
             15.0
         };
         self.window_s = w;
-        let idx = (t_s / w) as usize;
+        let idx = Self::slot_index(t_s, w);
         if self.totals_w.len() <= idx {
             self.totals_w.resize(idx + 1, 0.0);
         }
         &mut self.totals_w[idx]
+    }
+
+    /// Maps a sample timestamp to its window index.  An unchecked `as
+    /// usize` here saturates on NaN/negative/huge floats, but the
+    /// saturation point is `usize::MAX` — the resize in [`slot`] would
+    /// then be an instant OOM.  Clamp explicitly: hostile timestamps
+    /// land in slot 0 (non-finite, non-positive) or the capped tail
+    /// (overlarge); the cast happens only after both clamps.
+    fn slot_index(t_s: f64, w: f64) -> usize {
+        if !t_s.is_finite() || t_s <= 0.0 {
+            return 0;
+        }
+        (t_s / w).min(Self::MAX_SLOT) as usize
     }
 
     /// The aggregate series, watts per window.
@@ -181,6 +199,36 @@ mod tests {
             base.peak_w(),
             capped.peak_w()
         );
+    }
+
+    #[test]
+    fn hostile_timestamps_cannot_explode_the_series() {
+        let ctx = SampleCtx {
+            node: 0,
+            slot: 0,
+            sku: 0,
+            job: None,
+        };
+        let mut fp = FleetPowerSeries::default();
+        // NaN, infinities, and negatives all land in slot 0 instead of
+        // saturating the `as usize` cast at usize::MAX and OOMing the
+        // resize.
+        for t in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1e18, -0.0] {
+            fp.gpu_sample(&ctx, t, 100.0);
+            fp.node_sample(&ctx, t, 15.0, 50.0);
+        }
+        assert_eq!(fp.series_w().len(), 1);
+        assert!((fp.series_w()[0] - 750.0).abs() < 1e-9);
+        // An absurdly large timestamp clamps to the bounded ceiling —
+        // checked at the index-mapping level so the test itself never
+        // has to materialize the capped tail.
+        assert_eq!(
+            FleetPowerSeries::slot_index(1e300, 15.0),
+            FleetPowerSeries::MAX_SLOT as usize
+        );
+        assert_eq!(FleetPowerSeries::slot_index(f64::MAX, 15.0), 1e9 as usize);
+        // Ordinary in-campaign timestamps are untouched by the clamps.
+        assert_eq!(FleetPowerSeries::slot_index(45.0, 15.0), 3);
     }
 
     #[test]

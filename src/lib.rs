@@ -28,6 +28,9 @@
 //!   [`stream::StreamEngine`] folds an arrival-ordered event stream into
 //!   any observer, bit-identical to the batch path;
 //! * [`core`] — modal decomposition and savings projection (`pmss-core`);
+//! * [`econ`] — price/carbon economics (`pmss-econ`): typed
+//!   [`econ::EconTrace`]s, the per-slot [`econ::EconSeries`] observer,
+//!   and the temporal-shifting what-if behind `pmss econ`;
 //! * [`pipeline`] — the unified scenario pipeline (`pmss-pipeline`): a
 //!   typed [`ScenarioSpec`] run through memoized stages to an
 //!   [`Artifacts`] bundle, powering the `pmss` CLI;
@@ -60,6 +63,7 @@
 
 pub use pmss_columns as columns;
 pub use pmss_core as core;
+pub use pmss_econ as econ;
 pub use pmss_faults as faults;
 pub use pmss_govern as govern;
 pub use pmss_gpu as gpu;

@@ -80,7 +80,7 @@ fn batch_answers(spec: &ScenarioSpec, queries: &[Query]) -> Vec<String> {
     queries
         .iter()
         .map(|q| {
-            pmss_pipeline::query::answer(&state, &t3, q)
+            pmss_pipeline::query::answer(&state, &t3, spec.active_econ(), q)
                 .expect("batch answer")
                 .to_string_pretty()
         })

@@ -57,6 +57,7 @@ fn json_matches_the_golden_captures() {
         "stream",
         "govern",
         "components",
+        "econ",
     ] {
         let args: Vec<String> = [name, "--json", "--scale", "quick"]
             .iter()
@@ -133,6 +134,30 @@ fn faulted_runs_match_the_golden_captures() {
                 "--json",
             ],
             "table4-frontier-typical",
+            "json",
+        ),
+    ];
+    for (argv, name, ext) in cases {
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let got = cli::run(&args).expect("cli run");
+        assert_eq!(got, golden(name, ext), "golden drift in {name}.{ext}");
+    }
+}
+
+/// An active `--econ diurnal` trace is pinned byte-for-byte in both
+/// renderings of the what-if artifact — the seam where the econ section
+/// joins a historical artifact rather than standing alone.
+#[test]
+fn econ_runs_match_the_golden_captures() {
+    let cases: [(&[&str], &str, &str); 2] = [
+        (
+            &["whatif", "--scale", "quick", "--econ", "diurnal"],
+            "whatif-econ-diurnal",
+            "txt",
+        ),
+        (
+            &["whatif", "--scale", "quick", "--econ", "diurnal", "--json"],
+            "whatif-econ-diurnal",
             "json",
         ),
     ];
